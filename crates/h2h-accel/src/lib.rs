@@ -1,0 +1,43 @@
+//! # h2h-accel — accelerator performance models for H2H
+//!
+//! The `P_acc` half of the H2H (DAC'22) formulation: analytical,
+//! MAESTRO-style per-layer latency/energy models for FPGA DNN
+//! accelerators, and the twelve-design catalog of the paper's Table 3.
+//!
+//! Accelerators are *plug-ins*: anything implementing
+//! [`model::AccelModel`] participates in a heterogeneous system. The
+//! built-in [`analytic::AnalyticAccel`] derives behaviour from an
+//! [`analytic::AccelSpec`] — a dataflow style plus board constants — via
+//! the dataflow-dependent PE-utilization model in [`dataflow`].
+//!
+//! ```
+//! use h2h_accel::catalog;
+//! use h2h_accel::model::AccelModel;
+//! use h2h_model::layer::{ConvParams, Layer, LayerOp};
+//!
+//! let accs = catalog::standard_accelerators();
+//! assert_eq!(accs.len(), 12);
+//!
+//! // A deep pointwise convolution prefers the systolic array (XW).
+//! let pw = Layer::new("pw", LayerOp::Conv(ConvParams::square(2048, 512, 7, 7, 1, 1)));
+//! let best = accs
+//!     .iter()
+//!     .filter(|a| a.supports(&pw))
+//!     .min_by(|a, b| {
+//!         a.compute_time(&pw).unwrap().partial_cmp(&b.compute_time(&pw).unwrap()).unwrap()
+//!     })
+//!     .unwrap();
+//! assert_eq!(best.meta().id, "XW");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod catalog;
+pub mod dataflow;
+pub mod model;
+
+pub use analytic::{AccelSpec, AnalyticAccel};
+pub use dataflow::Dataflow;
+pub use model::{AccelMeta, AccelModel, AccelRef};

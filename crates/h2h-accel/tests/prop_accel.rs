@@ -1,0 +1,72 @@
+//! Property tests on the accelerator cost models: utilization bounds,
+//! positivity/finiteness of every catalog estimate, and monotonicity of
+//! latency in compute volume.
+
+use proptest::prelude::*;
+
+use h2h_accel::catalog::standard_accelerators;
+use h2h_accel::dataflow::occupancy;
+use h2h_accel::model::AccelModel;
+use h2h_model::layer::{ConvParams, FcParams, Layer, LayerOp, LstmParams};
+
+proptest! {
+    #[test]
+    fn occupancy_stays_in_unit_interval(x in 0u64..1_000_000, tile in 0u64..10_000) {
+        let o = occupancy(x, tile);
+        prop_assert!(o > 0.0 && o <= 1.0, "occupancy({x},{tile}) = {o}");
+    }
+
+    #[test]
+    fn occupancy_is_exact_on_multiples(x in 1u64..1000, tile in 1u64..64) {
+        prop_assert_eq!(occupancy(x * tile, tile), 1.0);
+    }
+
+    #[test]
+    fn catalog_estimates_are_positive_and_finite(
+        n in 1u32..1024, m in 1u32..1024, hw in 1u32..128, k in 1u32..8, s in 1u32..3,
+    ) {
+        let conv = Layer::new("c", LayerOp::Conv(ConvParams::square(n, m, hw, hw, k, s)));
+        for acc in standard_accelerators() {
+            if let Some(t) = acc.compute_time(&conv) {
+                prop_assert!(t.as_f64().is_finite() && t.as_f64() > 0.0, "{}", acc.meta().id);
+                let e = acc.compute_energy(&conv).expect("energy follows support");
+                prop_assert!(e.as_f64().is_finite() && e.as_f64() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_spatial_extent(
+        n in 8u32..256, m in 8u32..256, hw in 4u32..64, k in 1u32..5,
+    ) {
+        // Doubling output pixels at fixed everything-else can never be
+        // faster (macs double, utilization structure is unchanged in
+        // the spatial dimension tiling up to occupancy wobble < 2x).
+        let small = Layer::new("s", LayerOp::Conv(ConvParams::square(n, m, hw, hw, k, 1)));
+        let big = Layer::new("b", LayerOp::Conv(ConvParams::square(n, m, 2 * hw, 2 * hw, k, 1)));
+        for acc in standard_accelerators() {
+            if let (Some(ts), Some(tb)) = (acc.compute_time(&small), acc.compute_time(&big)) {
+                prop_assert!(
+                    tb.as_f64() >= ts.as_f64() * 0.99,
+                    "{}: 4x macs got faster ({} -> {})",
+                    acc.meta().id, ts, tb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fc_and_lstm_support_is_consistent(
+        inf in 1u32..2048, outf in 1u32..2048, h in 1u32..512, t in 1u32..128,
+    ) {
+        let fc = Layer::new("f", LayerOp::Fc(FcParams { in_features: inf, out_features: outf }));
+        let lstm = Layer::new("l", LayerOp::Lstm(LstmParams {
+            in_size: inf.min(512), hidden: h, layers: 1, seq_len: t, return_sequences: false,
+        }));
+        for acc in standard_accelerators() {
+            // compute_time is Some iff supports() says so.
+            prop_assert_eq!(acc.compute_time(&fc).is_some(), acc.supports(&fc));
+            prop_assert_eq!(acc.compute_time(&lstm).is_some(), acc.supports(&lstm));
+        }
+    }
+}

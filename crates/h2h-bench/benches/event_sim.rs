@@ -1,0 +1,44 @@
+//! Discrete-event simulator throughput, dedicated links vs a contended
+//! shared host NIC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use h2h_core::pipeline::H2hMapper;
+use h2h_system::sim::{simulate, SimConfig};
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn bench_sim(c: &mut Criterion) {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let model = h2h_model::zoo::casia_surf();
+    let out = H2hMapper::new(&model, &system).run().unwrap();
+    let mut group = c.benchmark_group("event_sim");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group.bench_function("dedicated", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(&model, &system, &out.mapping, &out.locality, SimConfig::dedicated())
+                    .makespan(),
+            )
+        })
+    });
+    group.bench_function("shared_nic", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(
+                    &model,
+                    &system,
+                    &out.mapping,
+                    &out.locality,
+                    SimConfig::shared_nic(BandwidthClass::LowMinus.bandwidth()),
+                )
+                .makespan(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Full re-scheduling vs incremental propagation (paper §4.2's
+//! "update … without traversing the entire graph").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use h2h_core::activation_fusion::rebuild_locality;
+use h2h_core::compute_map::computation_prioritized;
+use h2h_core::{H2hConfig, PinPreset};
+use h2h_model::units::Seconds;
+use h2h_system::incremental::IncrementalSchedule;
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn bench_incremental(c: &mut Criterion) {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let model = h2h_model::zoo::vlocnet();
+    let cfg = H2hConfig::default();
+    let ev = Evaluator::new(&model, &system);
+    let (mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+    let locality = rebuild_locality(&ev, &mapping, &cfg, &PinPreset::new());
+    // A tail-ish layer whose duration we perturb.
+    let victim = model.topo_order()[model.num_layers() * 3 / 4];
+
+    let mut group = c.benchmark_group("reschedule_after_one_change");
+    group.sample_size(30).measurement_time(Duration::from_secs(5));
+    group.bench_function("full_evaluate", |b| {
+        b.iter(|| black_box(ev.evaluate(&mapping, &locality).makespan()))
+    });
+    group.bench_function("incremental_propagate", |b| {
+        let mut inc = IncrementalSchedule::new(&ev, &mapping, &locality);
+        let mut bump = 0u64;
+        b.iter(|| {
+            bump += 1;
+            inc.set_duration(victim, Seconds::new(1e-3 + (bump % 7) as f64 * 1e-5));
+            black_box(inc.propagate(&model, &[victim]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Knapsack solver micro-benchmarks: the weight-locality step's inner
+//! primitive (scaled DP vs density greedy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use h2h_core::knapsack::{solve_dp, solve_greedy, Item};
+
+fn instance(n: usize) -> (Vec<Item>, u64) {
+    // Deterministic pseudo-random layer-weight-like instance.
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let items: Vec<Item> = (0..n)
+        .map(|id| {
+            let weight = next() % 200_000_000 + 4_096; // 4 KiB .. 200 MB
+            Item { id, weight, value: weight as f64 * 7.5e-9 }
+        })
+        .collect();
+    (items, 4 * 1024 * 1024 * 1024) // 4 GiB budget
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    for n in [32usize, 141, 512] {
+        let (items, cap) = instance(n);
+        group.bench_function(format!("dp_n{n}"), |b| {
+            b.iter(|| black_box(solve_dp(&items, cap)))
+        });
+        group.bench_function(format!("greedy_n{n}"), |b| {
+            b.iter(|| black_box(solve_greedy(&items, cap)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsack);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Throughput of the analytical list scheduler — the primitive the
+//! remapping loop calls thousands of times per mapping search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use h2h_core::activation_fusion::rebuild_locality;
+use h2h_core::compute_map::computation_prioritized;
+use h2h_core::{H2hConfig, PinPreset};
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn bench_evaluate(c: &mut Criterion) {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig::default();
+    let mut group = c.benchmark_group("schedule_evaluate");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    for model in [h2h_model::zoo::vlocnet(), h2h_model::zoo::mocap()] {
+        let ev = Evaluator::new(&model, &system);
+        let (mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+        let locality = rebuild_locality(&ev, &mapping, &cfg, &PinPreset::new());
+        group.bench_function(model.name().to_owned(), |b| {
+            b.iter(|| black_box(ev.evaluate(&mapping, &locality).makespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 5b's wall-clock complement: statistically sampled H2H mapper
+//! search time per model. The paper reports sub-second search across the
+//! zoo, with VLocNet (141 layers) the slowest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use h2h_core::pipeline::H2hMapper;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn bench_search(c: &mut Criterion) {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let mut group = c.benchmark_group("h2h_search");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for model in h2h_model::zoo::all_models() {
+        group.bench_function(model.name().to_owned(), |b| {
+            b.iter(|| {
+                let out = H2hMapper::new(&model, &system).run().unwrap();
+                black_box(out.final_latency())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! Ablations of the design choices DESIGN.md calls out: knapsack solver
+//! flavour, frontier enumeration vs greedy, which pipeline steps matter,
+//! modality clustering, and the dedicated-link abstraction vs a
+//! contended host NIC.
+
+use serde::{Deserialize, Serialize};
+
+use h2h_core::baseline::{cluster_mapping, computation_prioritized_baseline};
+use h2h_core::pipeline::H2hMapper;
+use h2h_core::{H2hConfig, KnapsackKind};
+use h2h_model::graph::ModelGraph;
+use h2h_system::schedule::Evaluator;
+use h2h_system::sim::{simulate, SimConfig};
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+/// One ablation row: a configuration label and the final latency it
+/// reaches, in seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Final modeled latency, seconds.
+    pub latency: f64,
+    /// Final modeled energy, joules.
+    pub energy: f64,
+}
+
+fn run_with(model: &ModelGraph, bw: BandwidthClass, cfg: H2hConfig, label: &str) -> AblationRow {
+    let system = SystemSpec::standard(bw);
+    let out = H2hMapper::new(model, &system)
+        .with_config(cfg)
+        .run()
+        .expect("standard system maps every zoo model");
+    AblationRow {
+        label: label.to_owned(),
+        latency: out.final_latency().as_f64(),
+        energy: out.final_energy().as_f64(),
+    }
+}
+
+/// Knapsack solver ablation: exact DP vs density greedy.
+pub fn knapsack_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    vec![
+        run_with(
+            model,
+            bw,
+            H2hConfig { knapsack: KnapsackKind::Dp, ..Default::default() },
+            "knapsack=dp",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig { knapsack: KnapsackKind::Greedy, ..Default::default() },
+            "knapsack=greedy",
+        ),
+    ]
+}
+
+/// Frontier-search ablation: exhaustive group enumeration vs per-node
+/// greedy (step 1).
+pub fn enumeration_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    vec![
+        run_with(
+            model,
+            bw,
+            H2hConfig { enumeration_cap: 4096, ..Default::default() },
+            "step1=enumerate(4096)",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig { enumeration_cap: 0, ..Default::default() },
+            "step1=greedy",
+        ),
+    ]
+}
+
+/// Pipeline-step ablation: which optimization contributes what.
+pub fn step_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    vec![
+        run_with(
+            model,
+            bw,
+            H2hConfig {
+                enable_weight_locality: false,
+                enable_activation_fusion: false,
+                enable_remapping: false,
+                ..Default::default()
+            },
+            "steps=1",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig {
+                enable_activation_fusion: false,
+                enable_remapping: false,
+                ..Default::default()
+            },
+            "steps=1+2 (baseline)",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig { enable_remapping: false, ..Default::default() },
+            "steps=1+2+3",
+        ),
+        run_with(model, bw, H2hConfig::default(), "steps=1+2+3+4 (H2H)"),
+        run_with(
+            model,
+            bw,
+            H2hConfig { enable_activation_fusion: false, ..Default::default() },
+            "steps=1+2+4 (no fusion)",
+        ),
+    ]
+}
+
+/// Mapper-family ablation: H2H vs the communication-prioritized cluster
+/// mapper vs the computation-prioritized baseline.
+pub fn mapper_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    let system = SystemSpec::standard(bw);
+    let ev = Evaluator::new(model, &system);
+    let cfg = H2hConfig::default();
+    let h2h = H2hMapper::new(model, &system).run().expect("maps");
+    let comp = computation_prioritized_baseline(&ev, &cfg).expect("maps");
+    let clus = cluster_mapping(&ev, &cfg).expect("maps");
+    vec![
+        AblationRow {
+            label: "computation-prioritized [10]".into(),
+            latency: comp.schedule.makespan().as_f64(),
+            energy: comp.schedule.energy().total().as_f64(),
+        },
+        AblationRow {
+            label: "communication-clustered [17]".into(),
+            latency: clus.schedule.makespan().as_f64(),
+            energy: clus.schedule.energy().total().as_f64(),
+        },
+        AblationRow {
+            label: "H2H".into(),
+            latency: h2h.final_latency().as_f64(),
+            energy: h2h.final_energy().as_f64(),
+        },
+    ]
+}
+
+/// Objective ablation (extension): what step 4 minimizes — end-to-end
+/// latency (the paper), total energy, or the energy-delay product.
+pub fn objective_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    use h2h_core::MapObjective;
+    vec![
+        run_with(
+            model,
+            bw,
+            H2hConfig { objective: MapObjective::Latency, ..Default::default() },
+            "objective=latency (paper)",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig { objective: MapObjective::Energy, ..Default::default() },
+            "objective=energy",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig { objective: MapObjective::EnergyDelayProduct, ..Default::default() },
+            "objective=energy-delay product",
+        ),
+        run_with(
+            model,
+            bw,
+            H2hConfig { objective: MapObjective::Throughput, ..Default::default() },
+            "objective=pipelined throughput",
+        ),
+    ]
+}
+
+/// Search-budget ablation: H2H's greedy pipeline vs seeded simulated
+/// annealing at growing iteration budgets over the same objective.
+pub fn annealing_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    use h2h_core::anneal::{simulated_annealing, AnnealConfig};
+    let system = SystemSpec::standard(bw);
+    let ev = Evaluator::new(model, &system);
+    let cfg = H2hConfig::default();
+    let mut rows = vec![run_with(model, bw, cfg, "H2H (greedy pipeline)")];
+    for iterations in [500usize, 2000] {
+        let sa = simulated_annealing(
+            &ev,
+            &cfg,
+            &AnnealConfig { iterations, ..Default::default() },
+        )
+        .expect("standard system maps every zoo model");
+        rows.push(AblationRow {
+            label: format!("simulated annealing x{iterations}"),
+            latency: sa.schedule.makespan().as_f64(),
+            energy: sa.schedule.energy().total().as_f64(),
+        });
+    }
+    rows
+}
+
+/// Interconnect-abstraction ablation: the analytical dedicated-link
+/// model vs event simulation with a shared host NIC of 1× and 4× a
+/// single link's rate, on the final H2H mapping.
+pub fn contention_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<AblationRow> {
+    let system = SystemSpec::standard(bw);
+    let out = H2hMapper::new(model, &system).run().expect("maps");
+    let analytic = out.schedule.makespan().as_f64();
+    let ded = simulate(model, &system, &out.mapping, &out.locality, SimConfig::dedicated());
+    let nic1 = simulate(
+        model,
+        &system,
+        &out.mapping,
+        &out.locality,
+        SimConfig::shared_nic(bw.bandwidth()),
+    );
+    let nic4 = simulate(
+        model,
+        &system,
+        &out.mapping,
+        &out.locality,
+        SimConfig::shared_nic(h2h_model::units::BytesPerSec::new(bw.bandwidth().as_f64() * 4.0)),
+    );
+    let energy = out.schedule.energy().total().as_f64();
+    vec![
+        AblationRow { label: "analytic (dedicated links)".into(), latency: analytic, energy },
+        AblationRow { label: "event-sim (dedicated links)".into(), latency: ded.makespan().as_f64(), energy },
+        AblationRow { label: "event-sim (shared NIC 4x)".into(), latency: nic4.makespan().as_f64(), energy },
+        AblationRow { label: "event-sim (shared NIC 1x)".into(), latency: nic1.makespan().as_f64(), energy },
+    ]
+}
+
+/// Renders ablation rows as an indented table.
+pub fn render(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = format!("{title}\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<34} {:>10.4} s {:>10.3} J\n",
+            r.label, r.latency, r.energy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_ablation_is_monotone() {
+        let model = h2h_model::zoo::mocap();
+        let rows = step_ablation(&model, BandwidthClass::LowMinus);
+        // steps=1 >= steps=1+2 >= steps=1+2+3 >= full H2H.
+        assert!(rows[0].latency >= rows[1].latency - 1e-12);
+        assert!(rows[1].latency >= rows[2].latency - 1e-12);
+        assert!(rows[2].latency >= rows[3].latency - 1e-12);
+    }
+
+    #[test]
+    fn h2h_wins_the_mapper_ablation() {
+        let model = h2h_model::zoo::mocap();
+        let rows = mapper_ablation(&model, BandwidthClass::LowMinus);
+        let h2h = rows.iter().find(|r| r.label == "H2H").unwrap().latency;
+        for r in &rows {
+            assert!(h2h <= r.latency + 1e-12, "H2H lost to {}", r.label);
+        }
+    }
+
+    #[test]
+    fn contention_only_adds_latency() {
+        let model = h2h_model::zoo::cnn_lstm();
+        let rows = contention_ablation(&model, BandwidthClass::LowMinus);
+        let analytic = rows[0].latency;
+        let ded = rows[1].latency;
+        assert!((analytic - ded).abs() / analytic < 1e-6, "sim must match analytic");
+        assert!(rows[2].latency >= ded - 1e-9);
+        assert!(rows[3].latency >= rows[2].latency - 1e-9);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let rows = vec![AblationRow { label: "x".into(), latency: 1.0, energy: 2.0 }];
+        assert!(render("t", &rows).contains("x"));
+    }
+
+    #[test]
+    fn objective_rows_win_their_own_metric() {
+        let model = h2h_model::zoo::cnn_lstm();
+        let rows = objective_ablation(&model, BandwidthClass::LowMinus);
+        let lat = rows.iter().find(|r| r.label.contains("latency")).unwrap();
+        let en = rows.iter().find(|r| r.label.contains("energy")).unwrap();
+        assert!(lat.latency <= en.latency + 1e-12);
+        assert!(en.energy <= lat.energy + 1e-12);
+    }
+}

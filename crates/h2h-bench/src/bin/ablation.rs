@@ -1,0 +1,37 @@
+//! Design-choice ablations (beyond the paper's own experiments):
+//! knapsack solver flavour, frontier enumeration, step contributions,
+//! mapper families, and host-NIC contention vs the dedicated-link
+//! abstraction.
+
+use h2h_bench::ablation::{
+    annealing_ablation, contention_ablation, enumeration_ablation, knapsack_ablation,
+    mapper_ablation, objective_ablation, render, step_ablation,
+};
+use h2h_system::system::BandwidthClass;
+
+fn main() {
+    let bw = BandwidthClass::LowMinus;
+    for model in [h2h_model::zoo::vlocnet(), h2h_model::zoo::mocap()] {
+        println!("==== {} @ {} ====", model.name(), bw.label());
+        print!("{}", render("step contributions", &step_ablation(&model, bw)));
+        print!("{}", render("mapper families", &mapper_ablation(&model, bw)));
+        print!("{}", render("knapsack solver", &knapsack_ablation(&model, bw)));
+        print!(
+            "{}",
+            render("step-1 search mode", &enumeration_ablation(&model, bw))
+        );
+        print!(
+            "{}",
+            render("interconnect abstraction", &contention_ablation(&model, bw))
+        );
+        print!(
+            "{}",
+            render("search budget", &annealing_ablation(&model, bw))
+        );
+        print!(
+            "{}",
+            render("remap objective", &objective_ablation(&model, bw))
+        );
+        println!();
+    }
+}

@@ -1,0 +1,37 @@
+//! Batched-serving extension experiment: how the H2H payoff moves as
+//! weights amortize over larger serving batches. With `batch = 1`
+//! weight streaming dominates the weight-heavy models and step 2
+//! (pinning) does most of the work; as the batch grows, activation
+//! traffic dominates and the communication-aware steps 3–4 carry the
+//! reduction — the regime the paper's own latency tables (seconds per
+//! inference at cloud scale) imply.
+
+use h2h_core::pipeline::H2hMapper;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn main() {
+    let bw = BandwidthClass::LowMinus;
+    let system = SystemSpec::standard(bw);
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>11} {:>14}",
+        "model", "batch", "baseline", "H2H", "lat. red.", "per-request"
+    );
+    for model in h2h_model::zoo::all_models() {
+        for batch in [1u32, 4, 16] {
+            let out = H2hMapper::new(&model, &system)
+                .with_serving_batch(batch)
+                .run()
+                .expect("zoo maps on the standard system");
+            println!(
+                "{:<12} {:>6} {:>14} {:>14} {:>10.1}% {:>14}",
+                model.name(),
+                batch,
+                format!("{}", out.baseline_latency()),
+                format!("{}", out.final_latency()),
+                out.latency_reduction() * 100.0,
+                format!("{}", out.final_latency() / batch as f64),
+            );
+        }
+        println!();
+    }
+}

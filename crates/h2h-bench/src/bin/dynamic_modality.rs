@@ -1,0 +1,39 @@
+//! The §4.5 extension experiment: a health-monitoring-style scenario
+//! that toggles CNN-LSTM's sensor modalities at runtime and measures the
+//! weight-reload traffic the dynamic H2H extension avoids.
+
+use h2h_core::{DynamicSession, H2hConfig};
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn main() {
+    let full = h2h_model::zoo::cnn_lstm();
+    let configs: Vec<(&str, Vec<&str>)> = vec![
+        ("all sensors", vec!["video", "imu_wrist", "imu_ankle", "emg"]),
+        ("EMG off", vec!["video", "imu_wrist", "imu_ankle"]),
+        ("video only", vec!["video"]),
+        ("all sensors (back on)", vec!["video", "imu_wrist", "imu_ankle", "emg"]),
+    ];
+
+    for bw in [BandwidthClass::LowMinus, BandwidthClass::High] {
+        let system = SystemSpec::standard(bw);
+        let mut session = DynamicSession::new(&system, H2hConfig::default());
+        println!("== dynamic modality change on CNN-LSTM @ {} ==", bw.label());
+        println!(
+            "  {:<24} {:>10} {:>12} {:>12} {:>12}",
+            "configuration", "latency", "reused", "reloaded", "reload saved"
+        );
+        for (label, mods) in &configs {
+            let model = full.retain_modalities(mods);
+            let out = session.remap(&model).expect("maps");
+            println!(
+                "  {:<24} {:>10} {:>12} {:>12} {:>12}",
+                label,
+                format!("{}", out.outcome.final_latency()),
+                format!("{}", out.reused),
+                format!("{}", out.reloaded),
+                format!("{}", out.reload_time_saved(&system)),
+            );
+        }
+        println!();
+    }
+}

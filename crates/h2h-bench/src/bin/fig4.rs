@@ -1,0 +1,12 @@
+//! Regenerates Figure 4: system latency and energy after each H2H step,
+//! for the 6 zoo models across the 5 bandwidth classes.
+
+use h2h_bench::{run_sweep, tables};
+use h2h_core::H2hConfig;
+
+fn main() {
+    let runs = run_sweep(&H2hConfig::default());
+    print!("{}", tables::fig4_latency(&runs));
+    println!();
+    print!("{}", tables::fig4_energy(&runs));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 5a: the communication/computation busy-time split
+//! before (baseline, after step 2) and after H2H, at Bandwidth Low-.
+
+use h2h_bench::{run_sweep, tables};
+use h2h_core::H2hConfig;
+
+fn main() {
+    let runs = run_sweep(&H2hConfig::default());
+    print!("{}", tables::fig5a(&runs));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 5b: H2H mapper search time per model and
+//! bandwidth class (see also `cargo bench -p h2h-bench` for the
+//! statistically sampled variant).
+
+use h2h_bench::{run_sweep, tables};
+use h2h_core::H2hConfig;
+
+fn main() {
+    let runs = run_sweep(&H2hConfig::default());
+    print!("{}", tables::fig5b(&runs));
+}

@@ -1,0 +1,11 @@
+//! Checks the paper's headline claims (15–74% latency and 23–64% energy
+//! reduction at Bandwidth Low-, 10–50% at High, over-60% in half the
+//! cases, sub-second search) against this reproduction.
+
+use h2h_bench::{run_sweep, tables};
+use h2h_core::H2hConfig;
+
+fn main() {
+    let runs = run_sweep(&H2hConfig::default());
+    print!("{}", tables::headline(&runs));
+}

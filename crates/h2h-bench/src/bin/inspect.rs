@@ -1,0 +1,61 @@
+//! Deep-dive inspector: model census, final H2H placement report and an
+//! ASCII Gantt chart for one (model, bandwidth) pair.
+//!
+//! ```sh
+//! cargo run --release -p h2h-bench --bin inspect -- mocap low-
+//! ```
+
+use h2h_core::pipeline::H2hMapper;
+use h2h_core::report::mapping_report;
+use h2h_model::stats::ModelStats;
+use h2h_model::zoo;
+use h2h_system::gantt::render_gantt;
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model_arg = std::env::args().nth(1).unwrap_or_else(|| "mocap".into());
+    let bw_arg = std::env::args().nth(2).unwrap_or_else(|| "low-".into());
+
+    let model = match model_arg.as_str() {
+        "vlocnet" => zoo::vlocnet(),
+        "casia" => zoo::casia_surf(),
+        "vfs" => zoo::vfs(),
+        "facebag" => zoo::facebag(),
+        "cnnlstm" => zoo::cnn_lstm(),
+        "mocap" => zoo::mocap(),
+        other => {
+            eprintln!("unknown model `{other}` (vlocnet|casia|vfs|facebag|cnnlstm|mocap)");
+            std::process::exit(2);
+        }
+    };
+    let bw = match bw_arg.to_lowercase().as_str() {
+        "low-" => BandwidthClass::LowMinus,
+        "low" => BandwidthClass::Low,
+        "mid-" => BandwidthClass::MidMinus,
+        "mid" => BandwidthClass::Mid,
+        "high" => BandwidthClass::High,
+        other => {
+            eprintln!("unknown bandwidth `{other}` (low-|low|mid-|mid|high)");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{}\n", ModelStats::of(&model));
+    let system = SystemSpec::standard(bw);
+    let out = H2hMapper::new(&model, &system).run()?;
+    let ev = Evaluator::new(&model, &system);
+
+    println!(
+        "H2H @ {}: baseline {} -> final {} ({:.1}% reduction), search {:?}\n",
+        bw.label(),
+        out.baseline_latency(),
+        out.final_latency(),
+        out.latency_reduction() * 100.0,
+        out.search_time
+    );
+    print!("{}", mapping_report(&ev, &out.mapping, &out.locality, &out.schedule));
+    println!();
+    println!("{}", render_gantt(&model, &system, &out.mapping, &out.schedule, 100));
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Runs the complete evaluation — every figure and table — and dumps the
+//! raw sweep to `results/sweep.json` for EXPERIMENTS.md bookkeeping.
+
+use std::fs;
+
+use h2h_bench::{run_sweep, tables};
+use h2h_core::H2hConfig;
+
+fn main() {
+    let runs = run_sweep(&H2hConfig::default());
+
+    print!("{}", tables::fig4_latency(&runs));
+    println!();
+    print!("{}", tables::fig4_energy(&runs));
+    println!();
+    print!("{}", tables::table4(&runs));
+    println!();
+    print!("{}", tables::fig5a(&runs));
+    println!();
+    print!("{}", tables::fig5b(&runs));
+    println!();
+    print!("{}", tables::headline(&runs));
+
+    if fs::create_dir_all("results").is_ok() {
+        match serde_json::to_string_pretty(&runs) {
+            Ok(json) => {
+                if fs::write("results/sweep.json", json).is_ok() {
+                    eprintln!("\nraw sweep written to results/sweep.json");
+                }
+            }
+            Err(e) => eprintln!("could not serialize sweep: {e}"),
+        }
+    }
+}

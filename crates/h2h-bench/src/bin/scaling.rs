@@ -1,0 +1,40 @@
+//! Scaling study on synthetic MMMT families (extends Fig. 5b): how do
+//! search time and latency reduction evolve as models grow in modality
+//! count and depth — the "growing size of DNN models" the paper's
+//! conclusion points at.
+
+use h2h_core::pipeline::H2hMapper;
+use h2h_model::stats::ModelStats;
+use h2h_model::synth::{synthetic_mmmt, SyntheticConfig};
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn main() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    println!(
+        "{:>10} {:>6} {:>7} {:>9} {:>12} {:>11}",
+        "modalities", "depth", "layers", "params", "search", "lat. red."
+    );
+    for modalities in [2usize, 3, 4, 6, 8] {
+        for depth in [6usize, 12] {
+            let model = synthetic_mmmt(&SyntheticConfig {
+                modalities,
+                depth,
+                seed: 11,
+                ..Default::default()
+            });
+            let stats = ModelStats::of(&model);
+            let out = H2hMapper::new(&model, &system)
+                .run()
+                .expect("synthetic models map on the standard system");
+            println!(
+                "{:>10} {:>6} {:>7} {:>8.1}M {:>11.1}ms {:>10.1}%",
+                modalities,
+                depth,
+                stats.layers,
+                stats.params_m(),
+                out.search_time.as_secs_f64() * 1e3,
+                out.latency_reduction() * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 4: absolute latency after steps 1–2 and the
+//! step-3/step-4 latencies as percentages of the step-2 baseline.
+
+use h2h_bench::{run_sweep, tables};
+use h2h_core::H2hConfig;
+
+fn main() {
+    let runs = run_sweep(&H2hConfig::default());
+    print!("{}", tables::table4(&runs));
+}

@@ -1,0 +1,398 @@
+//! Step 1 — computation-prioritized mapping (paper §4.1).
+//!
+//! Walks the model frontier by frontier ("nodes without predecessors"),
+//! enumerating the group's accelerator assignments and keeping the one
+//! with the smallest system-latency increment `ΔSys_latency`, under the
+//! zero-data-locality assumption: every weight and activation streams
+//! through the host's main memory.
+//!
+//! Because frontier waves coincide with ASAP rank levels, the incremental
+//! schedule state maintained here reproduces exactly what the full
+//! [`Evaluator`] computes for the same mapping — a property the tests
+//! assert. Group enumeration is exact up to
+//! [`H2hConfig::enumeration_cap`] combinations; wider groups fall back to
+//! per-node greedy with the same objective.
+
+use std::collections::HashSet;
+
+use h2h_model::graph::LayerId;
+use h2h_model::layer::LayerOp;
+use h2h_model::tensor::DataType;
+use h2h_model::units::{Bytes, Seconds};
+use h2h_system::mapping::Mapping;
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::AccId;
+
+use crate::config::H2hConfig;
+use crate::pipeline::H2hError;
+use crate::preset::PinPreset;
+
+/// Zero-locality duration of every (layer, accelerator) pair:
+/// `weights/eth + Σ ifm/eth + compute + ofm/eth`.
+///
+/// With a [`PinPreset`] (dynamic modality change, §4.5), layers whose
+/// weights are already buffered on an accelerator see a zero weight-
+/// transfer term there — that is the "prioritize the layer mapping if
+/// the layer's weights are already buffered" rule.
+pub(crate) fn duration_table(
+    ev: &Evaluator<'_>,
+    preset: &PinPreset,
+) -> Vec<Vec<Option<Seconds>>> {
+    let model = ev.model();
+    let system = ev.system();
+    let eth = system.ethernet();
+    let b = ev.batch() as f64;
+    let mut dur = vec![vec![None; system.num_accs()]; model.id_bound()];
+    for (id, layer) in model.layers() {
+        let is_input = matches!(layer.op(), LayerOp::Input { .. });
+        let wbytes = layer.weight_bytes(DataType::F32);
+        let ifm: Seconds = model
+            .predecessors(id)
+            .map(|p| eth.transfer_time(model.edge_bytes(p, id).expect("edge")))
+            .sum();
+        let ofm = if is_input {
+            Seconds::ZERO
+        } else {
+            eth.transfer_time(layer.ofm_bytes(DataType::F32))
+        };
+        for acc in system.acc_ids() {
+            let Some(comp) = ev.cache().time(id, acc) else {
+                continue;
+            };
+            let weight = if wbytes == Bytes::ZERO || preset.is_buffered(id, acc) {
+                Seconds::ZERO
+            } else {
+                eth.transfer_time(wbytes)
+            };
+            // Weights amortize over the batch; activations and compute
+            // repeat per request (matches Evaluator::with_batch).
+            dur[id.index()][acc.index()] = Some(weight + (ifm + comp + ofm) * b);
+        }
+    }
+    dur
+}
+
+/// Incremental schedule state shared by enumeration and greedy modes.
+struct WaveState {
+    finish: Vec<Seconds>,
+    acc_ready: Vec<Seconds>,
+    makespan: Seconds,
+}
+
+impl WaveState {
+    /// Simulates assigning `group[i] → combo[i]` (in order) on top of the
+    /// committed state; returns `(makespan, sum_of_finish)` without
+    /// mutating anything.
+    fn peek(
+        &self,
+        ev: &Evaluator<'_>,
+        dur: &[Vec<Option<Seconds>>],
+        group: &[LayerId],
+        combo: &[AccId],
+    ) -> (Seconds, Seconds) {
+        let model = ev.model();
+        let mut ready_scratch: Vec<(usize, Seconds)> = Vec::with_capacity(group.len());
+        let mut makespan = self.makespan;
+        let mut sum = Seconds::ZERO;
+        for (layer, acc) in group.iter().zip(combo) {
+            let d = dur[layer.index()][acc.index()].expect("candidate filtered to supported");
+            let deps = model
+                .predecessors(*layer)
+                .map(|p| self.finish[p.index()])
+                .fold(Seconds::ZERO, Seconds::max);
+            // Accelerator availability includes earlier group members
+            // placed on the same accelerator within this wave.
+            let mut avail = self.acc_ready[acc.index()];
+            for &(a, f) in &ready_scratch {
+                if a == acc.index() {
+                    avail = avail.max(f);
+                }
+            }
+            let fin = deps.max(avail) + d;
+            ready_scratch.push((acc.index(), fin));
+            makespan = makespan.max(fin);
+            sum += fin;
+        }
+        (makespan, sum)
+    }
+
+    /// Commits an assignment.
+    fn commit(
+        &mut self,
+        ev: &Evaluator<'_>,
+        dur: &[Vec<Option<Seconds>>],
+        group: &[LayerId],
+        combo: &[AccId],
+        mapping: &mut Mapping,
+    ) {
+        let model = ev.model();
+        for (layer, acc) in group.iter().zip(combo) {
+            let d = dur[layer.index()][acc.index()].expect("supported");
+            let deps = model
+                .predecessors(*layer)
+                .map(|p| self.finish[p.index()])
+                .fold(Seconds::ZERO, Seconds::max);
+            let start = deps.max(self.acc_ready[acc.index()]);
+            let fin = start + d;
+            self.finish[layer.index()] = fin;
+            self.acc_ready[acc.index()] = fin;
+            self.makespan = self.makespan.max(fin);
+            mapping.set(*layer, *acc);
+        }
+    }
+}
+
+/// Runs step 1 and returns the mapping together with the modeled
+/// zero-locality makespan (kept for consistency assertions).
+///
+/// # Errors
+///
+/// Returns [`H2hError::NoCapableAccelerator`] if some layer cannot run
+/// anywhere in the system.
+pub fn computation_prioritized(
+    ev: &Evaluator<'_>,
+    cfg: &H2hConfig,
+    preset: &PinPreset,
+) -> Result<(Mapping, Seconds), H2hError> {
+    let model = ev.model();
+    let system = ev.system();
+    let dur = duration_table(ev, preset);
+
+    let mut mapping = Mapping::new(model);
+    let mut mapped: HashSet<LayerId> = HashSet::new();
+    let mut state = WaveState {
+        finish: vec![Seconds::ZERO; model.id_bound()],
+        acc_ready: vec![Seconds::ZERO; system.num_accs()],
+        makespan: Seconds::ZERO,
+    };
+
+    while mapped.len() < model.num_layers() {
+        let group = model.frontier(&mapped);
+        debug_assert!(!group.is_empty(), "validated DAGs always have a frontier");
+
+        // Candidate accelerators per group member.
+        let mut candidates: Vec<Vec<AccId>> = Vec::with_capacity(group.len());
+        for layer in &group {
+            let accs: Vec<AccId> = system
+                .acc_ids()
+                .filter(|a| dur[layer.index()][a.index()].is_some())
+                .collect();
+            if accs.is_empty() {
+                return Err(H2hError::NoCapableAccelerator {
+                    layer: model.layer(*layer).name().to_owned(),
+                });
+            }
+            candidates.push(accs);
+        }
+
+        let combos: usize = candidates
+            .iter()
+            .map(|c| c.len())
+            .try_fold(1usize, |acc, n| acc.checked_mul(n))
+            .unwrap_or(usize::MAX);
+
+        let chosen: Vec<AccId> = if combos <= cfg.enumeration_cap {
+            // Exhaustive enumeration (odometer order → deterministic).
+            let mut idx = vec![0usize; group.len()];
+            let mut best: Option<(Seconds, Seconds, Vec<AccId>)> = None;
+            loop {
+                let combo: Vec<AccId> = idx
+                    .iter()
+                    .zip(&candidates)
+                    .map(|(i, c)| c[*i])
+                    .collect();
+                let (mk, sum) = state.peek(ev, &dur, &group, &combo);
+                let better = match &best {
+                    None => true,
+                    Some((bmk, bsum, _)) => {
+                        mk < *bmk || (mk == *bmk && sum < *bsum)
+                    }
+                };
+                if better {
+                    best = Some((mk, sum, combo));
+                }
+                // Advance the odometer.
+                let mut pos = 0;
+                loop {
+                    if pos == idx.len() {
+                        break;
+                    }
+                    idx[pos] += 1;
+                    if idx[pos] < candidates[pos].len() {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    pos += 1;
+                }
+                if pos == idx.len() {
+                    break;
+                }
+            }
+            best.expect("at least one combo").2
+        } else {
+            // Greedy per node with the same Δ-latency objective.
+            let mut combo: Vec<AccId> = Vec::with_capacity(group.len());
+            for (i, layer) in group.iter().enumerate() {
+                let mut best: Option<(Seconds, Seconds, AccId)> = None;
+                for &acc in &candidates[i] {
+                    let mut trial = combo.clone();
+                    trial.push(acc);
+                    let (mk, sum) = state.peek(ev, &dur, &group[..=i], &trial);
+                    let better = match &best {
+                        None => true,
+                        Some((bmk, bsum, _)) => mk < *bmk || (mk == *bmk && sum < *bsum),
+                    };
+                    if better {
+                        best = Some((mk, sum, acc));
+                    }
+                }
+                let _ = layer;
+                combo.push(best.expect("non-empty candidates").2);
+            }
+            combo
+        };
+
+        state.commit(ev, &dur, &group, &chosen, &mut mapping);
+        mapped.extend(group);
+    }
+
+    Ok((mapping, state.makespan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+    use h2h_system::locality::LocalityState;
+    use h2h_system::system::{BandwidthClass, SystemSpec};
+    use h2h_system::testutil::{const_system, ConstAccel};
+
+    #[test]
+    fn internal_makespan_matches_full_evaluator() {
+        // The incremental wave state must agree with the authoritative
+        // scheduler for every zoo model.
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        for model in h2h_model::zoo::all_models() {
+            let ev = Evaluator::new(&model, &sys);
+            let (mapping, internal) =
+                computation_prioritized(&ev, &H2hConfig::default(), &PinPreset::new()).unwrap();
+            mapping.validate(&model, &sys).unwrap();
+            let full = ev.evaluate(&mapping, &LocalityState::new(&sys));
+            let a = internal.as_f64();
+            let b = full.makespan().as_f64();
+            assert!(
+                (a - b).abs() / b < 1e-9,
+                "{}: incremental {a} vs evaluator {b}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn picks_the_faster_accelerator_for_compute() {
+        // Two universal accelerators, one 10x faster; a single chain must
+        // land entirely on the fast one (communication is identical).
+        let mut b = ModelBuilder::new("chain");
+        let i = b.input("i", TensorShape::Vector { features: 64 });
+        let f1 = b.fc("f1", i, 64).unwrap();
+        let f2 = b.fc("f2", f1, 64).unwrap();
+        let _ = f2;
+        let m = b.finish().unwrap();
+        let sys = const_system(
+            vec![ConstAccel::universal("slow", 1.0), ConstAccel::universal("fast", 0.1)],
+            1e9,
+        );
+        let ev = Evaluator::new(&m, &sys);
+        let (mapping, _) =
+            computation_prioritized(&ev, &H2hConfig::default(), &PinPreset::new()).unwrap();
+        for id in m.layer_ids() {
+            assert_eq!(mapping.acc_of(id).index(), 1, "layer {id} not on fast acc");
+        }
+    }
+
+    #[test]
+    fn parallel_branches_spread_for_overlap() {
+        // Two equal-cost accelerators and two independent heavy branches:
+        // minimizing ΔSys_latency must use both accelerators.
+        let mut b = ModelBuilder::new("par");
+        let ia = b.input("ia", TensorShape::Vector { features: 8 });
+        let ib = b.input("ib", TensorShape::Vector { features: 8 });
+        let fa = b.fc("fa", ia, 8).unwrap();
+        let fb = b.fc("fb", ib, 8).unwrap();
+        let _ = (fa, fb);
+        let m = b.finish().unwrap();
+        let sys = const_system(
+            vec![ConstAccel::universal("u0", 1.0), ConstAccel::universal("u1", 1.0)],
+            1e9,
+        );
+        let ev = Evaluator::new(&m, &sys);
+        let (mapping, makespan) =
+            computation_prioritized(&ev, &H2hConfig::default(), &PinPreset::new()).unwrap();
+        let used: std::collections::HashSet<usize> =
+            m.layer_ids().map(|id| mapping.acc_of(id).index()).collect();
+        assert_eq!(used.len(), 2, "both accelerators should be used");
+        // Perfect overlap: 2 layers deep, 1 s each ≈ 2 s (+ tiny comm).
+        assert!(makespan.as_f64() < 2.1, "makespan {makespan}");
+    }
+
+    #[test]
+    fn greedy_fallback_matches_enumeration_on_small_groups() {
+        let m = h2h_model::zoo::cnn_lstm();
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        let ev = Evaluator::new(&m, &sys);
+        let exhaustive = {
+            let cfg = H2hConfig { enumeration_cap: 1_000_000, ..Default::default() };
+            computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap().1
+        };
+        let greedy = {
+            let cfg = H2hConfig { enumeration_cap: 0, ..Default::default() };
+            computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap().1
+        };
+        // Greedy is a heuristic: allowed to be equal or slightly worse,
+        // never better than the exhaustive optimum of the same objective.
+        assert!(greedy.as_f64() >= exhaustive.as_f64() - 1e-9);
+        assert!(
+            greedy.as_f64() <= exhaustive.as_f64() * 1.25,
+            "greedy {greedy} too far from exhaustive {exhaustive}"
+        );
+    }
+
+    #[test]
+    fn unmappable_layer_reports_error() {
+        use h2h_model::layer::LayerClass;
+        let mut b = ModelBuilder::new("lstm-only");
+        let i = b.input("i", TensorShape::Sequence { steps: 8, features: 8 });
+        b.lstm("l", i, 16, 1, false).unwrap();
+        let m = b.finish().unwrap();
+        // System whose only accelerator cannot run LSTM.
+        let sys = const_system(
+            vec![ConstAccel::universal("convs", 1.0)
+                .with_classes(&[LayerClass::Conv, LayerClass::Aux])],
+            1e9,
+        );
+        let ev = Evaluator::new(&m, &sys);
+        let err = computation_prioritized(&ev, &H2hConfig::default(), &PinPreset::new());
+        assert!(matches!(err, Err(H2hError::NoCapableAccelerator { .. })));
+    }
+
+    #[test]
+    fn preset_pulls_layer_toward_buffered_weights() {
+        // Two identical accelerators; a weighted layer whose weights are
+        // buffered on acc 1 should map there (weight transfer saved).
+        let mut b = ModelBuilder::new("buf");
+        let i = b.input("i", TensorShape::Vector { features: 4096 });
+        let f = b.fc("f", i, 4096).unwrap();
+        let m = b.finish().unwrap();
+        let sys = const_system(
+            vec![ConstAccel::universal("u0", 0.5), ConstAccel::universal("u1", 0.5)],
+            1e6, // slow ethernet: weight transfer dominates
+        );
+        let ev = Evaluator::new(&m, &sys);
+        let mut preset = PinPreset::new();
+        preset.insert(f, h2h_system::system::AccId::new(1));
+        let (mapping, _) =
+            computation_prioritized(&ev, &H2hConfig::default(), &preset).unwrap();
+        assert_eq!(mapping.acc_of(f).index(), 1);
+    }
+}

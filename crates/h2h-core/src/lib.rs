@@ -1,0 +1,51 @@
+//! # h2h-core — the H2H mapping algorithm
+//!
+//! The primary contribution of *H2H: Heterogeneous Model to
+//! Heterogeneous System Mapping with Computation and Communication
+//! Awareness* (DAC'22): a four-step mapper that places the layers of a
+//! heterogeneous MMMT model onto a heterogeneous multi-accelerator
+//! system, trading a little computation efficiency for large
+//! communication savings.
+//!
+//! ```
+//! use h2h_core::H2hMapper;
+//! use h2h_system::system::{BandwidthClass, SystemSpec};
+//!
+//! let model = h2h_model::zoo::cnn_lstm();
+//! let system = SystemSpec::standard(BandwidthClass::LowMinus);
+//!
+//! let outcome = H2hMapper::new(&model, &system).run()?;
+//! println!(
+//!     "baseline {} -> H2H {} ({:.0}% latency reduction)",
+//!     outcome.baseline_latency(),
+//!     outcome.final_latency(),
+//!     outcome.latency_reduction() * 100.0
+//! );
+//! # Ok::<(), h2h_core::pipeline::H2hError>(())
+//! ```
+//!
+//! The per-step passes are public — [`compute_map`], [`weight_locality`]
+//! (with its [`knapsack`] solvers), [`activation_fusion`] and [`remap`] —
+//! as are the comparison mappers in [`baseline`] and the
+//! dynamic-modality extension in [`dynamic`] (paper §4.5).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activation_fusion;
+pub mod anneal;
+pub mod baseline;
+pub mod compute_map;
+pub mod config;
+pub mod dynamic;
+pub mod knapsack;
+pub mod pipeline;
+pub mod preset;
+pub mod remap;
+pub mod report;
+pub mod weight_locality;
+
+pub use config::{H2hConfig, KnapsackKind, MapObjective};
+pub use dynamic::{DynamicOutcome, DynamicSession};
+pub use pipeline::{H2hError, H2hMapper, H2hOutcome, Step, StepSnapshot};
+pub use preset::PinPreset;

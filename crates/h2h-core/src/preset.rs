@@ -1,0 +1,52 @@
+//! Pre-determined weight placements, the "modified Knapsack" input of
+//! the dynamic-modality extension (paper §4.5): weights already buffered
+//! in some accelerator's DRAM from a previous configuration.
+
+use std::collections::HashMap;
+
+use h2h_model::graph::LayerId;
+use h2h_system::system::AccId;
+
+/// A set of `layer → accelerator` weight residencies carried over from a
+/// previous mapping. Empty for the standard (static) H2H flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PinPreset {
+    entries: HashMap<LayerId, AccId>,
+}
+
+impl PinPreset {
+    /// An empty preset (standard flow).
+    pub fn new() -> Self {
+        PinPreset::default()
+    }
+
+    /// Records that `layer`'s weights are resident on `acc`.
+    pub fn insert(&mut self, layer: LayerId, acc: AccId) {
+        self.entries.insert(layer, acc);
+    }
+
+    /// Where `layer`'s weights are buffered, if anywhere.
+    pub fn buffered_at(&self, layer: LayerId) -> Option<AccId> {
+        self.entries.get(&layer).copied()
+    }
+
+    /// True if `layer`'s weights already sit on `acc`.
+    pub fn is_buffered(&self, layer: LayerId, acc: AccId) -> bool {
+        self.buffered_at(layer) == Some(acc)
+    }
+
+    /// Number of buffered layers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no weights are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(layer, acc)` residencies (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (LayerId, AccId)> + '_ {
+        self.entries.iter().map(|(l, a)| (*l, *a))
+    }
+}

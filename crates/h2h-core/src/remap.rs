@@ -1,0 +1,289 @@
+//! Step 4 — data-locality-aware remapping (paper §4.4).
+//!
+//! For every layer, attempt to re-allocate it onto an accelerator where
+//! one of its predecessors or successors already lives; re-run weight
+//! locality and activation fusion (steps 2–3) for the tentative mapping;
+//! accept the move iff the modeled end-to-end latency drops — trading a
+//! little computation efficiency for a lot of communication. Loops until
+//! a fixpoint (no accepted move in a full pass) or the configured pass
+//! bound.
+
+use std::collections::BTreeSet;
+
+use h2h_system::locality::LocalityState;
+use h2h_system::mapping::Mapping;
+use h2h_system::schedule::{Evaluator, Schedule};
+use h2h_system::system::AccId;
+
+use crate::activation_fusion::rebuild_locality;
+use crate::config::H2hConfig;
+use crate::preset::PinPreset;
+
+/// Outcome of the remapping loop.
+#[derive(Debug)]
+pub struct RemapOutcome {
+    /// Locality state of the accepted final mapping.
+    pub locality: LocalityState,
+    /// Schedule of the accepted final mapping.
+    pub schedule: Schedule,
+    /// Full passes executed.
+    pub passes: usize,
+    /// Accepted moves.
+    pub accepted_moves: usize,
+    /// Attempted moves (accepted + rejected).
+    pub attempted_moves: usize,
+}
+
+/// Runs the greedy remapping loop, mutating `mapping` in place.
+pub fn data_locality_remapping(
+    ev: &Evaluator<'_>,
+    cfg: &H2hConfig,
+    preset: &PinPreset,
+    mapping: &mut Mapping,
+) -> RemapOutcome {
+    let model = ev.model();
+    let system = ev.system();
+
+    let mut best_loc = rebuild_locality(ev, mapping, cfg, preset);
+    let mut best = ev.evaluate(mapping, &best_loc);
+    let mut best_score = cfg.objective.score(&best);
+    let mut passes = 0;
+    let mut accepted_moves = 0;
+    let mut attempted_moves = 0;
+
+    let order = model.topo_order();
+    while passes < cfg.remap_max_passes {
+        passes += 1;
+        let mut improved = false;
+        for &layer in &order {
+            let current = mapping.acc_of(layer);
+            // Candidate destinations: accelerators hosting a neighbour
+            // (deterministic order via BTreeSet).
+            let mut neighbours: BTreeSet<AccId> = model
+                .predecessors(layer)
+                .chain(model.successors(layer))
+                .filter_map(|n| mapping.get(n))
+                .collect();
+            neighbours.remove(&current);
+            for acc in neighbours {
+                if !system.acc(acc).supports(model.layer(layer)) {
+                    continue;
+                }
+                attempted_moves += 1;
+                mapping.set(layer, acc);
+                let loc = rebuild_locality(ev, mapping, cfg, preset);
+                let sched = ev.evaluate(mapping, &loc);
+                let score = cfg.objective.score(&sched);
+                if score + cfg.accept_epsilon < best_score {
+                    best = sched;
+                    best_score = score;
+                    best_loc = loc;
+                    accepted_moves += 1;
+                    improved = true;
+                    break; // greedy: take the move, go to the next layer
+                }
+                mapping.set(layer, current); // revert
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    RemapOutcome {
+        locality: best_loc,
+        schedule: best,
+        passes,
+        accepted_moves,
+        attempted_moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+    use h2h_system::testutil::{const_system, ConstAccel};
+
+    /// A chain whose middle layer starts on the "wrong" accelerator:
+    /// compute there is marginally faster but both neighbours live
+    /// elsewhere and the activations are huge.
+    fn setup() -> (h2h_model::ModelGraph, h2h_system::SystemSpec, Mapping) {
+        let mut b = ModelBuilder::new("r");
+        let i = b.input("i", TensorShape::Vector { features: 65536 });
+        let f1 = b.fc("f1", i, 65536).unwrap();
+        let f2 = b.fc("f2", f1, 65536).unwrap();
+        let f3 = b.fc("f3", f2, 64).unwrap();
+        let _ = f3;
+        let m = b.finish().unwrap();
+        // acc1 is slightly faster per layer; Ethernet is slow, so a
+        // 256 KiB activation round-trip (~0.5 s) dwarfs the 10 ms
+        // compute advantage.
+        let sys = const_system(
+            vec![
+                ConstAccel::universal("u0", 0.05),
+                ConstAccel::universal("u1", 0.04),
+            ],
+            1e6,
+        );
+        let ids = m.topo_order();
+        let mut map = Mapping::new(&m);
+        map.set(ids[0], AccId::new(0));
+        map.set(ids[1], AccId::new(0));
+        map.set(ids[2], AccId::new(1)); // the misplaced layer
+        map.set(ids[3], AccId::new(0));
+        (m, sys, map)
+    }
+
+    #[test]
+    fn remap_colocates_the_fc_chain() {
+        let (m, sys, mut map) = setup();
+        let ev = Evaluator::new(&m, &sys);
+        let cfg = H2hConfig::default();
+        let ids = m.topo_order();
+        let before = {
+            let loc = rebuild_locality(&ev, &map, &cfg, &PinPreset::new());
+            ev.evaluate(&map, &loc).makespan()
+        };
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut map);
+        // The optimizer may gather the chain on either accelerator (the
+        // mirror solutions tie up to compute speed); what matters is
+        // that f1/f2/f3 end up together so both edges fuse.
+        let accs: std::collections::HashSet<usize> =
+            ids[1..].iter().map(|id| map.acc_of(*id).index()).collect();
+        assert_eq!(accs.len(), 1, "f1/f2/f3 should co-locate, got {accs:?}");
+        assert!(out.schedule.makespan() < before);
+        assert!(out.accepted_moves >= 1);
+        assert!(out.passes >= 1);
+    }
+
+    #[test]
+    fn remapping_never_increases_latency() {
+        // Invariant of the accept-only-if-better rule, checked on every
+        // zoo model at the lowest bandwidth.
+        use h2h_system::system::{BandwidthClass, SystemSpec};
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        let cfg = H2hConfig::default();
+        for model in h2h_model::zoo::all_models().into_iter().take(3) {
+            let ev = Evaluator::new(&model, &sys);
+            let (mut mapping, _) = crate::compute_map::computation_prioritized(
+                &ev,
+                &cfg,
+                &PinPreset::new(),
+            )
+            .unwrap();
+            let before = {
+                let loc = rebuild_locality(&ev, &mapping, &cfg, &PinPreset::new());
+                ev.evaluate(&mapping, &loc).makespan()
+            };
+            let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+            assert!(
+                out.schedule.makespan() <= before,
+                "{}: {} -> {}",
+                model.name(),
+                before,
+                out.schedule.makespan()
+            );
+            mapping.validate(&model, &sys).unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_passes_config_is_a_no_op() {
+        let (m, sys, mut map) = setup();
+        let ev = Evaluator::new(&m, &sys);
+        let cfg = H2hConfig { remap_max_passes: 0, ..Default::default() };
+        let before = map.clone();
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut map);
+        assert_eq!(map, before);
+        assert_eq!(out.accepted_moves, 0);
+        assert_eq!(out.passes, 0);
+    }
+
+    #[test]
+    fn fixpoint_terminates_before_pass_bound() {
+        let (m, sys, mut map) = setup();
+        let ev = Evaluator::new(&m, &sys);
+        let cfg = H2hConfig { remap_max_passes: 100, ..Default::default() };
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut map);
+        assert!(out.passes < 100, "tiny model must converge quickly");
+    }
+
+    #[test]
+    fn energy_objective_never_increases_energy() {
+        use crate::config::MapObjective;
+        use h2h_system::system::{BandwidthClass, SystemSpec};
+        let model = h2h_model::zoo::mocap();
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        let ev = Evaluator::new(&model, &sys);
+        let cfg = H2hConfig { objective: MapObjective::Energy, ..Default::default() };
+        let (mut mapping, _) = crate::compute_map::computation_prioritized(
+            &ev,
+            &cfg,
+            &PinPreset::new(),
+        )
+        .unwrap();
+        let before = {
+            let loc = rebuild_locality(&ev, &mapping, &cfg, &PinPreset::new());
+            ev.evaluate(&mapping, &loc).energy().total()
+        };
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+        assert!(
+            out.schedule.energy().total() <= before,
+            "energy objective must not raise energy: {} -> {}",
+            before,
+            out.schedule.energy().total()
+        );
+    }
+
+    #[test]
+    fn throughput_objective_minimizes_the_bottleneck() {
+        use crate::config::MapObjective;
+        use h2h_system::system::{BandwidthClass, SystemSpec};
+        let model = h2h_model::zoo::casia_surf();
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        let run = |objective| {
+            let cfg = H2hConfig { objective, ..Default::default() };
+            crate::pipeline::H2hMapper::new(&model, &sys)
+                .with_config(cfg)
+                .run()
+                .unwrap()
+        };
+        let lat_run = run(MapObjective::Latency);
+        let thr_run = run(MapObjective::Throughput);
+        assert!(
+            thr_run.schedule.steady_state_throughput()
+                >= lat_run.schedule.steady_state_throughput() - 1e-9,
+            "throughput objective must not lose its own metric: {} vs {}",
+            thr_run.schedule.steady_state_throughput(),
+            lat_run.schedule.steady_state_throughput()
+        );
+        // Physics: pipelined throughput is at least one finished
+        // inference per makespan.
+        assert!(
+            thr_run.schedule.steady_state_throughput()
+                >= 1.0 / thr_run.final_latency().as_f64() - 1e-9
+        );
+    }
+
+    #[test]
+    fn energy_objective_trades_latency_for_joules() {
+        use crate::config::MapObjective;
+        use h2h_system::system::{BandwidthClass, SystemSpec};
+        let model = h2h_model::zoo::cnn_lstm();
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        let run = |objective| {
+            let cfg = H2hConfig { objective, ..Default::default() };
+            crate::pipeline::H2hMapper::new(&model, &sys)
+                .with_config(cfg)
+                .run()
+                .unwrap()
+        };
+        let lat_run = run(MapObjective::Latency);
+        let en_run = run(MapObjective::Energy);
+        // Each objective wins (weakly) on its own metric.
+        assert!(lat_run.final_latency() <= en_run.final_latency());
+        assert!(en_run.final_energy() <= lat_run.final_energy());
+    }
+}

@@ -1,0 +1,192 @@
+//! Mapping inspection reports: per-accelerator utilization and the
+//! cross-accelerator transfer matrix — the quantities a deployment
+//! engineer checks before trusting a mapping.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use h2h_model::layer::LayerOp;
+use h2h_model::tensor::DataType;
+use h2h_model::units::{Bytes, Seconds};
+use h2h_system::locality::LocalityState;
+use h2h_system::mapping::Mapping;
+use h2h_system::schedule::{Evaluator, Schedule};
+
+/// Per-accelerator summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccRow {
+    /// Catalog id (e.g. `"XW"`).
+    pub acc: String,
+    /// Layers mapped here.
+    pub layers: usize,
+    /// Weight bytes resident (pinned) here.
+    pub pinned: Bytes,
+    /// Total weight bytes of layers mapped here.
+    pub weights: Bytes,
+    /// Busy time.
+    pub busy: Seconds,
+}
+
+/// A full mapping report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingReport {
+    /// One row per *used* accelerator, in id order.
+    pub rows: Vec<AccRow>,
+    /// Ethernet bytes exchanged between accelerator pairs
+    /// (`(producer, consumer) → bytes`), host-mediated.
+    pub transfers: BTreeMap<(String, String), Bytes>,
+    /// Bytes arriving from the host (model inputs + unfused weights).
+    pub host_ingress: Bytes,
+    /// End-to-end latency.
+    pub makespan: Seconds,
+}
+
+/// Builds the report for a mapped, scheduled model.
+pub fn mapping_report(
+    ev: &Evaluator<'_>,
+    mapping: &Mapping,
+    locality: &LocalityState,
+    schedule: &Schedule,
+) -> MappingReport {
+    let model = ev.model();
+    let system = ev.system();
+
+    let mut rows = Vec::new();
+    for acc in system.acc_ids() {
+        let ids: Vec<_> = model
+            .layer_ids()
+            .filter(|id| mapping.get(*id) == Some(acc))
+            .collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let weights: Bytes = ids
+            .iter()
+            .map(|id| model.layer(*id).weight_bytes(DataType::F32))
+            .sum();
+        let pinned: Bytes = ids
+            .iter()
+            .filter(|id| locality.is_pinned(**id))
+            .map(|id| model.layer(*id).weight_bytes(DataType::F32))
+            .sum();
+        rows.push(AccRow {
+            acc: system.acc(acc).meta().id.clone(),
+            layers: ids.len(),
+            pinned,
+            weights,
+            busy: schedule.per_acc_busy()[acc.index()],
+        });
+    }
+
+    let mut transfers: BTreeMap<(String, String), Bytes> = BTreeMap::new();
+    let mut host_ingress = Bytes::ZERO;
+    for (from, to, e) in model.edges() {
+        let pa = mapping.acc_of(from);
+        let ca = mapping.acc_of(to);
+        let from_input = matches!(model.layer(from).op(), LayerOp::Input { .. });
+        if from_input {
+            host_ingress += e.bytes();
+            continue;
+        }
+        let fused = locality.is_fused(from, to) && pa == ca;
+        if !fused && pa != ca {
+            let key = (
+                system.acc(pa).meta().id.clone(),
+                system.acc(ca).meta().id.clone(),
+            );
+            *transfers.entry(key).or_insert(Bytes::ZERO) += e.bytes();
+        }
+    }
+    for (id, layer) in model.layers() {
+        if layer.has_weights() && !locality.is_pinned(id) {
+            host_ingress += layer.weight_bytes(DataType::F32);
+        }
+    }
+
+    MappingReport { rows, transfers, host_ingress, makespan: schedule.makespan() }
+}
+
+impl fmt::Display for MappingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mapping report — makespan {}", self.makespan)?;
+        writeln!(
+            f,
+            "  {:<5} {:>7} {:>12} {:>12} {:>12}",
+            "acc", "layers", "weights", "pinned", "busy"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<5} {:>7} {:>12} {:>12} {:>12}",
+                r.acc,
+                r.layers,
+                format!("{}", r.weights),
+                format!("{}", r.pinned),
+                format!("{}", r.busy),
+            )?;
+        }
+        writeln!(f, "  host ingress (inputs + streamed weights): {}", self.host_ingress)?;
+        if self.transfers.is_empty() {
+            writeln!(f, "  no cross-accelerator activation traffic")?;
+        } else {
+            writeln!(f, "  cross-accelerator activation traffic (via host):")?;
+            for ((a, b), bytes) in &self.transfers {
+                writeln!(f, "    {a:<5} -> {b:<5} {bytes}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::H2hMapper;
+    use h2h_system::system::{BandwidthClass, SystemSpec};
+
+    #[test]
+    fn report_covers_all_mapped_layers() {
+        let model = h2h_model::zoo::mocap();
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let out = H2hMapper::new(&model, &system).run().unwrap();
+        let ev = Evaluator::new(&model, &system);
+        let rep = mapping_report(&ev, &out.mapping, &out.locality, &out.schedule);
+        let total_layers: usize = rep.rows.iter().map(|r| r.layers).sum();
+        assert_eq!(total_layers, model.num_layers());
+        assert_eq!(rep.makespan, out.final_latency());
+        assert!(rep.host_ingress > Bytes::ZERO, "inputs always stream in");
+    }
+
+    #[test]
+    fn h2h_shrinks_the_transfer_matrix() {
+        use crate::baseline::computation_prioritized_baseline;
+        let model = h2h_model::zoo::mocap();
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let ev = Evaluator::new(&model, &system);
+        let base = computation_prioritized_baseline(&ev, &crate::H2hConfig::default()).unwrap();
+        let h2h = H2hMapper::new(&model, &system).run().unwrap();
+        let base_rep = mapping_report(&ev, &base.mapping, &base.locality, &base.schedule);
+        let h2h_rep = mapping_report(&ev, &h2h.mapping, &h2h.locality, &h2h.schedule);
+        let sum = |r: &MappingReport| -> u64 {
+            r.transfers.values().map(|b| b.as_u64()).sum()
+        };
+        assert!(
+            sum(&h2h_rep) < sum(&base_rep),
+            "H2H should cut cross-accelerator traffic: {} vs {}",
+            sum(&h2h_rep),
+            sum(&base_rep)
+        );
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let model = h2h_model::zoo::cnn_lstm();
+        let system = SystemSpec::standard(BandwidthClass::Mid);
+        let out = H2hMapper::new(&model, &system).run().unwrap();
+        let ev = Evaluator::new(&model, &system);
+        let rep = mapping_report(&ev, &out.mapping, &out.locality, &out.schedule);
+        let shown = format!("{rep}");
+        assert!(shown.contains("mapping report"));
+        assert!(shown.contains("host ingress"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Step 2 — weight-locality optimization (paper §4.2).
+//!
+//! For each accelerator, a knapsack packs layer weights into the local
+//! DRAM budget (`M_acc`); pinned layers stop streaming weights over
+//! Ethernet. Item value is the saved transfer time
+//! `bytes · (1/BW_eth − 1/BW_dram)`, so at equal density the solver
+//! maximizes pinned bytes — the paper's "as much as possible" objective.
+//! A [`PinPreset`] (dynamic modality change, §4.5) force-pins carried-
+//! over weights before the knapsack packs what remains.
+
+use h2h_model::tensor::DataType;
+use h2h_model::units::Bytes;
+use h2h_system::locality::LocalityState;
+use h2h_system::mapping::Mapping;
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::AccId;
+
+use crate::config::KnapsackKind;
+use crate::knapsack::{solve_auto, solve_dp, solve_greedy, Item};
+use crate::preset::PinPreset;
+
+/// Runs the weight-locality pass on top of `base` (usually a fresh
+/// zero-locality state) and returns the updated state.
+pub fn weight_locality_opt(
+    ev: &Evaluator<'_>,
+    mapping: &Mapping,
+    base: LocalityState,
+    kind: KnapsackKind,
+    preset: &PinPreset,
+) -> LocalityState {
+    let model = ev.model();
+    let system = ev.system();
+    let eth = system.ethernet().as_f64();
+    let mut loc = base;
+
+    // Forced pins first: weights already resident from a previous
+    // configuration keep their slot as long as the layer still maps to
+    // that accelerator.
+    for (layer, acc) in preset.iter() {
+        if mapping.get(layer) == Some(acc) && model.layer(layer).has_weights() {
+            // Capacity can refuse if the new configuration shrank the
+            // budget; the knapsack below then competes for the slot.
+            let _ = loc.try_pin(model, system, layer, acc);
+        }
+    }
+
+    for acc in system.acc_ids() {
+        let dram = system.acc(acc).dram_bandwidth().as_f64();
+        let items: Vec<Item> = model
+            .layers()
+            .filter(|(id, layer)| {
+                mapping.get(*id) == Some(acc) && layer.has_weights() && !loc.is_pinned(*id)
+            })
+            .map(|(id, layer)| {
+                let bytes = layer.weight_bytes(DataType::F32).as_u64();
+                Item {
+                    id: id.index(),
+                    weight: bytes,
+                    value: bytes as f64 * (1.0 / eth - 1.0 / dram),
+                }
+            })
+            .collect();
+        if items.is_empty() {
+            continue;
+        }
+        let capacity = loc.dram_free(acc, system).as_u64();
+        let chosen = match kind {
+            KnapsackKind::Dp => solve_dp(&items, capacity),
+            KnapsackKind::Greedy => solve_greedy(&items, capacity),
+            KnapsackKind::Auto => solve_auto(&items, capacity),
+        };
+        for idx in chosen {
+            let layer = model
+                .layer_ids()
+                .find(|l| l.index() == idx)
+                .expect("knapsack ids come from the model");
+            let ok = loc.try_pin(model, system, layer, acc);
+            debug_assert!(ok, "knapsack selections must fit the DRAM budget");
+        }
+    }
+    loc
+}
+
+/// Total weight bytes mapped to `acc` (reporting helper).
+pub fn weight_bytes_on(ev: &Evaluator<'_>, mapping: &Mapping, acc: AccId) -> Bytes {
+    ev.model()
+        .layers()
+        .filter(|(id, _)| mapping.get(*id) == Some(acc))
+        .map(|(_, l)| l.weight_bytes(DataType::F32))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+    use h2h_system::system::AccId;
+    use h2h_system::testutil::{const_system, ConstAccel};
+
+    /// Three FC layers of 256 MiB each on a 512 MiB accelerator.
+    fn setup() -> (h2h_model::ModelGraph, h2h_system::SystemSpec, Mapping) {
+        let mut b = ModelBuilder::new("w");
+        let i = b.input("i", TensorShape::Vector { features: 8192 });
+        let f1 = b.fc("f1", i, 8192).unwrap();
+        let f2 = b.fc("f2", f1, 8192).unwrap();
+        b.fc("f3", f2, 8192).unwrap();
+        let m = b.finish().unwrap();
+        let sys = const_system(
+            vec![ConstAccel::universal("u", 1e-3).with_dram(Bytes::from_mib(600))],
+            1e6,
+        );
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        (m, sys, map)
+    }
+
+    #[test]
+    fn pins_as_much_as_fits() {
+        let (m, sys, map) = setup();
+        let ev = Evaluator::new(&m, &sys);
+        for kind in [KnapsackKind::Dp, KnapsackKind::Greedy, KnapsackKind::Auto] {
+            let loc = weight_locality_opt(
+                &ev,
+                &map,
+                LocalityState::new(&sys),
+                kind,
+                &PinPreset::new(),
+            );
+            // 600 MiB budget, 256 MiB items -> exactly 2 pinned.
+            assert_eq!(loc.num_pinned(), 2, "{kind:?}");
+            assert!(loc.total_pinned_bytes(&m) <= Bytes::from_mib(600));
+        }
+    }
+
+    #[test]
+    fn pinning_never_hurts_latency() {
+        let (m, sys, map) = setup();
+        let ev = Evaluator::new(&m, &sys);
+        let before = ev.evaluate(&map, &LocalityState::new(&sys));
+        let loc = weight_locality_opt(
+            &ev,
+            &map,
+            LocalityState::new(&sys),
+            KnapsackKind::Auto,
+            &PinPreset::new(),
+        );
+        let after = ev.evaluate(&map, &loc);
+        assert!(after.makespan() < before.makespan());
+    }
+
+    #[test]
+    fn preset_pins_take_priority() {
+        let (m, sys, map) = setup();
+        let ev = Evaluator::new(&m, &sys);
+        let ids = m.topo_order();
+        // Force-pin f3 (which the plain knapsack would not prefer over
+        // f1/f2 — all equal value, ties broken by order).
+        let mut preset = PinPreset::new();
+        preset.insert(ids[3], AccId::new(0));
+        let loc = weight_locality_opt(
+            &ev,
+            &map,
+            LocalityState::new(&sys),
+            KnapsackKind::Auto,
+            &preset,
+        );
+        assert!(loc.is_pinned(ids[3]), "preset layer must stay pinned");
+        assert_eq!(loc.num_pinned(), 2);
+    }
+
+    #[test]
+    fn preset_ignored_when_layer_moved_away() {
+        let (m, sys, mut map) = setup();
+        let sys2 = const_system(
+            vec![
+                ConstAccel::universal("u0", 1e-3).with_dram(Bytes::from_mib(600)),
+                ConstAccel::universal("u1", 1e-3).with_dram(Bytes::from_mib(600)),
+            ],
+            1e6,
+        );
+        let ids = m.topo_order();
+        // Preset says f3's weights live on acc 0, but f3 now maps to 1.
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(1));
+        }
+        let ev = Evaluator::new(&m, &sys2);
+        let mut preset = PinPreset::new();
+        preset.insert(ids[3], AccId::new(0));
+        let loc = weight_locality_opt(
+            &ev,
+            &map,
+            LocalityState::new(&sys2),
+            KnapsackKind::Auto,
+            &preset,
+        );
+        // Nothing pinned on acc 0; knapsack fills acc 1 normally.
+        assert_eq!(loc.dram_used(AccId::new(0)), Bytes::ZERO);
+        assert_eq!(loc.num_pinned(), 2);
+        let _ = sys;
+    }
+}

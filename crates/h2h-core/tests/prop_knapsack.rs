@@ -1,0 +1,60 @@
+//! Property tests on the knapsack solvers backing weight locality.
+
+use proptest::prelude::*;
+
+use h2h_core::knapsack::{selection_value, selection_weight, solve_dp, solve_greedy, Item};
+
+fn items_strategy() -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec((1u64..100_000, 0.0f64..1000.0), 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(id, (weight, value))| Item { id, weight, value })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn both_solvers_respect_capacity(items in items_strategy(), cap in 0u64..500_000) {
+        for chosen in [solve_dp(&items, cap), solve_greedy(&items, cap)] {
+            prop_assert!(selection_weight(&items, &chosen) <= cap);
+            // Chosen ids are unique and refer to real items.
+            let mut sorted = chosen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), chosen.len());
+            prop_assert!(chosen.iter().all(|id| *id < items.len()));
+        }
+    }
+
+    #[test]
+    fn dp_weakly_dominates_greedy_on_small_capacities(
+        items in items_strategy(),
+        cap in 1u64..4096,
+    ) {
+        // cap < DP grid => cell size 1 => DP is exact.
+        let dp = solve_dp(&items, cap);
+        let greedy = solve_greedy(&items, cap);
+        prop_assert!(
+            selection_value(&items, &dp) >= selection_value(&items, &greedy) - 1e-9
+        );
+    }
+
+    #[test]
+    fn free_capacity_takes_all_valuable_items(items in items_strategy()) {
+        // Twice the total weight: genuinely free capacity. (Exactly the
+        // total is *not* guaranteed — the scaled DP rounds item weights
+        // up to its grid, deliberately conservative on exact fits.)
+        let total: u64 = items.iter().map(|i| i.weight).sum();
+        let chosen = solve_dp(&items, total * 2 + 1);
+        let valuable = items.iter().filter(|i| i.value > 0.0).count();
+        prop_assert_eq!(chosen.len(), valuable);
+    }
+
+    #[test]
+    fn value_of_selection_is_monotone_in_capacity(items in items_strategy(), cap in 1u64..200_000) {
+        let small = selection_value(&items, &solve_greedy(&items, cap));
+        let large = selection_value(&items, &solve_greedy(&items, cap * 2));
+        prop_assert!(large >= small - 1e-9, "greedy value fell with more capacity");
+    }
+}

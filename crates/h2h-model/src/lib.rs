@@ -1,0 +1,58 @@
+//! # h2h-model — heterogeneous MMMT model formalism
+//!
+//! The model half of the H2H (DAC'22) formulation: multi-modality
+//! multi-task (MMMT) DNNs as directed acyclic graphs of Conv / FC / LSTM
+//! layers (paper §3, Table 1), plus the six-model evaluation zoo
+//! (paper Table 2).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use h2h_model::builder::ModelBuilder;
+//! use h2h_model::stats::ModelStats;
+//! use h2h_model::tensor::TensorShape;
+//!
+//! // A two-modality toy model with a fusion head.
+//! let mut b = ModelBuilder::new("toy-mmmt");
+//! b.modality(Some("vision"));
+//! let img = b.input("img", TensorShape::Feature { c: 3, h: 64, w: 64 });
+//! let conv = b.conv("conv", img, 32, 3, 2)?;
+//! let feat = b.global_pool("gap", conv)?;
+//! b.modality(Some("audio"));
+//! let wav = b.input("wav", TensorShape::Sequence { steps: 128, features: 40 });
+//! let lstm = b.lstm("lstm", wav, 64, 1, false)?;
+//! b.modality(None);
+//! let fused = b.concat("fuse", &[feat, lstm])?;
+//! b.fc("head", fused, 10)?;
+//! let model = b.finish()?;
+//!
+//! let stats = ModelStats::of(&model);
+//! assert_eq!(stats.modalities.len(), 2);
+//! # Ok::<(), h2h_model::graph::ModelError>(())
+//! ```
+//!
+//! The real evaluation models live in [`zoo`]:
+//!
+//! ```
+//! let vlocnet = h2h_model::zoo::vlocnet();
+//! assert!(h2h_model::stats::ModelStats::of(&vlocnet).params_m() > 150.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod blocks;
+pub mod builder;
+pub mod graph;
+pub mod layer;
+pub mod parse;
+pub mod stats;
+pub mod synth;
+pub mod tensor;
+pub mod units;
+pub mod zoo;
+
+pub use graph::{LayerId, ModelError, ModelGraph};
+pub use layer::{Layer, LayerClass, LayerOp};
+pub use stats::ModelStats;
+pub use tensor::{DataType, TensorShape};

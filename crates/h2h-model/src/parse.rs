@@ -1,0 +1,382 @@
+//! Text-format model ingestion — the glue that lets externally exported
+//! DNN graphs (e.g. dumped from a framework's tracer) enter the H2H
+//! pipeline without writing Rust.
+//!
+//! The format is line-based; one layer per line, `#` comments, layers
+//! referenced by name, an optional trailing `@modality` tag:
+//!
+//! ```text
+//! model tiny-demo
+//! input  cam   img 3 64 64        @vision
+//! conv   c1    cam 32 3 2         @vision
+//! gap    feat  c1                 @vision
+//! input  txt   seq 128 300        @text
+//! lstm   enc   txt 128 1 last     @text
+//! concat fuse  feat enc
+//! fc     head  fuse 10
+//! ```
+//!
+//! Grammar per op:
+//!
+//! | line | meaning |
+//! |------|---------|
+//! | `model <name>` | model name (first non-comment line) |
+//! | `input <name> img <c> <h> <w>` | image input |
+//! | `input <name> vec <features>` | vector input |
+//! | `input <name> seq <steps> <features>` | sequence input |
+//! | `conv <name> <from> <out_c> <k> <s>` | 2-D convolution |
+//! | `conv1d <name> <from> <out_c> <k> <s>` | 1-D convolution |
+//! | `fc <name> <from> <out>` | fully connected |
+//! | `lstm <name> <from> <hidden> <layers> seq\|last` | LSTM stack |
+//! | `maxpool\|avgpool <name> <from> <k> <s>` | pooling |
+//! | `gap <name> <from>` | global average pool |
+//! | `add <name> <a> <b> [...]` | residual add |
+//! | `concat <name> <a> <b> [...]` | concatenation |
+//! | `toseq <name> <from>` | feature map → sequence bridge |
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::builder::ModelBuilder;
+use crate::graph::{LayerId, ModelError, ModelGraph};
+use crate::tensor::TensorShape;
+
+/// Errors raised while parsing a model description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Lexical or arity problem on a line (1-based line number, message).
+    Syntax(usize, String),
+    /// A layer line references an unknown source name.
+    UnknownName(usize, String),
+    /// The resulting graph violates a model constraint.
+    Model(ModelError),
+    /// The description contains no layers.
+    Empty,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+            ParseError::UnknownName(line, name) => {
+                write!(f, "line {line}: unknown layer `{name}`")
+            }
+            ParseError::Model(e) => write!(f, "model error: {e}"),
+            ParseError::Empty => write!(f, "no layers in description"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+fn parse_u32(line: usize, tok: &str, what: &str) -> Result<u32, ParseError> {
+    tok.parse::<u32>()
+        .map_err(|_| ParseError::Syntax(line, format!("bad {what} `{tok}`")))
+}
+
+/// Parses a model description (see module docs for the grammar).
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered; the graph is validated
+/// before being returned.
+pub fn parse_model(text: &str) -> Result<ModelGraph, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut b: Option<ModelBuilder> = None;
+    let mut by_name: HashMap<String, LayerId> = HashMap::new();
+    let mut any_layer = false;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Optional trailing @modality tag.
+        let (line, modality) = match line.rsplit_once('@') {
+            Some((head, tag)) if !tag.trim().is_empty() => {
+                (head.trim(), Some(tag.trim().to_owned()))
+            }
+            _ => (line, None),
+        };
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let op = toks[0];
+
+        if op == "model" {
+            if toks.len() != 2 {
+                return Err(ParseError::Syntax(ln, "model takes one name".into()));
+            }
+            name = toks[1].to_owned();
+            continue;
+        }
+        let builder = b.get_or_insert_with(|| ModelBuilder::new(name.clone()));
+        builder.modality(modality.as_deref());
+
+        let need = |n: usize| -> Result<(), ParseError> {
+            if toks.len() == n {
+                Ok(())
+            } else {
+                Err(ParseError::Syntax(
+                    ln,
+                    format!("`{op}` expects {} operands, got {}", n - 1, toks.len() - 1),
+                ))
+            }
+        };
+        let lookup = |tok: &str, map: &HashMap<String, LayerId>| -> Result<LayerId, ParseError> {
+            map.get(tok)
+                .copied()
+                .ok_or_else(|| ParseError::UnknownName(ln, tok.to_owned()))
+        };
+
+        let id = match op {
+            "input" => {
+                if toks.len() < 4 {
+                    return Err(ParseError::Syntax(ln, "input needs a kind".into()));
+                }
+                let shape = match toks[2] {
+                    "img" => {
+                        need(6)?;
+                        TensorShape::Feature {
+                            c: parse_u32(ln, toks[3], "channels")?,
+                            h: parse_u32(ln, toks[4], "height")?,
+                            w: parse_u32(ln, toks[5], "width")?,
+                        }
+                    }
+                    "vec" => {
+                        need(4)?;
+                        TensorShape::Vector { features: parse_u32(ln, toks[3], "features")? }
+                    }
+                    "seq" => {
+                        need(5)?;
+                        TensorShape::Sequence {
+                            steps: parse_u32(ln, toks[3], "steps")?,
+                            features: parse_u32(ln, toks[4], "features")?,
+                        }
+                    }
+                    other => {
+                        return Err(ParseError::Syntax(
+                            ln,
+                            format!("unknown input kind `{other}` (img|vec|seq)"),
+                        ))
+                    }
+                };
+                builder.input(toks[1], shape)
+            }
+            "conv" | "conv1d" => {
+                need(6)?;
+                let from = lookup(toks[2], &by_name)?;
+                let c = parse_u32(ln, toks[3], "channels")?;
+                let k = parse_u32(ln, toks[4], "kernel")?;
+                let s = parse_u32(ln, toks[5], "stride")?;
+                if op == "conv" {
+                    builder.conv(toks[1], from, c, k, s)?
+                } else {
+                    builder.conv1d(toks[1], from, c, k, s)?
+                }
+            }
+            "fc" => {
+                need(4)?;
+                let from = lookup(toks[2], &by_name)?;
+                builder.fc(toks[1], from, parse_u32(ln, toks[3], "features")?)?
+            }
+            "lstm" => {
+                need(6)?;
+                let from = lookup(toks[2], &by_name)?;
+                let hidden = parse_u32(ln, toks[3], "hidden")?;
+                let layers = parse_u32(ln, toks[4], "layers")?;
+                let return_sequences = match toks[5] {
+                    "seq" => true,
+                    "last" => false,
+                    other => {
+                        return Err(ParseError::Syntax(
+                            ln,
+                            format!("lstm mode `{other}` (seq|last)"),
+                        ))
+                    }
+                };
+                builder.lstm(toks[1], from, hidden, layers, return_sequences)?
+            }
+            "maxpool" | "avgpool" => {
+                need(5)?;
+                let from = lookup(toks[2], &by_name)?;
+                let k = parse_u32(ln, toks[3], "kernel")?;
+                let s = parse_u32(ln, toks[4], "stride")?;
+                if op == "maxpool" {
+                    builder.max_pool(toks[1], from, k, s)?
+                } else {
+                    builder.avg_pool(toks[1], from, k, s)?
+                }
+            }
+            "gap" => {
+                need(3)?;
+                let from = lookup(toks[2], &by_name)?;
+                builder.global_pool(toks[1], from)?
+            }
+            "toseq" => {
+                need(3)?;
+                let from = lookup(toks[2], &by_name)?;
+                builder.to_sequence(toks[1], from)?
+            }
+            "add" | "concat" => {
+                if toks.len() < 4 {
+                    return Err(ParseError::Syntax(ln, format!("`{op}` needs >=2 sources")));
+                }
+                let srcs: Result<Vec<LayerId>, ParseError> =
+                    toks[2..].iter().map(|t| lookup(t, &by_name)).collect();
+                let srcs = srcs?;
+                if op == "add" {
+                    builder.add(toks[1], &srcs)?
+                } else {
+                    builder.concat(toks[1], &srcs)?
+                }
+            }
+            other => {
+                return Err(ParseError::Syntax(ln, format!("unknown op `{other}`")));
+            }
+        };
+        if by_name.insert(toks[1].to_owned(), id).is_some() {
+            return Err(ParseError::Model(ModelError::DuplicateName(toks[1].to_owned())));
+        }
+        any_layer = true;
+    }
+
+    if !any_layer {
+        return Err(ParseError::Empty);
+    }
+    Ok(b.expect("layers imply a builder").finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ModelStats;
+
+    const DEMO: &str = r"
+# A two-modality toy (the module-docs example).
+model tiny-demo
+input  cam   img 3 64 64        @vision
+conv   c1    cam 32 3 2         @vision
+gap    feat  c1                 @vision
+input  txt   seq 128 300        @text
+lstm   enc   txt 128 1 last     @text
+concat fuse  feat enc
+fc     head  fuse 10
+";
+
+    #[test]
+    fn demo_parses_and_validates() {
+        let m = parse_model(DEMO).unwrap();
+        assert_eq!(m.name(), "tiny-demo");
+        assert_eq!(m.num_layers(), 7);
+        let s = ModelStats::of(&m);
+        assert_eq!(s.modalities, vec!["text".to_owned(), "vision".to_owned()]);
+        assert_eq!(s.conv_layers, 1);
+        assert_eq!(s.lstm_layers, 1);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        let text = r"
+model everything
+input a img 8 32 32
+conv c a 16 3 1
+maxpool p c 2 2
+avgpool q p 2 2
+toseq ts q
+lstm l ts 32 2 seq
+conv1d c1 l 16 3 2
+input v vec 64
+fc f v 64
+add s f f2   # forward reference error exercised below; here use valid:
+";
+        // The `add` line references `f2` which does not exist -> error.
+        assert!(matches!(parse_model(text), Err(ParseError::UnknownName(_, n)) if n == "f2"));
+
+        let ok = r"
+model everything
+input a img 8 32 32
+conv c a 16 3 1
+maxpool p c 2 2
+avgpool q p 2 2
+gap g q
+input v vec 576
+fc f v 576
+fc f2 f 576
+add s f f2
+concat cat s g
+fc head cat 4
+";
+        let m = parse_model(ok).unwrap();
+        assert_eq!(m.num_layers(), 11);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let m = parse_model("# lead\n\nmodel x\ninput i vec 4 # trailing\nfc f i 2\n").unwrap();
+        assert_eq!(m.num_layers(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        match parse_model("model x\ninput i vec four\n") {
+            Err(ParseError::Syntax(2, msg)) => assert!(msg.contains("four")),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        match parse_model("model x\nfrobnicate f\n") {
+            Err(ParseError::Syntax(2, msg)) => assert!(msg.contains("frobnicate")),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        assert!(matches!(
+            parse_model("input i img 3 64\n"),
+            Err(ParseError::Syntax(1, _))
+        ));
+        assert!(matches!(
+            parse_model("model a b\n"),
+            Err(ParseError::Syntax(1, _))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let text = "input i vec 4\nfc i i 2\n";
+        assert!(matches!(
+            parse_model(text),
+            Err(ParseError::Model(ModelError::DuplicateName(_)))
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse_model("# nothing\n"), Err(ParseError::Empty)));
+        assert!(matches!(parse_model(""), Err(ParseError::Empty)));
+    }
+
+    #[test]
+    fn shape_errors_surface_as_model_errors() {
+        // LSTM from a vector input is a shape mismatch.
+        let text = "input i vec 4\nlstm l i 8 1 last\n";
+        assert!(matches!(
+            parse_model(text),
+            Err(ParseError::Model(ModelError::ShapeMismatch(_)))
+        ));
+    }
+
+    #[test]
+    fn parsed_model_maps_end_to_end() {
+        // The ingestion glue feeds the real pipeline.
+        let m = parse_model(DEMO).unwrap();
+        assert!(m.param_count() > 0);
+        assert!(m.total_macs().as_u64() > 0);
+    }
+}

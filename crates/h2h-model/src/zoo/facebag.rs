@@ -1,0 +1,87 @@
+//! FaceBagNet (Shen et al., CVPR-W'19): bag-of-local-features model for
+//! multi-modal face anti-spoofing. ResNet variants, ≈25M parameters
+//! (paper Table 2).
+//!
+//! Reconstruction: three patch-level ResNet-18-variant branches (RGB,
+//! Depth, IR) at 0.75 width over random face patches, with a late
+//! feature-level fusion trunk of residual blocks — FaceBagNet's "modal
+//! feature erasing" operates at this fusion trunk, which we model as
+//! shared (untagged) layers.
+
+use crate::blocks::{basic_block, image_input, resnet18_trunk, scale_channels};
+use crate::builder::ModelBuilder;
+use crate::graph::{ModelError, ModelGraph};
+
+const WIDTH: f64 = 0.75;
+
+/// Builds FaceBag.
+///
+/// # Panics
+///
+/// Panics only on internal shape-rule violations, ruled out by tests.
+pub fn facebag() -> ModelGraph {
+    try_build().expect("facebag generator is shape-consistent")
+}
+
+fn try_build() -> Result<ModelGraph, ModelError> {
+    let mut b = ModelBuilder::new("FaceBag");
+
+    let mut feats = Vec::new();
+    for modality in ["rgb", "depth", "ir"] {
+        b.modality(Some(modality));
+        // Patch input: FaceBagNet trains on 48×48 patches; at inference
+        // we model the 96×96 center-crop variant.
+        let input = image_input(&mut b, &format!("{modality}_patch"), 96);
+        let trunk = resnet18_trunk(&mut b, modality, input, WIDTH)?;
+        feats.push(trunk);
+    }
+
+    // Shared fusion trunk: concat channel-wise, squeeze, two residual
+    // blocks, classify.
+    b.modality(None);
+    let cat = b.concat("fuse.cat", &feats)?;
+    let squeeze = b.conv("fuse.squeeze", cat, scale_channels(512, WIDTH), 1, 1)?;
+    let rb1 = basic_block(&mut b, "fuse.rb1", squeeze, scale_channels(512, WIDTH), 1)?;
+    let rb2 = basic_block(&mut b, "fuse.rb2", rb1, scale_channels(512, WIDTH), 1)?;
+    let gap = b.global_pool("fuse.gap", rb2)?;
+    let fc1 = b.fc("head.fc1", gap, 512)?;
+    b.fc("head.fc2", fc1, 2)?;
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ModelStats;
+
+    #[test]
+    fn params_near_25m() {
+        let s = ModelStats::of(&facebag());
+        assert!(
+            (22.5..=27.5).contains(&s.params_m()),
+            "FaceBag params {:.2}M (paper: 25M)",
+            s.params_m()
+        );
+    }
+
+    #[test]
+    fn three_patch_branches() {
+        let m = facebag();
+        assert_eq!(m.sources().len(), 3);
+        let s = ModelStats::of(&m);
+        assert_eq!(s.modalities.len(), 3);
+        assert_eq!(s.lstm_layers, 0);
+    }
+
+    #[test]
+    fn fusion_trunk_is_shared() {
+        let m = facebag();
+        let fuse_layers: Vec<_> = m
+            .layers()
+            .filter(|(_, l)| l.name().starts_with("fuse.") || l.name().starts_with("head."))
+            .collect();
+        assert!(fuse_layers.len() >= 8);
+        assert!(fuse_layers.iter().all(|(_, l)| l.modality().is_none()));
+    }
+}

@@ -1,0 +1,319 @@
+//! Incremental schedule updates (paper §4.2: *"since changing the
+//! latency and scheduling of one layer can affect all its successor
+//! layers, we update the layer scheduling recursively … in each
+//! iteration, we only update a node's direct successor neighbors without
+//! traversing the entire graph"*).
+//!
+//! [`IncrementalSchedule`] seeds itself from a full [`Evaluator`] pass
+//! and thereafter accepts per-layer duration changes (a weight getting
+//! pinned, an edge getting fused), propagating start/finish times along
+//! a worklist that touches only the affected cone: the layer itself, its
+//! graph successors, and queue successors on the same accelerator. The
+//! equivalence with full re-evaluation is asserted by tests and measured
+//! by the `incremental` criterion bench.
+
+use std::collections::VecDeque;
+
+use h2h_model::graph::{LayerId, ModelGraph};
+use h2h_model::units::Seconds;
+
+use crate::locality::LocalityState;
+use crate::mapping::Mapping;
+use crate::schedule::Evaluator;
+
+/// A mutable schedule supporting localized duration updates.
+#[derive(Debug, Clone)]
+pub struct IncrementalSchedule {
+    /// Layer duration (weight + IFM + compute + OFM), seconds.
+    dur: Vec<f64>,
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    /// Per-accelerator execution order (global topological priority).
+    acc_queue: Vec<Vec<LayerId>>,
+    /// Position of each layer in its accelerator queue.
+    queue_pos: Vec<usize>,
+    /// Accelerator index per layer.
+    acc_of: Vec<usize>,
+    /// Layers touched by the last [`IncrementalSchedule::propagate`].
+    touched: usize,
+}
+
+impl IncrementalSchedule {
+    /// Seeds the incremental state from a full evaluation of
+    /// `(mapping, locality)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping is incomplete (validate first).
+    pub fn new(
+        ev: &Evaluator<'_>,
+        mapping: &Mapping,
+        locality: &LocalityState,
+    ) -> Self {
+        let model = ev.model();
+        let system = ev.system();
+        let full = ev.evaluate(mapping, locality);
+        let bound = model.id_bound();
+        let mut dur = vec![0.0; bound];
+        let mut start = vec![0.0; bound];
+        let mut finish = vec![0.0; bound];
+        let mut acc_of = vec![usize::MAX; bound];
+        let mut acc_queue: Vec<Vec<LayerId>> = vec![Vec::new(); system.num_accs()];
+        let mut queue_pos = vec![0usize; bound];
+        for id in model.topo_order() {
+            let t = full.timing(id).expect("complete mapping schedules every layer");
+            dur[id.index()] = (t.finish - t.start).as_f64();
+            start[id.index()] = t.start.as_f64();
+            finish[id.index()] = t.finish.as_f64();
+            let a = mapping.acc_of(id).index();
+            acc_of[id.index()] = a;
+            queue_pos[id.index()] = acc_queue[a].len();
+            acc_queue[a].push(id);
+        }
+        IncrementalSchedule { dur, start, finish, acc_queue, queue_pos, acc_of, touched: 0 }
+    }
+
+    /// Current makespan (max finish over all layers).
+    pub fn makespan(&self) -> Seconds {
+        Seconds::new(self.finish.iter().cloned().fold(0.0, f64::max))
+    }
+
+    /// Finish time of one layer.
+    pub fn finish_of(&self, layer: LayerId) -> Seconds {
+        Seconds::new(self.finish[layer.index()])
+    }
+
+    /// Number of layers whose times were recomputed by the last
+    /// propagation (the paper's locality-of-update argument).
+    pub fn touched(&self) -> usize {
+        self.touched
+    }
+
+    /// Overrides one layer's duration (e.g. after pinning its weights or
+    /// fusing one of its edges) **without** propagating; call
+    /// [`IncrementalSchedule::propagate`] once after a batch of changes.
+    pub fn set_duration(&mut self, layer: LayerId, dur: Seconds) {
+        self.dur[layer.index()] = dur.as_f64();
+    }
+
+    /// Recomputes start/finish times along the affected cone of `seeds`
+    /// (the layers whose durations changed). Returns the new makespan.
+    pub fn propagate(&mut self, model: &ModelGraph, seeds: &[LayerId]) -> Seconds {
+        let mut work: VecDeque<LayerId> = seeds.iter().copied().collect();
+        let mut queued = vec![false; self.dur.len()];
+        for s in seeds {
+            queued[s.index()] = true;
+        }
+        self.touched = 0;
+        while let Some(id) = work.pop_front() {
+            queued[id.index()] = false;
+            self.touched += 1;
+            let deps = model
+                .predecessors(id)
+                .map(|p| self.finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let a = self.acc_of[id.index()];
+            let qp = self.queue_pos[id.index()];
+            let avail = if qp == 0 {
+                0.0
+            } else {
+                self.finish[self.acc_queue[a][qp - 1].index()]
+            };
+            let new_start = deps.max(avail);
+            let new_finish = new_start + self.dur[id.index()];
+            let changed = (new_finish - self.finish[id.index()]).abs() > 1e-15
+                || (new_start - self.start[id.index()]).abs() > 1e-15;
+            self.start[id.index()] = new_start;
+            self.finish[id.index()] = new_finish;
+            if !changed {
+                continue;
+            }
+            // Direct graph successors…
+            for s in model.successors(id) {
+                if !queued[s.index()] {
+                    queued[s.index()] = true;
+                    work.push_back(s);
+                }
+            }
+            // …and the next layer in this accelerator's queue.
+            if let Some(next) = self.acc_queue[a].get(qp + 1) {
+                if !queued[next.index()] {
+                    queued[next.index()] = true;
+                    work.push_back(*next);
+                }
+            }
+        }
+        self.makespan()
+    }
+
+    /// Convenience: seed, apply a batch of duration changes, propagate.
+    pub fn with_changes(
+        ev: &Evaluator<'_>,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        changes: &[(LayerId, Seconds)],
+    ) -> (Self, Seconds) {
+        let mut inc = IncrementalSchedule::new(ev, mapping, locality);
+        for (l, d) in changes {
+            inc.set_duration(*l, *d);
+        }
+        let seeds: Vec<LayerId> = changes.iter().map(|(l, _)| *l).collect();
+        let model = ev.model();
+        let mk = inc.propagate(model, &seeds);
+        (inc, mk)
+    }
+
+    /// Asserts (in tests) that the incremental state matches a fresh full
+    /// evaluation; exposed for downstream test suites.
+    #[doc(hidden)]
+    pub fn assert_matches_full(
+        &self,
+        ev: &Evaluator<'_>,
+        mapping: &Mapping,
+        locality: &LocalityState,
+    ) {
+        let full = ev.evaluate(mapping, locality);
+        for id in ev.model().layer_ids() {
+            let t = full.timing(id).expect("scheduled");
+            let inc_f = self.finish[id.index()];
+            assert!(
+                (t.finish.as_f64() - inc_f).abs() < 1e-9,
+                "{id}: incremental {inc_f} vs full {}",
+                t.finish.as_f64()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{AccId, BandwidthClass};
+    use crate::testutil::{const_system, ConstAccel};
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+
+    fn chain() -> ModelGraph {
+        let mut b = ModelBuilder::new("inc");
+        let i = b.input("i", TensorShape::Vector { features: 1024 });
+        let f1 = b.fc("f1", i, 1024).unwrap();
+        let f2 = b.fc("f2", f1, 1024).unwrap();
+        let f3 = b.fc("f3", f2, 1024).unwrap();
+        let g1 = b.fc("g1", i, 1024).unwrap();
+        let _ = (f3, g1);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn seed_matches_full_evaluation() {
+        let m = chain();
+        let sys = const_system(
+            vec![ConstAccel::universal("u0", 1e-3), ConstAccel::universal("u1", 2e-3)],
+            1e6,
+        );
+        let mut map = Mapping::new(&m);
+        for (i, id) in m.topo_order().into_iter().enumerate() {
+            map.set(id, AccId::new(i % 2));
+        }
+        let ev = Evaluator::new(&m, &sys);
+        let loc = LocalityState::new(&sys);
+        let inc = IncrementalSchedule::new(&ev, &map, &loc);
+        inc.assert_matches_full(&ev, &map, &loc);
+        let full = ev.evaluate(&map, &loc);
+        assert!((inc.makespan().as_f64() - full.makespan().as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinning_delta_propagates_to_full_equivalence() {
+        // Pin a layer's weights in locality B; the incremental schedule
+        // seeded from locality A plus one duration change must equal the
+        // full evaluation of B.
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("u0", 1e-3)], 1e6);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let ev = Evaluator::new(&m, &sys);
+        let ids = m.topo_order();
+        let loc_a = LocalityState::new(&sys);
+        let mut loc_b = LocalityState::new(&sys);
+        assert!(loc_b.try_pin(&m, &sys, ids[1], AccId::new(0)));
+
+        let full_b = ev.evaluate(&map, &loc_b);
+        let new_dur = {
+            let t = full_b.timing(ids[1]).unwrap();
+            t.finish - t.start
+        };
+        let (inc, mk) =
+            IncrementalSchedule::with_changes(&ev, &map, &loc_a, &[(ids[1], new_dur)]);
+        assert!(
+            (mk.as_f64() - full_b.makespan().as_f64()).abs() < 1e-12,
+            "incremental {mk} vs full {}",
+            full_b.makespan()
+        );
+        inc.assert_matches_full(&ev, &map, &loc_b);
+    }
+
+    #[test]
+    fn touched_cone_is_smaller_than_the_graph() {
+        // Changing the last layer of a long chain touches only itself;
+        // the paper's "without traversing the entire graph" claim.
+        let mut b = ModelBuilder::new("long");
+        let mut prev = b.input("i", TensorShape::Vector { features: 64 });
+        for k in 0..40 {
+            prev = b.fc(&format!("f{k}"), prev, 64).unwrap();
+        }
+        let m = b.finish().unwrap();
+        let sys = const_system(vec![ConstAccel::universal("u0", 1e-3)], 1e9);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let ev = Evaluator::new(&m, &sys);
+        let loc = LocalityState::new(&sys);
+        let mut inc = IncrementalSchedule::new(&ev, &map, &loc);
+        let last = *m.topo_order().last().unwrap();
+        inc.set_duration(last, Seconds::new(5e-3));
+        inc.propagate(&m, &[last]);
+        assert_eq!(inc.touched(), 1, "tail change must touch one layer");
+
+        // Changing the head touches everything downstream.
+        let head = m.topo_order()[0];
+        inc.set_duration(head, Seconds::new(2e-3));
+        inc.propagate(&m, &[head]);
+        assert_eq!(inc.touched(), m.num_layers());
+    }
+
+    #[test]
+    fn batch_changes_on_zoo_model_match_full() {
+        let m = h2h_model::zoo::cnn_lstm();
+        let sys = crate::system::SystemSpec::standard(BandwidthClass::Mid);
+        let ev = Evaluator::new(&m, &sys);
+        let mut map = Mapping::new(&m);
+        for (id, layer) in m.layers() {
+            let acc = sys.acc_ids().find(|a| sys.acc(*a).supports(layer)).unwrap();
+            map.set(id, acc);
+        }
+        let loc_a = LocalityState::new(&sys);
+        let mut loc_b = LocalityState::new(&sys);
+        // Pin everything that fits on each layer's accelerator.
+        for id in m.layer_ids() {
+            if m.layer(id).has_weights() {
+                let _ = loc_b.try_pin(&m, &sys, id, map.acc_of(id));
+            }
+        }
+        let full_b = ev.evaluate(&map, &loc_b);
+        let changes: Vec<(LayerId, Seconds)> = m
+            .layer_ids()
+            .filter(|id| loc_b.is_pinned(*id))
+            .map(|id| {
+                let t = full_b.timing(id).unwrap();
+                (id, t.finish - t.start)
+            })
+            .collect();
+        let (inc, mk) = IncrementalSchedule::with_changes(&ev, &map, &loc_a, &changes);
+        assert!((mk.as_f64() - full_b.makespan().as_f64()).abs() < 1e-9);
+        inc.assert_matches_full(&ev, &map, &loc_b);
+    }
+}

@@ -1,0 +1,234 @@
+//! Data-locality state: which weights are pinned in which accelerator's
+//! local DRAM, and which edges are activation-fused (paper §4.2–4.3).
+//!
+//! The DRAM budget (`M_acc`) is shared between pinned weights and the
+//! buffers that hold fused activations; both are capacity-checked here so
+//! no optimization pass can oversubscribe a board.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use h2h_model::graph::{LayerId, ModelGraph};
+use h2h_model::tensor::DataType;
+use h2h_model::units::Bytes;
+
+use crate::system::{AccId, SystemSpec};
+
+/// Pinned-weight and fused-edge bookkeeping for one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalityState {
+    pinned: HashSet<LayerId>,
+    fused: HashSet<(LayerId, LayerId)>,
+    used: Vec<u64>,
+}
+
+impl LocalityState {
+    /// Empty state (zero data locality — the step-1 assumption).
+    pub fn new(system: &SystemSpec) -> Self {
+        LocalityState {
+            pinned: HashSet::new(),
+            fused: HashSet::new(),
+            used: vec![0; system.num_accs()],
+        }
+    }
+
+    /// Bytes of local DRAM currently committed on `acc`.
+    pub fn dram_used(&self, acc: AccId) -> Bytes {
+        Bytes::new(self.used[acc.index()])
+    }
+
+    /// Bytes of local DRAM still free on `acc`.
+    pub fn dram_free(&self, acc: AccId, system: &SystemSpec) -> Bytes {
+        system
+            .acc(acc)
+            .dram_capacity()
+            .saturating_sub(self.dram_used(acc))
+    }
+
+    /// Attempts to pin `layer`'s weights (at F32) into `acc`'s DRAM.
+    /// Returns `true` on success, `false` if the budget does not fit.
+    /// Pinning an already-pinned layer is a no-op returning `true`.
+    pub fn try_pin(
+        &mut self,
+        model: &ModelGraph,
+        system: &SystemSpec,
+        layer: LayerId,
+        acc: AccId,
+    ) -> bool {
+        if self.pinned.contains(&layer) {
+            return true;
+        }
+        let bytes = model.layer(layer).weight_bytes(DataType::F32);
+        if bytes > self.dram_free(acc, system) {
+            return false;
+        }
+        self.used[acc.index()] += bytes.as_u64();
+        self.pinned.insert(layer);
+        true
+    }
+
+    /// True if `layer`'s weights are resident in its accelerator's DRAM.
+    pub fn is_pinned(&self, layer: LayerId) -> bool {
+        self.pinned.contains(&layer)
+    }
+
+    /// Number of pinned layers.
+    pub fn num_pinned(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Attempts to fuse the `from → to` edge on `acc`: the intermediate
+    /// activation stays in local DRAM instead of round-tripping through
+    /// the host. Charges the edge's byte volume against the DRAM budget.
+    /// Returns `true` on success (idempotent).
+    pub fn try_fuse(
+        &mut self,
+        model: &ModelGraph,
+        system: &SystemSpec,
+        from: LayerId,
+        to: LayerId,
+        acc: AccId,
+    ) -> bool {
+        if self.fused.contains(&(from, to)) {
+            return true;
+        }
+        let Some(bytes) = model.edge_bytes(from, to) else {
+            return false;
+        };
+        if bytes > self.dram_free(acc, system) {
+            return false;
+        }
+        self.used[acc.index()] += bytes.as_u64();
+        self.fused.insert((from, to));
+        true
+    }
+
+    /// Reverts a fusion, refunding the edge's bytes to `acc`'s budget
+    /// (the accelerator originally charged in [`LocalityState::try_fuse`]).
+    /// Returns `false` if the edge was not fused.
+    pub fn unfuse(
+        &mut self,
+        model: &ModelGraph,
+        from: LayerId,
+        to: LayerId,
+        acc: AccId,
+    ) -> bool {
+        if !self.fused.remove(&(from, to)) {
+            return false;
+        }
+        let bytes = model.edge_bytes(from, to).expect("fused edges exist");
+        self.used[acc.index()] -= bytes.as_u64();
+        true
+    }
+
+    /// True if the `from → to` edge is activation-fused.
+    pub fn is_fused(&self, from: LayerId, to: LayerId) -> bool {
+        self.fused.contains(&(from, to))
+    }
+
+    /// Number of fused edges.
+    pub fn num_fused(&self) -> usize {
+        self.fused.len()
+    }
+
+    /// Iterate over pinned layers (arbitrary order).
+    pub fn pinned_layers(&self) -> impl Iterator<Item = LayerId> + '_ {
+        self.pinned.iter().copied()
+    }
+
+    /// Total pinned-weight bytes across the system.
+    pub fn total_pinned_bytes(&self, model: &ModelGraph) -> Bytes {
+        self.pinned
+            .iter()
+            .map(|l| model.layer(*l).weight_bytes(DataType::F32))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::BandwidthClass;
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+
+    fn fc_chain() -> ModelGraph {
+        let mut b = ModelBuilder::new("chain");
+        // f1 and f2 each hold 8192×8192 weights ≈ 256 MiB at F32.
+        let i = b.input("i", TensorShape::Vector { features: 8192 });
+        let f1 = b.fc("f1", i, 8192).unwrap();
+        let f2 = b.fc("f2", f1, 8192).unwrap();
+        b.fc("f3", f2, 16).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn ids(m: &ModelGraph) -> Vec<LayerId> {
+        m.topo_order()
+    }
+
+    #[test]
+    fn pinning_respects_capacity() {
+        let m = fc_chain();
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        let xz = sys.find_by_meta_id("XZ").unwrap(); // 512 MiB board
+        let mut loc = LocalityState::new(&sys);
+        let ids = ids(&m);
+        // f2: 8192×8192 weights ≈ 256 MiB -> fits once, not twice.
+        assert!(loc.try_pin(&m, &sys, ids[2], xz));
+        let used_once = loc.dram_used(xz);
+        assert!(used_once > Bytes::from_mib(250));
+        // Idempotent re-pin.
+        assert!(loc.try_pin(&m, &sys, ids[2], xz));
+        assert_eq!(loc.dram_used(xz), used_once);
+        // Second large layer exceeds the 512 MiB board.
+        assert!(!loc.try_pin(&m, &sys, ids[1], xz));
+        assert_eq!(loc.num_pinned(), 1);
+    }
+
+    #[test]
+    fn fusion_charges_edge_bytes() {
+        let m = fc_chain();
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        let sh = sys.find_by_meta_id("SH").unwrap();
+        let mut loc = LocalityState::new(&sys);
+        let ids = ids(&m);
+        assert!(loc.try_fuse(&m, &sys, ids[1], ids[2], sh));
+        assert!(loc.is_fused(ids[1], ids[2]));
+        // Edge bytes = 8192 f32 = 32 KiB.
+        assert_eq!(loc.dram_used(sh), Bytes::new(8192 * 4));
+        // Nonexistent edge refuses.
+        assert!(!loc.try_fuse(&m, &sys, ids[0], ids[3], sh));
+        assert_eq!(loc.num_fused(), 1);
+    }
+
+    #[test]
+    fn budget_shared_between_weights_and_activations() {
+        let m = fc_chain();
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        let xz = sys.find_by_meta_id("XZ").unwrap();
+        let mut loc = LocalityState::new(&sys);
+        let ids = ids(&m);
+        assert!(loc.try_pin(&m, &sys, ids[2], xz)); // ~256 MiB of 512
+        let free = loc.dram_free(xz, &sys);
+        assert!(free < Bytes::from_mib(256));
+        // A 32 KiB fusion still fits.
+        assert!(loc.try_fuse(&m, &sys, ids[1], ids[2], xz));
+    }
+
+    #[test]
+    fn total_pinned_bytes_sums() {
+        let m = fc_chain();
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        let sh = sys.find_by_meta_id("SH").unwrap(); // 8 GiB
+        let mut loc = LocalityState::new(&sys);
+        for id in ids(&m) {
+            assert!(loc.try_pin(&m, &sys, id, sh));
+        }
+        let expect: Bytes = m
+            .layers()
+            .map(|(_, l)| l.weight_bytes(h2h_model::tensor::DataType::F32))
+            .sum();
+        assert_eq!(loc.total_pinned_bytes(&m), expect);
+    }
+}

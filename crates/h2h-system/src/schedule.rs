@@ -1,0 +1,723 @@
+//! The system-level list scheduler (`update_System_Scheduling` in the
+//! paper's Algorithm 1).
+//!
+//! Given a mapping and a locality state, computes every layer's timing
+//! decomposition and the end-to-end system latency and energy. Per-layer
+//! latency follows the paper's §4.1 semantics: *weight transfer + IFM
+//! transfer + computation + OFM transfer*, serialized on the owning
+//! accelerator. With zero locality every term crosses Ethernet through
+//! the host; pinned weights and fused activations replace Ethernet
+//! round-trips with local-DRAM traffic.
+//!
+//! Transfer rules (star topology, DESIGN.md §6):
+//! * weights: host→acc at `BW_acc`, or local DRAM read if pinned;
+//! * IFM: one download per unfused incoming edge; fused edges read from
+//!   local DRAM; edges from `Input` layers always cross Ethernet (the
+//!   raw modality data lives at the host);
+//! * OFM: one upload if any outgoing edge is unfused **or** the layer is
+//!   a model output; one local-DRAM write if any outgoing edge is fused.
+
+use serde::{Deserialize, Serialize};
+
+use h2h_model::graph::{LayerId, ModelGraph};
+use h2h_model::layer::LayerOp;
+use h2h_model::tensor::DataType;
+use h2h_model::units::{Bytes, Joules, Seconds};
+
+use crate::locality::LocalityState;
+use crate::mapping::Mapping;
+use crate::system::{AccId, SystemSpec};
+
+/// Memoized per-(layer, accelerator) compute costs. Building one of
+/// these once per model/system pair makes repeated schedule evaluations
+/// (the inner loop of remapping) pure arithmetic.
+#[derive(Debug, Clone)]
+pub struct CostCache {
+    time: Vec<Vec<Option<Seconds>>>,
+    energy: Vec<Vec<Option<Joules>>>,
+}
+
+impl CostCache {
+    /// Precomputes compute time/energy for every layer on every
+    /// accelerator (`None` where unsupported).
+    pub fn new(model: &ModelGraph, system: &SystemSpec) -> Self {
+        let bound = model.id_bound();
+        let n_accs = system.num_accs();
+        let mut time = vec![vec![None; n_accs]; bound];
+        let mut energy = vec![vec![None; n_accs]; bound];
+        for (id, layer) in model.layers() {
+            for acc in system.acc_ids() {
+                time[id.index()][acc.index()] = system.acc(acc).compute_time(layer);
+                energy[id.index()][acc.index()] = system.acc(acc).compute_energy(layer);
+            }
+        }
+        CostCache { time, energy }
+    }
+
+    /// Cached compute time of `layer` on `acc` (`None` if unsupported).
+    pub fn time(&self, layer: LayerId, acc: AccId) -> Option<Seconds> {
+        self.time[layer.index()][acc.index()]
+    }
+
+    /// Cached compute energy of `layer` on `acc`.
+    pub fn energy(&self, layer: LayerId, acc: AccId) -> Option<Joules> {
+        self.energy[layer.index()][acc.index()]
+    }
+}
+
+/// Timing decomposition of one scheduled layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Owning accelerator.
+    pub acc: AccId,
+    /// Start time (after dependencies and accelerator availability).
+    pub start: Seconds,
+    /// Finish time.
+    pub finish: Seconds,
+    /// Weight-transfer share (Ethernet or local DRAM).
+    pub weight_xfer: Seconds,
+    /// IFM-download share.
+    pub ifm_xfer: Seconds,
+    /// Pure compute share.
+    pub compute: Seconds,
+    /// OFM-upload share.
+    pub ofm_xfer: Seconds,
+}
+
+/// Energy decomposition of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// PE-array dynamic energy.
+    pub compute: Joules,
+    /// Ethernet transfer energy (transfer time × link power).
+    pub ethernet: Joules,
+    /// Local DRAM access energy.
+    pub dram: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total system energy.
+    pub fn total(&self) -> Joules {
+        self.compute + self.ethernet + self.dram
+    }
+}
+
+/// A fully evaluated schedule: `Sys_latency`, `Sys_energy` and the
+/// busy-time decomposition behind the paper's Fig. 5a.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    makespan: Seconds,
+    energy: EnergyBreakdown,
+    eth_busy: Seconds,
+    comp_busy: Seconds,
+    dram_busy: Seconds,
+    timings: Vec<Option<LayerTiming>>,
+    per_acc_busy: Vec<Seconds>,
+}
+
+impl Schedule {
+    /// End-to-end system latency (`Sys_latency`).
+    pub fn makespan(&self) -> Seconds {
+        self.makespan
+    }
+
+    /// System energy (`Sys_energy`).
+    pub fn energy(&self) -> &EnergyBreakdown {
+        &self.energy
+    }
+
+    /// Total Ethernet transfer time summed over layers ("communication"
+    /// in Fig. 5a).
+    pub fn eth_busy(&self) -> Seconds {
+        self.eth_busy
+    }
+
+    /// Total compute time summed over layers.
+    pub fn comp_busy(&self) -> Seconds {
+        self.comp_busy
+    }
+
+    /// Total local-DRAM transfer time summed over layers.
+    pub fn dram_busy(&self) -> Seconds {
+        self.dram_busy
+    }
+
+    /// Computation share of total busy time (paper Fig. 5a): local work
+    /// (compute + local DRAM) over all busy time including Ethernet.
+    pub fn compute_ratio(&self) -> f64 {
+        let local = self.comp_busy + self.dram_busy;
+        let total = local + self.eth_busy;
+        if total <= Seconds::ZERO {
+            return 1.0;
+        }
+        local.as_f64() / total.as_f64()
+    }
+
+    /// Timing of one layer, if it was scheduled.
+    pub fn timing(&self, layer: LayerId) -> Option<&LayerTiming> {
+        self.timings.get(layer.index()).and_then(|t| t.as_ref())
+    }
+
+    /// Busy time per accelerator, indexed by `AccId::index()`.
+    pub fn per_acc_busy(&self) -> &[Seconds] {
+        &self.per_acc_busy
+    }
+
+    /// Busy time of the bottleneck accelerator — the reciprocal of the
+    /// steady-state pipelined-serving throughput: when back-to-back
+    /// inference requests stream through the mapped system, every
+    /// request must pass through the busiest device.
+    pub fn bottleneck_busy(&self) -> Seconds {
+        self.per_acc_busy
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Steady-state pipelined throughput in inferences/second
+    /// (`1 / bottleneck_busy`); infinite for an empty schedule.
+    pub fn steady_state_throughput(&self) -> f64 {
+        let b = self.bottleneck_busy().as_f64();
+        if b <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / b
+        }
+    }
+}
+
+/// Schedule evaluator bound to one (model, system) pair, with memoized
+/// compute costs and a fixed global priority order.
+///
+/// The optional *batch* models weight-amortized serving: `batch`
+/// inference requests stream through back-to-back, weights (Ethernet or
+/// local DRAM) are fetched once per batch, while activations and compute
+/// repeat per request. `batch = 1` (default) is the paper's
+/// single-inference semantics.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    model: &'a ModelGraph,
+    system: &'a SystemSpec,
+    cache: CostCache,
+    order: Vec<LayerId>,
+    batch: u32,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Builds the evaluator (validates nothing: the model must already
+    /// be [`ModelGraph::validate`]d).
+    pub fn new(model: &'a ModelGraph, system: &'a SystemSpec) -> Self {
+        Evaluator {
+            model,
+            system,
+            cache: CostCache::new(model, system),
+            order: model.topo_order(),
+            batch: 1,
+        }
+    }
+
+    /// Sets the serving batch size (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch = batch;
+        self
+    }
+
+    /// The serving batch size.
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+
+    /// The memoized cost table.
+    pub fn cache(&self) -> &CostCache {
+        &self.cache
+    }
+
+    /// The model being scheduled (with the evaluator's full lifetime, so
+    /// callers can rebuild evaluators from it).
+    pub fn model(&self) -> &'a ModelGraph {
+        self.model
+    }
+
+    /// The system being scheduled onto.
+    pub fn system(&self) -> &'a SystemSpec {
+        self.system
+    }
+
+    /// Evaluates a complete mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer is unmapped or mapped to an accelerator that
+    /// cannot execute it (callers validate with [`Mapping::validate`]).
+    pub fn evaluate(&self, mapping: &Mapping, locality: &LocalityState) -> Schedule {
+        self.evaluate_filtered(mapping, locality, |_| true)
+    }
+
+    /// Evaluates the sub-schedule of layers for which `include` returns
+    /// true (used by the frontier search of step 1, where only a prefix
+    /// of the model is mapped). The include set must be closed under
+    /// predecessors.
+    pub fn evaluate_partial(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        include: impl Fn(LayerId) -> bool,
+    ) -> Schedule {
+        self.evaluate_filtered(mapping, locality, include)
+    }
+
+    /// True when the `from → to` edge actually short-circuits through
+    /// local DRAM: marked fused, both endpoints co-located, and the
+    /// producer is not a model input (raw modality data lives at the
+    /// host and always crosses Ethernet once).
+    fn edge_is_local(
+        &self,
+        locality: &LocalityState,
+        mapping: &Mapping,
+        from: LayerId,
+        to: LayerId,
+    ) -> bool {
+        locality.is_fused(from, to)
+            && mapping.get(from) == mapping.get(to)
+            && mapping.get(from).is_some()
+            && !matches!(self.model.layer(from).op(), LayerOp::Input { .. })
+    }
+
+    fn evaluate_filtered(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        include: impl Fn(LayerId) -> bool,
+    ) -> Schedule {
+        let eth = self.system.ethernet();
+        let emodel = self.system.energy_model();
+        let b = self.batch as f64;
+        let bound = self.model.id_bound();
+        let mut timings: Vec<Option<LayerTiming>> = vec![None; bound];
+        let mut finish: Vec<Seconds> = vec![Seconds::ZERO; bound];
+        let mut acc_ready = vec![Seconds::ZERO; self.system.num_accs()];
+        let mut per_acc_busy = vec![Seconds::ZERO; self.system.num_accs()];
+
+        let mut makespan = Seconds::ZERO;
+        let mut eth_busy = Seconds::ZERO;
+        let mut comp_busy = Seconds::ZERO;
+        let mut dram_busy = Seconds::ZERO;
+        let mut energy = EnergyBreakdown::default();
+        let mut eth_bytes = Bytes::ZERO;
+        let mut dram_bytes = Bytes::ZERO;
+
+        for &id in &self.order {
+            if !include(id) {
+                continue;
+            }
+            let layer = self.model.layer(id);
+            let acc = mapping.acc_of(id);
+            let dram_bw = self.system.acc(acc).dram_bandwidth();
+            let is_input = matches!(layer.op(), LayerOp::Input { .. });
+
+            // Weight transfer.
+            let wbytes = layer.weight_bytes(DataType::F32);
+            let mut t_weight = Seconds::ZERO;
+            if wbytes > Bytes::ZERO {
+                if locality.is_pinned(id) {
+                    t_weight = dram_bw.transfer_time(wbytes);
+                    dram_busy += t_weight;
+                    dram_bytes += wbytes;
+                } else {
+                    t_weight = eth.transfer_time(wbytes);
+                    eth_busy += t_weight;
+                    eth_bytes += wbytes;
+                }
+            }
+
+            // IFM transfers: one per incoming edge, repeated per batch
+            // item.
+            let mut t_ifm = Seconds::ZERO;
+            for pred in self.model.predecessors(id) {
+                let bytes = self
+                    .model
+                    .edge_bytes(pred, id)
+                    .expect("predecessor edge exists");
+                if self.edge_is_local(locality, mapping, pred, id) {
+                    let t = dram_bw.transfer_time(bytes) * b;
+                    t_ifm += t;
+                    dram_busy += t;
+                    dram_bytes += bytes * self.batch as u64;
+                } else {
+                    let t = eth.transfer_time(bytes) * b;
+                    t_ifm += t;
+                    eth_busy += t;
+                    eth_bytes += bytes * self.batch as u64;
+                }
+            }
+
+            // Compute, per batch item.
+            let t_comp = self
+                .cache
+                .time(id, acc)
+                .expect("mapping validated: accelerator supports layer")
+                * b;
+            comp_busy += t_comp;
+            energy.compute += self
+                .cache
+                .energy(id, acc)
+                .expect("mapping validated: accelerator supports layer")
+                * b;
+
+            // OFM transfer: model inputs emit nothing (data already at
+            // host); otherwise one Ethernet upload serves all unfused
+            // consumers (and the final output), one DRAM write serves
+            // all fused consumers.
+            let mut t_ofm = Seconds::ZERO;
+            if !is_input {
+                let obytes = layer.ofm_bytes(DataType::F32);
+                let succs: Vec<LayerId> = self.model.successors(id).collect();
+                let is_output = succs.is_empty();
+                let any_remote = is_output
+                    || succs
+                        .iter()
+                        .any(|s| !self.edge_is_local(locality, mapping, id, *s));
+                let any_local = succs
+                    .iter()
+                    .any(|s| self.edge_is_local(locality, mapping, id, *s));
+                if any_remote {
+                    let t = eth.transfer_time(obytes) * b;
+                    t_ofm += t;
+                    eth_busy += t;
+                    eth_bytes += obytes * self.batch as u64;
+                }
+                if any_local {
+                    let t = dram_bw.transfer_time(obytes) * b;
+                    t_ofm += t;
+                    dram_busy += t;
+                    dram_bytes += obytes * self.batch as u64;
+                }
+            }
+
+            // Dependencies + accelerator availability.
+            let ready = self
+                .model
+                .predecessors(id)
+                .map(|p| finish[p.index()])
+                .fold(Seconds::ZERO, Seconds::max);
+            let start = ready.max(acc_ready[acc.index()]);
+            let dur = t_weight + t_ifm + t_comp + t_ofm;
+            let end = start + dur;
+            finish[id.index()] = end;
+            acc_ready[acc.index()] = end;
+            per_acc_busy[acc.index()] += dur;
+            makespan = makespan.max(end);
+
+            timings[id.index()] = Some(LayerTiming {
+                acc,
+                start,
+                finish: end,
+                weight_xfer: t_weight,
+                ifm_xfer: t_ifm,
+                compute: t_comp,
+                ofm_xfer: t_ofm,
+            });
+        }
+
+        energy.ethernet = Joules::new(eth_busy.as_f64() * emodel.eth_link_power_w);
+        energy.dram = Joules::new(dram_bytes.as_f64() * emodel.dram_pj_per_byte * 1e-12);
+        let _ = eth_bytes;
+
+        Schedule {
+            makespan,
+            energy,
+            eth_busy,
+            comp_busy,
+            dram_busy,
+            timings,
+            per_acc_busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::BandwidthClass;
+    use crate::testutil::{const_system, ConstAccel};
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+
+    /// in(64 f32 = 256 B) -> fc1(256x256) -> fc2(256x16)
+    fn chain() -> ModelGraph {
+        let mut b = ModelBuilder::new("chain");
+        let i = b.input("i", TensorShape::Vector { features: 64 });
+        let f1 = b.fc("f1", i, 256).unwrap();
+        b.fc("f2", f1, 16).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn map_all(m: &ModelGraph, acc: AccId) -> Mapping {
+        let mut map = Mapping::new(m);
+        for id in m.layer_ids() {
+            map.set(id, acc);
+        }
+        map
+    }
+
+    #[test]
+    fn zero_locality_chain_is_fully_additive() {
+        let m = chain();
+        // One accelerator, compute = 1 ms/layer, eth 1e6 B/s, dram 1e9 B/s.
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let a0 = AccId::new(0);
+        let map = map_all(&m, a0);
+        let loc = LocalityState::new(&sys);
+        let ev = Evaluator::new(&m, &sys);
+        let s = ev.evaluate(&map, &loc);
+
+        let ids = m.topo_order();
+        // input: compute only (inputs move no data themselves).
+        let t_in = s.timing(ids[0]).unwrap();
+        assert!((t_in.finish.as_f64() - 1e-3).abs() < 1e-12);
+        // f1: weights (64*256+256)*4 B, ifm 256 B, ofm 1024 B over 1e6 B/s.
+        let t1 = s.timing(ids[1]).unwrap();
+        let w1 = ((64 * 256 + 256) * 4) as f64 / 1e6;
+        assert!((t1.weight_xfer.as_f64() - w1).abs() < 1e-12);
+        assert!((t1.ifm_xfer.as_f64() - 256.0 / 1e6).abs() < 1e-12);
+        assert!((t1.ofm_xfer.as_f64() - 1024.0 / 1e6).abs() < 1e-12);
+        // f2 is a sink: OFM still uploads to host (16*4 B).
+        let t2 = s.timing(ids[2]).unwrap();
+        assert!((t2.ofm_xfer.as_f64() - 64.0 / 1e6).abs() < 1e-12);
+        // Makespan = sum of all three durations (same acc, chain).
+        let expect = t_in.finish.as_f64()
+            + (t1.finish.as_f64() - t1.start.as_f64())
+            + (t2.finish.as_f64() - t2.start.as_f64());
+        assert!((s.makespan().as_f64() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinning_switches_weight_term_to_dram() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let a0 = AccId::new(0);
+        let map = map_all(&m, a0);
+        let ev = Evaluator::new(&m, &sys);
+        let ids = m.topo_order();
+
+        let loc0 = LocalityState::new(&sys);
+        let base = ev.evaluate(&map, &loc0);
+
+        let mut loc = LocalityState::new(&sys);
+        assert!(loc.try_pin(&m, &sys, ids[1], a0));
+        let pinned = ev.evaluate(&map, &loc);
+
+        let wbytes = ((64 * 256 + 256) * 4) as f64;
+        let saved = wbytes / 1e6 - wbytes / 1e9;
+        assert!(
+            (base.makespan().as_f64() - pinned.makespan().as_f64() - saved).abs() < 1e-9,
+            "pinning should save exactly the eth-vs-dram delta"
+        );
+        assert!(pinned.dram_busy() > Seconds::ZERO);
+    }
+
+    #[test]
+    fn fusion_removes_ethernet_round_trip() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let a0 = AccId::new(0);
+        let map = map_all(&m, a0);
+        let ev = Evaluator::new(&m, &sys);
+        let ids = m.topo_order();
+
+        let base = ev.evaluate(&map, &LocalityState::new(&sys));
+        let mut loc = LocalityState::new(&sys);
+        assert!(loc.try_fuse(&m, &sys, ids[1], ids[2], a0));
+        let fused = ev.evaluate(&map, &loc);
+
+        // f1->f2 edge: 1024 B. Upload + download drop from eth, two DRAM
+        // touches appear.
+        let saved = 2.0 * 1024.0 / 1e6 - 2.0 * 1024.0 / 1e9;
+        assert!((base.makespan().as_f64() - fused.makespan().as_f64() - saved).abs() < 1e-9);
+    }
+
+    #[test]
+    fn input_edges_never_fuse() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let a0 = AccId::new(0);
+        let map = map_all(&m, a0);
+        let ev = Evaluator::new(&m, &sys);
+        let ids = m.topo_order();
+
+        let base = ev.evaluate(&map, &LocalityState::new(&sys));
+        let mut loc = LocalityState::new(&sys);
+        // Force-mark the input edge fused; the evaluator must ignore it.
+        assert!(loc.try_fuse(&m, &sys, ids[0], ids[1], a0));
+        let after = ev.evaluate(&map, &loc);
+        assert_eq!(base.makespan(), after.makespan());
+    }
+
+    #[test]
+    fn fusion_requires_colocation() {
+        let m = chain();
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 1e-3), ConstAccel::universal("U1", 1e-3)],
+            1e6,
+        );
+        let ids = m.topo_order();
+        let mut map = Mapping::new(&m);
+        map.set(ids[0], AccId::new(0));
+        map.set(ids[1], AccId::new(0));
+        map.set(ids[2], AccId::new(1));
+        let ev = Evaluator::new(&m, &sys);
+        let base = ev.evaluate(&map, &LocalityState::new(&sys));
+        let mut loc = LocalityState::new(&sys);
+        // Stale fusion mark across accelerators must be ignored.
+        assert!(loc.try_fuse(&m, &sys, ids[1], ids[2], AccId::new(0)));
+        let after = ev.evaluate(&map, &loc);
+        assert_eq!(base.makespan(), after.makespan());
+    }
+
+    #[test]
+    fn parallel_branches_overlap_across_accelerators() {
+        // in -> (fc_a, fc_b) -> add; fc_a/fc_b on different accs overlap.
+        let mut b = ModelBuilder::new("par");
+        let i = b.input("i", TensorShape::Vector { features: 1024 });
+        let fa = b.fc("fa", i, 1024).unwrap();
+        let fb = b.fc("fb", i, 1024).unwrap();
+        b.add("join", &[fa, fb]).unwrap();
+        let m = b.finish().unwrap();
+
+        let sys2 = const_system(
+            vec![ConstAccel::universal("U0", 0.5), ConstAccel::universal("U1", 0.5)],
+            1e9,
+        );
+        let sys1 = const_system(vec![ConstAccel::universal("U0", 0.5)], 1e9);
+
+        let ids = m.topo_order();
+        let mut spread = Mapping::new(&m);
+        spread.set(ids[0], AccId::new(0));
+        spread.set(ids[1], AccId::new(0));
+        spread.set(ids[2], AccId::new(1));
+        spread.set(ids[3], AccId::new(0));
+
+        let serial = {
+            let mut map = Mapping::new(&m);
+            for id in m.layer_ids() {
+                map.set(id, AccId::new(0));
+            }
+            let ev = Evaluator::new(&m, &sys1);
+            ev.evaluate(&map, &LocalityState::new(&sys1)).makespan()
+        };
+        let overlapped = {
+            let ev = Evaluator::new(&m, &sys2);
+            ev.evaluate(&spread, &LocalityState::new(&sys2)).makespan()
+        };
+        // Compute dominates (0.5 s/layer): overlapping the two 0.5 s FCs
+        // must save ~0.5 s.
+        assert!(
+            serial.as_f64() - overlapped.as_f64() > 0.4,
+            "serial {serial} vs overlapped {overlapped}"
+        );
+    }
+
+    #[test]
+    fn partial_evaluation_matches_full_when_all_included() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let map = map_all(&m, AccId::new(0));
+        let loc = LocalityState::new(&sys);
+        let ev = Evaluator::new(&m, &sys);
+        let full = ev.evaluate(&map, &loc);
+        let part = ev.evaluate_partial(&map, &loc, |_| true);
+        assert_eq!(full.makespan(), part.makespan());
+
+        // Prefix-only evaluation is shorter.
+        let ids = m.topo_order();
+        let first_two: std::collections::HashSet<_> = ids[..2].iter().copied().collect();
+        let prefix = ev.evaluate_partial(&map, &loc, |id| first_two.contains(&id));
+        assert!(prefix.makespan() < full.makespan());
+    }
+
+    #[test]
+    fn energy_tracks_transfer_and_compute() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let map = map_all(&m, AccId::new(0));
+        let ev = Evaluator::new(&m, &sys);
+        let s = ev.evaluate(&map, &LocalityState::new(&sys));
+        // 3 layers × 1 mJ compute (ConstAccel energy = 1 mJ per layer).
+        assert!((s.energy().compute.as_f64() - 3e-3).abs() < 1e-9);
+        // Ethernet energy = eth time × 5 W (default model).
+        assert!(
+            (s.energy().ethernet.as_f64() - s.eth_busy().as_f64() * 5.0).abs() < 1e-12
+        );
+        assert!(s.energy().total() > s.energy().compute);
+    }
+
+    #[test]
+    fn batch_one_is_the_default_semantics() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let map = map_all(&m, AccId::new(0));
+        let loc = LocalityState::new(&sys);
+        let a = Evaluator::new(&m, &sys).evaluate(&map, &loc);
+        let b = Evaluator::new(&m, &sys).with_batch(1).evaluate(&map, &loc);
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.energy(), b.energy());
+    }
+
+    #[test]
+    fn batching_amortizes_weights_only() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let map = map_all(&m, AccId::new(0));
+        let loc = LocalityState::new(&sys);
+        let one = Evaluator::new(&m, &sys).evaluate(&map, &loc);
+        let eight = Evaluator::new(&m, &sys).with_batch(8).evaluate(&map, &loc);
+        // Weight transfer happens once per batch: total is strictly less
+        // than 8x the single-inference makespan…
+        assert!(eight.makespan().as_f64() < 8.0 * one.makespan().as_f64());
+        // …but more than 8x the weight-free share.
+        let weight_time: f64 = m
+            .topo_order()
+            .iter()
+            .map(|id| one.timing(*id).unwrap().weight_xfer.as_f64())
+            .sum();
+        let act_share = one.makespan().as_f64() - weight_time;
+        assert!(eight.makespan().as_f64() >= 8.0 * act_share - 1e-12);
+        // Exact decomposition for a single-acc chain:
+        let expect = weight_time + 8.0 * act_share;
+        assert!((eight.makespan().as_f64() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_rejected() {
+        let m = chain();
+        let sys = const_system(vec![ConstAccel::universal("U", 1e-3)], 1e6);
+        let _ = Evaluator::new(&m, &sys).with_batch(0);
+    }
+
+    #[test]
+    fn standard_system_schedules_zoo_model() {
+        // Smoke test with the real catalog: every CASIA layer placed on
+        // a capable accelerator; schedule is finite and positive.
+        let m = h2h_model::zoo::casia_surf();
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        let ev = Evaluator::new(&m, &sys);
+        let mut map = Mapping::new(&m);
+        for (id, layer) in m.layers() {
+            let acc = sys
+                .acc_ids()
+                .find(|a| sys.acc(*a).supports(layer))
+                .expect("some accelerator supports every layer");
+            map.set(id, acc);
+        }
+        map.validate(&m, &sys).unwrap();
+        let s = ev.evaluate(&map, &LocalityState::new(&sys));
+        assert!(s.makespan() > Seconds::ZERO);
+        assert!(s.compute_ratio() > 0.0 && s.compute_ratio() < 1.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Discrete-event simulation of the multi-FPGA cluster.
+//!
+//! The analytical scheduler ([`crate::schedule::Evaluator`]) assumes each
+//! accelerator's Ethernet path runs at the full `BW_acc` regardless of
+//! what the rest of the cluster is doing — the same abstraction the
+//! paper's modified-MAESTRO infrastructure uses. This simulator executes
+//! the mapped model event by event and can additionally model the star
+//! topology's real bottleneck: the host NIC, shared by all concurrent
+//! transfers (processor-sharing fluid model).
+//!
+//! With dedicated links (`SimConfig::dedicated`) the simulation
+//! reproduces the analytical schedule exactly — that equivalence is a
+//! cross-validation test of both implementations. With a finite host NIC
+//! it quantifies how much the paper's abstraction under-reports congested
+//! makespans (see the `ablation` experiment).
+
+use h2h_model::graph::{LayerId, ModelGraph};
+use h2h_model::layer::LayerOp;
+use h2h_model::tensor::DataType;
+use h2h_model::units::{BytesPerSec, Seconds};
+
+use crate::locality::LocalityState;
+use crate::mapping::Mapping;
+use crate::schedule::CostCache;
+use crate::system::SystemSpec;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Aggregate host-NIC capacity shared by all in-flight Ethernet
+    /// transfers; `None` models dedicated full-rate links (the paper's
+    /// abstraction).
+    pub host_nic_capacity: Option<BytesPerSec>,
+    /// Serving batch size: weights are fetched once per batch,
+    /// activations and compute repeat per request (matches
+    /// `Evaluator::with_batch`).
+    pub batch: u32,
+}
+
+impl SimConfig {
+    /// Dedicated per-accelerator links (matches the analytical model).
+    pub fn dedicated() -> Self {
+        SimConfig { host_nic_capacity: None, batch: 1 }
+    }
+
+    /// A shared host NIC of `capacity`.
+    pub fn shared_nic(capacity: BytesPerSec) -> Self {
+        SimConfig { host_nic_capacity: Some(capacity), batch: 1 }
+    }
+
+    /// Sets the serving batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        assert!(batch >= 1, "batch must be at least 1");
+        self.batch = batch;
+        self
+    }
+}
+
+/// Simulation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    makespan: Seconds,
+    finish: Vec<Option<Seconds>>,
+    events: usize,
+}
+
+impl SimReport {
+    /// End-to-end simulated latency.
+    pub fn makespan(&self) -> Seconds {
+        self.makespan
+    }
+
+    /// Finish time of a layer.
+    pub fn finish_of(&self, layer: LayerId) -> Option<Seconds> {
+        self.finish.get(layer.index()).copied().flatten()
+    }
+
+    /// Number of simulation events processed (engine health metric).
+    pub fn events(&self) -> usize {
+        self.events
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    /// Ethernet transfer: remaining bytes (contends for the host NIC).
+    Eth(f64),
+    /// Fixed-duration work: compute or local-DRAM traffic (seconds).
+    Timed(f64),
+}
+
+#[derive(Debug)]
+struct ActiveLayer {
+    id: LayerId,
+    phases: Vec<Phase>,
+    /// Index of the phase currently executing.
+    current: usize,
+}
+
+/// Simulates the mapped, locality-annotated model on the system.
+///
+/// # Panics
+///
+/// Panics if the mapping is incomplete or maps a layer onto an
+/// accelerator that cannot execute it (validate first).
+pub fn simulate(
+    model: &ModelGraph,
+    system: &SystemSpec,
+    mapping: &Mapping,
+    locality: &LocalityState,
+    config: SimConfig,
+) -> SimReport {
+    let cache = CostCache::new(model, system);
+    let eth = system.ethernet().as_f64();
+    let bound = model.id_bound();
+
+    // Per-acc queues in global topological priority order.
+    let mut queues: Vec<Vec<LayerId>> = vec![Vec::new(); system.num_accs()];
+    for id in model.topo_order() {
+        queues[mapping.acc_of(id).index()].push(id);
+    }
+    let mut next_in_queue = vec![0usize; system.num_accs()];
+    let mut active: Vec<Option<ActiveLayer>> = (0..system.num_accs()).map(|_| None).collect();
+
+    let mut finished = vec![false; bound];
+    let mut finish_time: Vec<Option<Seconds>> = vec![None; bound];
+    let mut remaining = model.num_layers();
+    let mut now = 0.0f64;
+    let mut events = 0usize;
+
+    let edge_is_local = |from: LayerId, to: LayerId| {
+        locality.is_fused(from, to)
+            && mapping.get(from) == mapping.get(to)
+            && !matches!(model.layer(from).op(), LayerOp::Input { .. })
+    };
+
+    let b = config.batch as f64;
+    let build_phases = |id: LayerId| -> Vec<Phase> {
+        let layer = model.layer(id);
+        let acc = mapping.acc_of(id);
+        let dram = system.acc(acc).dram_bandwidth().as_f64();
+        let mut phases = Vec::new();
+        let is_input = matches!(layer.op(), LayerOp::Input { .. });
+
+        // Weights amortize over the batch; everything below repeats per
+        // request.
+        let wbytes = layer.weight_bytes(DataType::F32).as_f64();
+        if wbytes > 0.0 {
+            if locality.is_pinned(id) {
+                phases.push(Phase::Timed(wbytes / dram));
+            } else {
+                phases.push(Phase::Eth(wbytes));
+            }
+        }
+        for pred in model.predecessors(id) {
+            let bytes = model.edge_bytes(pred, id).expect("edge exists").as_f64();
+            if bytes <= 0.0 {
+                continue;
+            }
+            if edge_is_local(pred, id) {
+                phases.push(Phase::Timed(b * bytes / dram));
+            } else {
+                phases.push(Phase::Eth(b * bytes));
+            }
+        }
+        let comp = cache.time(id, acc).expect("supported layer").as_f64();
+        if comp > 0.0 {
+            phases.push(Phase::Timed(b * comp));
+        }
+        if !is_input {
+            let obytes = layer.ofm_bytes(DataType::F32).as_f64();
+            let succs: Vec<LayerId> = model.successors(id).collect();
+            let is_output = succs.is_empty();
+            let any_remote = is_output || succs.iter().any(|s| !edge_is_local(id, *s));
+            let any_local = succs.iter().any(|s| edge_is_local(id, *s));
+            if any_remote && obytes > 0.0 {
+                phases.push(Phase::Eth(b * obytes));
+            }
+            if any_local && obytes > 0.0 {
+                phases.push(Phase::Timed(b * obytes / dram));
+            }
+        }
+        phases
+    };
+
+    loop {
+        // Start whatever can start.
+        for acc in 0..queues.len() {
+            if active[acc].is_some() {
+                continue;
+            }
+            let qi = next_in_queue[acc];
+            if qi >= queues[acc].len() {
+                continue;
+            }
+            let head = queues[acc][qi];
+            if model.predecessors(head).all(|p| finished[p.index()]) {
+                next_in_queue[acc] += 1;
+                active[acc] = Some(ActiveLayer { id: head, phases: build_phases(head), current: 0 });
+            }
+        }
+
+        // Zero-phase layers complete immediately; resolve before timing.
+        let mut instant = false;
+        for slot in active.iter_mut() {
+            if let Some(a) = slot {
+                if a.current >= a.phases.len() {
+                    finished[a.id.index()] = true;
+                    finish_time[a.id.index()] = Some(Seconds::new(now));
+                    remaining -= 1;
+                    *slot = None;
+                    instant = true;
+                }
+            }
+        }
+        if instant {
+            continue;
+        }
+
+        if remaining == 0 {
+            break;
+        }
+
+        // Current rates: Ethernet phases share the host NIC.
+        let n_eth = active
+            .iter()
+            .flatten()
+            .filter(|a| matches!(a.phases[a.current], Phase::Eth(_)))
+            .count();
+        let eth_rate = match config.host_nic_capacity {
+            Some(cap) if n_eth > 0 => eth.min(cap.as_f64() / n_eth as f64),
+            _ => eth,
+        };
+
+        // Time to the next phase completion.
+        let mut dt = f64::INFINITY;
+        for a in active.iter().flatten() {
+            let t = match a.phases[a.current] {
+                Phase::Eth(bytes) => bytes / eth_rate,
+                Phase::Timed(secs) => secs,
+            };
+            dt = dt.min(t);
+        }
+        assert!(
+            dt.is_finite(),
+            "simulation stalled at t={now}: {remaining} layers unfinished (head-of-line deadlock?)"
+        );
+        events += 1;
+        now += dt;
+
+        // Advance all active phases by dt.
+        for slot in active.iter_mut() {
+            let Some(a) = slot else { continue };
+            let done = match &mut a.phases[a.current] {
+                Phase::Eth(bytes) => {
+                    *bytes -= eth_rate * dt;
+                    *bytes <= 1e-9
+                }
+                Phase::Timed(secs) => {
+                    *secs -= dt;
+                    *secs <= 1e-12
+                }
+            };
+            if done {
+                a.current += 1;
+                if a.current >= a.phases.len() {
+                    finished[a.id.index()] = true;
+                    finish_time[a.id.index()] = Some(Seconds::new(now));
+                    remaining -= 1;
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    SimReport { makespan: Seconds::new(now), finish: finish_time, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Evaluator;
+    use crate::system::AccId;
+    use crate::testutil::{const_system, ConstAccel};
+    use h2h_model::builder::ModelBuilder;
+    use h2h_model::tensor::TensorShape;
+
+    fn branchy_model() -> ModelGraph {
+        let mut b = ModelBuilder::new("branchy");
+        let i = b.input("i", TensorShape::Vector { features: 4096 });
+        let f1 = b.fc("a1", i, 2048).unwrap();
+        let f2 = b.fc("b1", i, 2048).unwrap();
+        let f3 = b.fc("a2", f1, 1024).unwrap();
+        let f4 = b.fc("b2", f2, 1024).unwrap();
+        let j = b.add("join", &[f3, f4]).unwrap();
+        b.fc("head", j, 16).unwrap();
+        b.finish().unwrap()
+    }
+
+    fn spread_mapping(m: &ModelGraph, n: usize) -> Mapping {
+        let mut map = Mapping::new(m);
+        for (i, id) in m.topo_order().into_iter().enumerate() {
+            map.set(id, AccId::new(i % n));
+        }
+        map
+    }
+
+    #[test]
+    fn dedicated_links_match_analytic_exactly() {
+        let m = branchy_model();
+        let sys = const_system(
+            vec![
+                ConstAccel::universal("U0", 2e-3),
+                ConstAccel::universal("U1", 3e-3),
+                ConstAccel::universal("U2", 1e-3),
+            ],
+            1e6,
+        );
+        let map = spread_mapping(&m, 3);
+        let loc = LocalityState::new(&sys);
+        let ev = Evaluator::new(&m, &sys);
+        let analytic = ev.evaluate(&map, &loc);
+        let sim = simulate(&m, &sys, &map, &loc, SimConfig::dedicated());
+        let a = analytic.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!(
+            (a - s).abs() / a < 1e-6,
+            "analytic {a} vs simulated {s}"
+        );
+        // Per-layer finishes agree too.
+        for id in m.layer_ids() {
+            let at = analytic.timing(id).unwrap().finish.as_f64();
+            let st = sim.finish_of(id).unwrap().as_f64();
+            assert!((at - st).abs() < 1e-6, "{id}: {at} vs {st}");
+        }
+    }
+
+    #[test]
+    fn dedicated_links_match_analytic_with_locality() {
+        let m = branchy_model();
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 2e-3), ConstAccel::universal("U1", 1e-3)],
+            1e6,
+        );
+        let ids = m.topo_order();
+        let mut map = Mapping::new(&m);
+        for id in &ids {
+            map.set(*id, AccId::new(0));
+        }
+        map.set(ids[2], AccId::new(1));
+        let mut loc = LocalityState::new(&sys);
+        // Pin a weighted layer and fuse a co-located edge.
+        assert!(loc.try_pin(&m, &sys, ids[1], AccId::new(0)));
+        assert!(loc.try_fuse(&m, &sys, ids[1], ids[3], AccId::new(0)));
+        let ev = Evaluator::new(&m, &sys);
+        let analytic = ev.evaluate(&map, &loc);
+        let sim = simulate(&m, &sys, &map, &loc, SimConfig::dedicated());
+        let a = analytic.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!((a - s).abs() / a < 1e-6, "analytic {a} vs simulated {s}");
+    }
+
+    #[test]
+    fn shared_nic_never_beats_dedicated() {
+        let m = branchy_model();
+        let sys = const_system(
+            vec![
+                ConstAccel::universal("U0", 1e-3),
+                ConstAccel::universal("U1", 1e-3),
+                ConstAccel::universal("U2", 1e-3),
+            ],
+            1e6,
+        );
+        let map = spread_mapping(&m, 3);
+        let loc = LocalityState::new(&sys);
+        let ded = simulate(&m, &sys, &map, &loc, SimConfig::dedicated());
+        let shared = simulate(
+            &m,
+            &sys,
+            &map,
+            &loc,
+            SimConfig::shared_nic(BytesPerSec::new(1e6)),
+        );
+        assert!(shared.makespan() >= ded.makespan());
+        // With parallel branches crossing accelerators, a NIC equal to a
+        // single link must actually hurt.
+        assert!(
+            shared.makespan().as_f64() > ded.makespan().as_f64() * 1.05,
+            "shared {} vs dedicated {}",
+            shared.makespan(),
+            ded.makespan()
+        );
+    }
+
+    #[test]
+    fn generous_shared_nic_converges_to_dedicated() {
+        let m = branchy_model();
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 1e-3), ConstAccel::universal("U1", 1e-3)],
+            1e6,
+        );
+        let map = spread_mapping(&m, 2);
+        let loc = LocalityState::new(&sys);
+        let ded = simulate(&m, &sys, &map, &loc, SimConfig::dedicated());
+        let roomy = simulate(
+            &m,
+            &sys,
+            &map,
+            &loc,
+            SimConfig::shared_nic(BytesPerSec::new(1e9)),
+        );
+        let d = ded.makespan().as_f64();
+        let r = roomy.makespan().as_f64();
+        assert!((d - r).abs() / d < 1e-9, "dedicated {d} vs roomy shared {r}");
+    }
+
+    #[test]
+    fn event_count_is_bounded() {
+        let m = branchy_model();
+        let sys = const_system(vec![ConstAccel::universal("U0", 1e-3)], 1e6);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let rep = simulate(&m, &sys, &map, &LocalityState::new(&sys), SimConfig::dedicated());
+        // At most a handful of events per phase.
+        assert!(rep.events() < m.num_layers() * 8);
+    }
+}

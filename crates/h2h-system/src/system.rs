@@ -1,0 +1,237 @@
+//! The heterogeneous multi-FPGA system (`G_sys` scaffolding, paper §3).
+//!
+//! A system is a host node plus a set of plugged-in accelerators, each
+//! reached over Ethernet at the configurable `BW_acc` (the paper sweeps
+//! five classes from 1 GbE to 10 GbE). All accelerator↔accelerator data
+//! moves through the host (star topology), as in the Brainwave-style
+//! deployment the paper targets [2].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use h2h_accel::catalog::standard_accelerators;
+use h2h_accel::model::AccelRef;
+use h2h_model::units::BytesPerSec;
+
+/// Index of an accelerator within a [`SystemSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AccId(usize);
+
+impl AccId {
+    /// Low-level constructor; prefer [`SystemSpec::acc_ids`].
+    pub const fn new(index: usize) -> Self {
+        AccId(index)
+    }
+
+    /// Dense index, valid as a `Vec` slot.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AccId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// The paper's five Ethernet bandwidth classes (§5.2 / Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandwidthClass {
+    /// 0.125 GB/s (1 GbE) — "Low-".
+    LowMinus,
+    /// 0.15 GB/s — "Low".
+    Low,
+    /// 0.25 GB/s (2 GbE) — "Mid-".
+    MidMinus,
+    /// 0.5 GB/s — "Mid".
+    Mid,
+    /// 1.25 GB/s (10 GbE) — "High".
+    High,
+}
+
+impl BandwidthClass {
+    /// All five classes, in the paper's order.
+    pub const ALL: [BandwidthClass; 5] = [
+        BandwidthClass::LowMinus,
+        BandwidthClass::Low,
+        BandwidthClass::MidMinus,
+        BandwidthClass::Mid,
+        BandwidthClass::High,
+    ];
+
+    /// The accelerator-to-host bandwidth of this class.
+    pub fn bandwidth(self) -> BytesPerSec {
+        BytesPerSec::from_gbps(match self {
+            BandwidthClass::LowMinus => 0.125,
+            BandwidthClass::Low => 0.15,
+            BandwidthClass::MidMinus => 0.25,
+            BandwidthClass::Mid => 0.5,
+            BandwidthClass::High => 1.25,
+        })
+    }
+
+    /// The paper's label for this class.
+    pub fn label(self) -> &'static str {
+        match self {
+            BandwidthClass::LowMinus => "Low-",
+            BandwidthClass::Low => "Low",
+            BandwidthClass::MidMinus => "Mid-",
+            BandwidthClass::Mid => "Mid",
+            BandwidthClass::High => "High",
+        }
+    }
+}
+
+impl fmt::Display for BandwidthClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Energy constants of the interconnect and memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemEnergyModel {
+    /// Power drawn by an active Ethernet link + switch path, watts.
+    /// Transfer energy = transfer time × this power.
+    pub eth_link_power_w: f64,
+    /// Local DRAM access energy, picojoules per byte.
+    pub dram_pj_per_byte: f64,
+}
+
+impl Default for SystemEnergyModel {
+    fn default() -> Self {
+        // ~5 W for a NIC/switch path; ~20 pJ/B for DDR3/DDR4 access.
+        SystemEnergyModel { eth_link_power_w: 5.0, dram_pj_per_byte: 20.0 }
+    }
+}
+
+/// A heterogeneous multi-FPGA system: plugged-in accelerators + the
+/// host-side Ethernet fabric.
+///
+/// # Examples
+///
+/// ```
+/// use h2h_system::system::{BandwidthClass, SystemSpec};
+///
+/// let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+/// assert_eq!(sys.num_accs(), 12);
+/// assert_eq!(sys.ethernet().as_f64(), 0.125e9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    accs: Vec<AccelRef>,
+    ethernet: BytesPerSec,
+    energy: SystemEnergyModel,
+}
+
+impl SystemSpec {
+    /// Builds a system from accelerator plug-ins and an Ethernet rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accs` is empty — a system needs at least one device.
+    pub fn new(accs: Vec<AccelRef>, ethernet: BytesPerSec) -> Self {
+        assert!(!accs.is_empty(), "a system needs at least one accelerator");
+        SystemSpec { accs, ethernet, energy: SystemEnergyModel::default() }
+    }
+
+    /// The paper's evaluation system: the 12-accelerator catalog at the
+    /// given bandwidth class.
+    pub fn standard(bw: BandwidthClass) -> Self {
+        SystemSpec::new(standard_accelerators(), bw.bandwidth())
+    }
+
+    /// Replaces the interconnect/memory energy constants.
+    pub fn with_energy_model(mut self, energy: SystemEnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Number of accelerators.
+    pub fn num_accs(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// Iterate over accelerator ids.
+    pub fn acc_ids(&self) -> impl Iterator<Item = AccId> {
+        (0..self.accs.len()).map(AccId)
+    }
+
+    /// Borrow an accelerator by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this system.
+    pub fn acc(&self, id: AccId) -> &AccelRef {
+        &self.accs[id.0]
+    }
+
+    /// All accelerators, in id order.
+    pub fn accs(&self) -> &[AccelRef] {
+        &self.accs
+    }
+
+    /// The accelerator-to-host Ethernet bandwidth (`BW_acc`).
+    pub fn ethernet(&self) -> BytesPerSec {
+        self.ethernet
+    }
+
+    /// Interconnect/memory energy constants.
+    pub fn energy_model(&self) -> &SystemEnergyModel {
+        &self.energy
+    }
+
+    /// Finds an accelerator id by catalog short-id (e.g. `"XW"`).
+    pub fn find_by_meta_id(&self, meta_id: &str) -> Option<AccId> {
+        self.accs
+            .iter()
+            .position(|a| a.meta().id == meta_id)
+            .map(AccId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_classes_match_paper() {
+        let gbps: Vec<f64> = BandwidthClass::ALL
+            .iter()
+            .map(|c| c.bandwidth().as_f64() / 1e9)
+            .collect();
+        assert_eq!(gbps, vec![0.125, 0.15, 0.25, 0.5, 1.25]);
+        assert_eq!(BandwidthClass::LowMinus.label(), "Low-");
+    }
+
+    #[test]
+    fn standard_system_has_twelve_accs() {
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        assert_eq!(sys.num_accs(), 12);
+        assert_eq!(sys.acc_ids().count(), 12);
+        assert_eq!(sys.acc(AccId::new(0)).meta().id, "JZ");
+    }
+
+    #[test]
+    fn find_by_meta_id_roundtrips() {
+        let sys = SystemSpec::standard(BandwidthClass::Mid);
+        let xw = sys.find_by_meta_id("XW").unwrap();
+        assert_eq!(sys.acc(xw).meta().id, "XW");
+        assert!(sys.find_by_meta_id("??").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one accelerator")]
+    fn empty_system_rejected() {
+        let _ = SystemSpec::new(Vec::new(), BytesPerSec::from_gbps(1.0));
+    }
+
+    #[test]
+    fn default_energy_model_is_sane() {
+        let e = SystemEnergyModel::default();
+        assert!(e.eth_link_power_w > 0.0);
+        assert!(e.dram_pj_per_byte > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Chrome trace-event export: open a mapped schedule in
+//! `chrome://tracing` / Perfetto. One track (`tid`) per accelerator,
+//! one complete event (`ph:"X"`) per layer, transfer/compute phase
+//! breakdown in `args`.
+
+use h2h_model::graph::ModelGraph;
+use h2h_model::units::Seconds;
+
+use crate::mapping::Mapping;
+use crate::schedule::Schedule;
+use crate::system::SystemSpec;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn micros(s: Seconds) -> f64 {
+    s.as_f64() * 1e6
+}
+
+/// Renders the schedule as a Chrome trace-event JSON document.
+///
+/// ```
+/// use h2h_system::trace::to_chrome_trace;
+/// use h2h_system::{Evaluator, LocalityState, Mapping};
+/// use h2h_system::system::{BandwidthClass, SystemSpec};
+///
+/// let model = h2h_model::zoo::mocap();
+/// let system = SystemSpec::standard(BandwidthClass::Mid);
+/// let mut mapping = Mapping::new(&model);
+/// for (id, layer) in model.layers() {
+///     let acc = system.acc_ids().find(|a| system.acc(*a).supports(layer)).unwrap();
+///     mapping.set(id, acc);
+/// }
+/// let schedule = Evaluator::new(&model, &system)
+///     .evaluate(&mapping, &LocalityState::new(&system));
+/// let json = to_chrome_trace(&model, &system, &mapping, &schedule);
+/// assert!(json.contains("traceEvents"));
+/// ```
+pub fn to_chrome_trace(
+    model: &ModelGraph,
+    system: &SystemSpec,
+    mapping: &Mapping,
+    schedule: &Schedule,
+) -> String {
+    let mut events = Vec::new();
+    // Track names.
+    for acc in system.acc_ids() {
+        let meta = system.acc(acc).meta();
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"{} ({})"}}}}"#,
+            acc.index(),
+            esc(&meta.id),
+            esc(&meta.fpga)
+        ));
+    }
+    // Layer executions.
+    for id in model.layer_ids() {
+        let Some(t) = schedule.timing(id) else { continue };
+        let layer = model.layer(id);
+        let acc = mapping.acc_of(id);
+        events.push(format!(
+            concat!(
+                r#"{{"name":"{}","cat":"{:?}","ph":"X","pid":0,"tid":{},"ts":{:.3},"dur":{:.3},"#,
+                r#""args":{{"weight_xfer_us":{:.3},"ifm_xfer_us":{:.3},"compute_us":{:.3},"ofm_xfer_us":{:.3}}}}}"#
+            ),
+            esc(layer.name()),
+            layer.class(),
+            acc.index(),
+            micros(t.start),
+            micros(t.finish - t.start),
+            micros(t.weight_xfer),
+            micros(t.ifm_xfer),
+            micros(t.compute),
+            micros(t.ofm_xfer),
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locality::LocalityState;
+    use crate::schedule::Evaluator;
+    use crate::system::BandwidthClass;
+
+    fn traced() -> String {
+        let model = h2h_model::zoo::cnn_lstm();
+        let system = SystemSpec::standard(BandwidthClass::Mid);
+        let mut mapping = Mapping::new(&model);
+        for (id, layer) in model.layers() {
+            let acc = system
+                .acc_ids()
+                .find(|a| system.acc(*a).supports(layer))
+                .unwrap();
+            mapping.set(id, acc);
+        }
+        let schedule =
+            Evaluator::new(&model, &system).evaluate(&mapping, &LocalityState::new(&system));
+        to_chrome_trace(&model, &system, &mapping, &schedule)
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_all_layers() {
+        let json = traced();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v["traceEvents"].as_array().expect("array");
+        let model = h2h_model::zoo::cnn_lstm();
+        let complete = events
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .count();
+        assert_eq!(complete, model.num_layers());
+        // Metadata events name every accelerator track.
+        let meta = events.iter().filter(|e| e["ph"] == "M").count();
+        assert_eq!(meta, 12);
+    }
+
+    #[test]
+    fn durations_are_nonnegative_and_phased() {
+        let json = traced();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        for e in v["traceEvents"].as_array().unwrap() {
+            if e["ph"] == "X" {
+                assert!(e["dur"].as_f64().unwrap() >= 0.0);
+                let args = &e["args"];
+                let sum = args["weight_xfer_us"].as_f64().unwrap()
+                    + args["ifm_xfer_us"].as_f64().unwrap()
+                    + args["compute_us"].as_f64().unwrap()
+                    + args["ofm_xfer_us"].as_f64().unwrap();
+                let dur = e["dur"].as_f64().unwrap();
+                assert!((sum - dur).abs() < 1e-3, "phases {sum} vs dur {dur}");
+            }
+        }
+    }
+}

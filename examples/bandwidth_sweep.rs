@@ -1,0 +1,47 @@
+//! Sweeps one model across the paper's five Ethernet classes and shows
+//! how the communication-awareness payoff shrinks as bandwidth grows —
+//! the central trend of Fig. 4 / Table 4.
+//!
+//! ```sh
+//! cargo run --release --example bandwidth_sweep [model]
+//! # model ∈ {vlocnet, casia, vfs, facebag, cnnlstm, mocap}; default mocap
+//! ```
+
+use h2h::core::H2hMapper;
+use h2h::model::zoo;
+use h2h::system::{BandwidthClass, SystemSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "mocap".into());
+    let model = match which.as_str() {
+        "vlocnet" => zoo::vlocnet(),
+        "casia" => zoo::casia_surf(),
+        "vfs" => zoo::vfs(),
+        "facebag" => zoo::facebag(),
+        "cnnlstm" => zoo::cnn_lstm(),
+        "mocap" => zoo::mocap(),
+        other => {
+            eprintln!("unknown model `{other}`; expected vlocnet|casia|vfs|facebag|cnnlstm|mocap");
+            std::process::exit(2);
+        }
+    };
+
+    println!("{} across Ethernet classes:", model.name());
+    println!(
+        "{:<6} {:>12} {:>12} {:>11} {:>11}",
+        "BW", "baseline", "H2H", "lat. red.", "energy red."
+    );
+    for bw in BandwidthClass::ALL {
+        let system = SystemSpec::standard(bw);
+        let out = H2hMapper::new(&model, &system).run()?;
+        println!(
+            "{:<6} {:>12} {:>12} {:>10.1}% {:>10.1}%",
+            bw.label(),
+            format!("{}", out.baseline_latency()),
+            format!("{}", out.final_latency()),
+            out.latency_reduction() * 100.0,
+            out.energy_reduction() * 100.0,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Ingest an externally described model (text format) and map it —
+//! the no-Rust-required path into the H2H pipeline.
+//!
+//! ```sh
+//! cargo run --release --example load_model_file [path/to/model.h2h]
+//! ```
+//!
+//! Without an argument, a bundled AR-glasses description is used.
+
+use h2h::core::H2hMapper;
+use h2h::model::parse::parse_model;
+use h2h::model::ModelStats;
+use h2h::system::{BandwidthClass, SystemSpec};
+
+const BUNDLED: &str = r"
+# AR glasses: gaze-conditioned scene understanding + speech commands.
+model ar-glasses
+input  scene  img 3 160 160        @vision
+conv   v1     scene 32 3 2         @vision
+conv   v2     v1 64 3 2            @vision
+conv   v3     v2 128 3 2           @vision
+conv   v4     v3 128 3 1           @vision
+add    vres   v4 v3                @vision
+gap    vfeat  vres                 @vision
+
+input  gaze   seq 240 4            @gaze
+conv1d g1     gaze 32 5 2          @gaze
+lstm   g2     g1 64 1 last         @gaze
+
+input  mic    seq 480 40           @speech
+conv1d s1     mic 96 5 2           @speech
+lstm   s2     s1 128 1 last        @speech
+
+concat fuse   vfeat g2 s2
+fc     f1     fuse 512
+fc     scene_cls f1 40
+fc     command   f1 16
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => BUNDLED.to_owned(),
+    };
+    let model = parse_model(&text)?;
+    println!("{}\n", ModelStats::of(&model));
+
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let outcome = H2hMapper::new(&model, &system).run()?;
+    println!(
+        "H2H @ Low-: baseline {} -> {} ({:.1}% latency reduction, {:.1}% energy)",
+        outcome.baseline_latency(),
+        outcome.final_latency(),
+        outcome.latency_reduction() * 100.0,
+        outcome.energy_reduction() * 100.0,
+    );
+    for id in model.topo_order() {
+        let acc = system.acc(outcome.mapping.acc_of(id));
+        println!("  {:<10} -> {}", model.layer(id).name(), acc.meta().id);
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Tours the six MMMT evaluation models (paper Table 2): layer census,
+//! parameter calibration, cross-modality structure, and a JSON/DOT dump
+//! of one model for external tooling.
+//!
+//! ```sh
+//! cargo run --release --example model_zoo_tour
+//! ```
+
+use h2h::model::stats::ModelStats;
+use h2h::model::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("the Table-2 MMMT model zoo:\n");
+    for model in zoo::all_models() {
+        let s = ModelStats::of(&model);
+        println!("{s}");
+        println!(
+            "  paper parameter target: {}\n",
+            match model.name() {
+                "VLocNet" => "192M",
+                "CASIA-SURF" => "13.2M",
+                "VFS" => "365M",
+                "FaceBag" => "25M",
+                "CNN-LSTM" => "16M",
+                "MoCap" => "8M",
+                _ => "?",
+            }
+        );
+    }
+
+    // Machine-readable dumps of the smallest model.
+    let mocap = zoo::mocap();
+    let json = serde_json::to_string(&mocap)?;
+    println!("MoCap serializes to {} bytes of JSON", json.len());
+    let dot = mocap.to_dot();
+    println!("MoCap graphviz preview (first 3 lines):");
+    for line in dot.lines().take(3) {
+        println!("  {line}");
+    }
+    println!("  ... pipe `to_dot()` into `dot -Tsvg` for the full picture");
+
+    // Round-trip sanity.
+    let back: h2h::model::ModelGraph = serde_json::from_str(&json)?;
+    back.validate()?;
+    assert_eq!(back.num_layers(), mocap.num_layers());
+    println!("\nJSON round-trip OK ({} layers)", back.num_layers());
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! `h2h` — command-line front end to the reproduction.
+//!
+//! ```text
+//! h2h zoo                         # the Table-2 model census
+//! h2h accels                      # the Table-3 accelerator datasheet
+//! h2h map <model> [bw]            # run the 4-step pipeline, show placement
+//! h2h sweep <model>               # Fig.4-style bandwidth sweep for one model
+//! h2h parse <file.h2h> [bw]       # ingest a text-format model and map it
+//! h2h trace <model> [bw] <out>    # export a chrome://tracing JSON
+//! ```
+//!
+//! Models: vlocnet | casia | vfs | facebag | cnnlstm | mocap.
+//! Bandwidths: low- | low | mid- | mid | high (default low-).
+
+use std::process::ExitCode;
+
+use h2h::core::report::mapping_report;
+use h2h::core::H2hMapper;
+use h2h::model::parse::parse_model;
+use h2h::model::{ModelGraph, ModelStats};
+use h2h::system::gantt::render_gantt;
+use h2h::system::trace::to_chrome_trace;
+use h2h::system::{BandwidthClass, Evaluator, SystemSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | parse <file> [bw] | trace <model> [bw] <out.json>>\n\
+         models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high"
+    );
+    ExitCode::from(2)
+}
+
+fn model_by_name(name: &str) -> Option<ModelGraph> {
+    Some(match name {
+        "vlocnet" => h2h::model::zoo::vlocnet(),
+        "casia" => h2h::model::zoo::casia_surf(),
+        "vfs" => h2h::model::zoo::vfs(),
+        "facebag" => h2h::model::zoo::facebag(),
+        "cnnlstm" => h2h::model::zoo::cnn_lstm(),
+        "mocap" => h2h::model::zoo::mocap(),
+        _ => return None,
+    })
+}
+
+fn bw_by_name(name: Option<&str>) -> Option<BandwidthClass> {
+    Some(match name.unwrap_or("low-").to_lowercase().as_str() {
+        "low-" => BandwidthClass::LowMinus,
+        "low" => BandwidthClass::Low,
+        "mid-" => BandwidthClass::MidMinus,
+        "mid" => BandwidthClass::Mid,
+        "high" => BandwidthClass::High,
+        _ => return None,
+    })
+}
+
+fn map_and_report(model: &ModelGraph, bw: BandwidthClass) -> Result<(), h2h::core::H2hError> {
+    let system = SystemSpec::standard(bw);
+    let out = H2hMapper::new(model, &system).run()?;
+    println!("{}\n", ModelStats::of(model));
+    println!(
+        "H2H @ {}: baseline {} -> {} ({:.1}% latency, {:.1}% energy reduction); search {:?}\n",
+        bw.label(),
+        out.baseline_latency(),
+        out.final_latency(),
+        out.latency_reduction() * 100.0,
+        out.energy_reduction() * 100.0,
+        out.search_time,
+    );
+    let ev = Evaluator::new(model, &system);
+    print!("{}", mapping_report(&ev, &out.mapping, &out.locality, &out.schedule));
+    println!();
+    println!("{}", render_gantt(model, &system, &out.mapping, &out.schedule, 100));
+    Ok(())
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args.first() {
+        Some(c) => c.as_str(),
+        None => return Ok(usage()),
+    };
+    match cmd {
+        "zoo" => {
+            for model in h2h::model::zoo::all_models() {
+                println!("{}\n", ModelStats::of(&model));
+            }
+        }
+        "accels" => {
+            print!("{}", h2h::accel::catalog::datasheet());
+        }
+        "map" => {
+            let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
+                return Ok(usage());
+            };
+            let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
+                return Ok(usage());
+            };
+            map_and_report(&model, bw)?;
+        }
+        "sweep" => {
+            let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
+                return Ok(usage());
+            };
+            println!(
+                "{:<6} {:>12} {:>12} {:>11} {:>11}",
+                "BW", "baseline", "H2H", "lat. red.", "energy red."
+            );
+            for bw in BandwidthClass::ALL {
+                let system = SystemSpec::standard(bw);
+                let out = H2hMapper::new(&model, &system).run()?;
+                println!(
+                    "{:<6} {:>12} {:>12} {:>10.1}% {:>10.1}%",
+                    bw.label(),
+                    format!("{}", out.baseline_latency()),
+                    format!("{}", out.final_latency()),
+                    out.latency_reduction() * 100.0,
+                    out.energy_reduction() * 100.0,
+                );
+            }
+        }
+        "parse" => {
+            let Some(path) = args.get(1) else { return Ok(usage()) };
+            let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
+                return Ok(usage());
+            };
+            let text = std::fs::read_to_string(path)?;
+            let model = parse_model(&text)?;
+            map_and_report(&model, bw)?;
+        }
+        "trace" => {
+            let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
+                return Ok(usage());
+            };
+            let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
+                return Ok(usage());
+            };
+            let Some(out_path) = args.get(3) else { return Ok(usage()) };
+            let system = SystemSpec::standard(bw);
+            let out = H2hMapper::new(&model, &system).run()?;
+            let json = to_chrome_trace(&model, &system, &out.mapping, &out.schedule);
+            std::fs::write(out_path, json)?;
+            println!(
+                "wrote {out_path} — open in chrome://tracing or ui.perfetto.dev ({} layers)",
+                model.num_layers()
+            );
+        }
+        _ => return Ok(usage()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests of the dynamic-modality extension (§4.5) across
+//! crates: modality toggling on real zoo models with weight-reuse
+//! accounting.
+
+use h2h::core::{DynamicSession, H2hConfig, H2hMapper};
+use h2h::model::units::Bytes;
+use h2h::model::zoo;
+use h2h::system::{BandwidthClass, SystemSpec};
+
+#[test]
+fn casia_modality_walk_reuses_weights() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let mut session = DynamicSession::new(&system, H2hConfig::default());
+    let full = zoo::casia_surf();
+
+    let steps: [&[&str]; 4] = [
+        &["rgb", "depth", "ir"],
+        &["rgb", "depth"],
+        &["rgb"],
+        &["rgb", "depth", "ir"],
+    ];
+    let mut first_reload = Bytes::ZERO;
+    for (i, mods) in steps.iter().enumerate() {
+        let sub = full.retain_modalities(mods);
+        sub.validate().unwrap();
+        let out = session.remap(&sub).unwrap();
+        if i == 0 {
+            first_reload = out.reloaded;
+            assert_eq!(out.reused, Bytes::ZERO);
+        } else {
+            assert!(
+                out.reused > Bytes::ZERO,
+                "step {i}: surviving modalities should reuse weights"
+            );
+            // Shrinking configurations reload nothing new; the final
+            // re-grow reloads at most the dropped branches.
+            assert!(out.reloaded < first_reload);
+        }
+    }
+}
+
+#[test]
+fn shrinking_modalities_reduces_latency() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let full = zoo::mocap();
+    let sub = full.retain_modalities(&["text"]);
+    sub.validate().unwrap();
+    let full_out = H2hMapper::new(&full, &system).run().unwrap();
+    let sub_out = H2hMapper::new(&sub, &system).run().unwrap();
+    assert!(
+        sub_out.final_latency() < full_out.final_latency(),
+        "text-only MoCap must be faster than all three streams"
+    );
+}
+
+#[test]
+fn session_state_tracks_buffered_bytes() {
+    let system = SystemSpec::standard(BandwidthClass::Mid);
+    let mut session = DynamicSession::new(&system, H2hConfig::default());
+    assert_eq!(session.buffered_bytes(), Bytes::ZERO);
+    session.remap(&zoo::cnn_lstm()).unwrap();
+    let after_full = session.buffered_bytes();
+    assert!(after_full > Bytes::ZERO);
+    // Dropping to video-only shrinks the resident set.
+    let video_only = zoo::cnn_lstm().retain_modalities(&["video"]);
+    session.remap(&video_only).unwrap();
+    assert!(session.buffered_bytes() < after_full);
+}
+
+#[test]
+fn reload_time_saved_scales_with_bandwidth() {
+    let full = zoo::cnn_lstm();
+    let saved_at = |bw: BandwidthClass| {
+        let system = SystemSpec::standard(bw);
+        let mut session = DynamicSession::new(&system, H2hConfig::default());
+        session.remap(&full).unwrap();
+        let again = session.remap(&full).unwrap();
+        again.reload_time_saved(&system).as_f64()
+    };
+    let slow = saved_at(BandwidthClass::LowMinus);
+    let fast = saved_at(BandwidthClass::High);
+    assert!(
+        slow > fast,
+        "avoided reload time is worth more on slow Ethernet ({slow} vs {fast})"
+    );
+}

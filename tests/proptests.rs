@@ -1,0 +1,176 @@
+//! Property-based tests over randomly generated MMMT-shaped DAGs:
+//! schedule well-formedness, locality monotonicity, analytic↔event-sim
+//! agreement and full-pipeline invariants on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use h2h::core::{H2hConfig, H2hMapper};
+use h2h::model::builder::ModelBuilder;
+use h2h::model::graph::{LayerId, ModelGraph};
+use h2h::model::tensor::TensorShape;
+use h2h::model::units::Seconds;
+use h2h::system::{
+    simulate, AccId, BandwidthClass, Evaluator, LocalityState, Mapping, SimConfig, SystemSpec,
+};
+
+/// A recipe for one extra layer appended to a random model.
+#[derive(Debug, Clone)]
+enum Grow {
+    /// `fc(width)` from the node at `from % existing`.
+    Fc { from: usize, width: u16 },
+    /// Concat of two earlier nodes.
+    Concat { a: usize, b: usize },
+}
+
+fn grow_strategy() -> impl Strategy<Value = Grow> {
+    prop_oneof![
+        (any::<usize>(), 16u16..2048).prop_map(|(from, width)| Grow::Fc { from, width }),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Grow::Concat { a, b }),
+    ]
+}
+
+/// Builds a random (but always valid) vector-shaped MMMT DAG with
+/// 1–3 modality inputs and up to 18 grown layers plus a fusion head.
+fn random_model(inputs: usize, widths: Vec<u16>, grows: Vec<Grow>) -> ModelGraph {
+    let mut b = ModelBuilder::new("prop");
+    let mut nodes: Vec<LayerId> = Vec::new();
+    for (i, w) in widths.iter().take(inputs).enumerate() {
+        b.modality(Some(&format!("m{i}")));
+        nodes.push(b.input(
+            &format!("in{i}"),
+            TensorShape::Vector { features: *w as u32 + 1 },
+        ));
+    }
+    b.modality(None);
+    for (k, g) in grows.iter().enumerate() {
+        match g {
+            Grow::Fc { from, width } => {
+                let src = nodes[from % nodes.len()];
+                let id = b
+                    .fc(&format!("fc{k}"), src, *width as u32 + 1)
+                    .expect("fc always shape-valid");
+                nodes.push(id);
+            }
+            Grow::Concat { a, b: bb } => {
+                let na = nodes[a % nodes.len()];
+                let nb = nodes[bb % nodes.len()];
+                if na == nb {
+                    continue;
+                }
+                // Duplicate edges are rejected; skip those combinations.
+                if let Ok(id) = b.concat(&format!("cat{k}"), &[na, nb]) {
+                    nodes.push(id);
+                }
+            }
+        }
+    }
+    // A head depending on the last node keeps the graph connected-ish.
+    let last = *nodes.last().expect("at least one input");
+    b.fc("head", last, 8).expect("head fc");
+    b.finish().expect("random models are valid by construction")
+}
+
+fn model_strategy() -> impl Strategy<Value = ModelGraph> {
+    (
+        1usize..=3,
+        proptest::collection::vec(8u16..512, 3),
+        proptest::collection::vec(grow_strategy(), 1..18),
+    )
+        .prop_map(|(inputs, widths, grows)| random_model(inputs, widths, grows))
+}
+
+/// Random-but-valid mapping: every layer to a capable accelerator picked
+/// by an index stream.
+fn any_mapping(model: &ModelGraph, system: &SystemSpec, picks: &[usize]) -> Mapping {
+    let ev = Evaluator::new(model, system);
+    let mut mapping = Mapping::new(model);
+    for (i, id) in model.topo_order().into_iter().enumerate() {
+        let capable: Vec<AccId> = system
+            .acc_ids()
+            .filter(|a| ev.cache().time(id, *a).is_some())
+            .collect();
+        let pick = picks.get(i).copied().unwrap_or(0) % capable.len();
+        mapping.set(id, capable[pick]);
+    }
+    mapping
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn schedules_respect_dependencies_on_random_models(
+        model in model_strategy(),
+        picks in proptest::collection::vec(0usize..12, 32),
+    ) {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mapping = any_mapping(&model, &system, &picks);
+        mapping.validate(&model, &system).unwrap();
+        let ev = Evaluator::new(&model, &system);
+        let sched = ev.evaluate(&mapping, &LocalityState::new(&system));
+        let mut max_finish = Seconds::ZERO;
+        for id in model.layer_ids() {
+            let t = sched.timing(id).unwrap();
+            prop_assert!(t.finish >= t.start);
+            max_finish = max_finish.max(t.finish);
+            for p in model.predecessors(id) {
+                prop_assert!(t.start.as_f64() >= sched.timing(p).unwrap().finish.as_f64() - 1e-12);
+            }
+        }
+        prop_assert!((sched.makespan().as_f64() - max_finish.as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_only_helps_on_random_models(
+        model in model_strategy(),
+        picks in proptest::collection::vec(0usize..12, 32),
+    ) {
+        use h2h::core::activation_fusion::rebuild_locality;
+        use h2h::core::preset::PinPreset;
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mapping = any_mapping(&model, &system, &picks);
+        let ev = Evaluator::new(&model, &system);
+        let bare = ev.evaluate(&mapping, &LocalityState::new(&system));
+        let loc = rebuild_locality(&ev, &mapping, &H2hConfig::default(), &PinPreset::new());
+        let opt = ev.evaluate(&mapping, &loc);
+        prop_assert!(
+            opt.makespan().as_f64() <= bare.makespan().as_f64() + 1e-12,
+            "locality increased latency: {} -> {}", bare.makespan(), opt.makespan()
+        );
+    }
+
+    #[test]
+    fn sim_agrees_with_analytic_on_random_instances(
+        model in model_strategy(),
+        picks in proptest::collection::vec(0usize..12, 32),
+    ) {
+        use h2h::core::activation_fusion::rebuild_locality;
+        use h2h::core::preset::PinPreset;
+        let system = SystemSpec::standard(BandwidthClass::Mid);
+        let mapping = any_mapping(&model, &system, &picks);
+        let ev = Evaluator::new(&model, &system);
+        let loc = rebuild_locality(&ev, &mapping, &H2hConfig::default(), &PinPreset::new());
+        let analytic = ev.evaluate(&mapping, &loc).makespan().as_f64();
+        let sim = simulate(&model, &system, &mapping, &loc, SimConfig::dedicated())
+            .makespan()
+            .as_f64();
+        prop_assert!(
+            (analytic - sim).abs() <= analytic.max(1e-12) * 1e-6,
+            "analytic {analytic} vs sim {sim}"
+        );
+    }
+
+    #[test]
+    fn pipeline_invariants_on_random_models(model in model_strategy()) {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let out = H2hMapper::new(&model, &system).run().unwrap();
+        out.mapping.validate(&model, &system).unwrap();
+        let l: Vec<f64> = out.snapshots.iter().map(|s| s.latency.as_f64()).collect();
+        for w in l.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "step increased latency: {l:?}");
+        }
+        for acc in system.acc_ids() {
+            prop_assert!(out.locality.dram_used(acc) <= system.acc(acc).dram_capacity());
+        }
+    }
+}

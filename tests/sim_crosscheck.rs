@@ -1,0 +1,82 @@
+//! Cross-validation of the analytical scheduler against the
+//! discrete-event simulator on the real zoo mappings, plus contention
+//! sanity: the shared-NIC fluid model may only add latency.
+
+use h2h::core::H2hMapper;
+use h2h::model::zoo;
+use h2h::system::{simulate, BandwidthClass, SimConfig, SystemSpec};
+
+#[test]
+fn event_sim_matches_analytic_on_all_final_mappings() {
+    for model in zoo::all_models() {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let out = H2hMapper::new(&model, &system).run().unwrap();
+        let sim = simulate(
+            &model,
+            &system,
+            &out.mapping,
+            &out.locality,
+            SimConfig::dedicated(),
+        );
+        let a = out.schedule.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!(
+            (a - s).abs() / a < 1e-6,
+            "{}: analytic {a} vs simulated {s}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn event_sim_matches_analytic_on_baseline_mappings() {
+    use h2h::core::config::H2hConfig;
+    use h2h::core::baseline::computation_prioritized_baseline;
+    use h2h::system::Evaluator;
+    for model in zoo::all_models() {
+        let system = SystemSpec::standard(BandwidthClass::Mid);
+        let ev = Evaluator::new(&model, &system);
+        let base = computation_prioritized_baseline(&ev, &H2hConfig::default()).unwrap();
+        let sim = simulate(
+            &model,
+            &system,
+            &base.mapping,
+            &base.locality,
+            SimConfig::dedicated(),
+        );
+        let a = base.schedule.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!(
+            (a - s).abs() / a < 1e-6,
+            "{}: analytic {a} vs simulated {s}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn shared_nic_contention_is_monotone_in_capacity() {
+    let model = zoo::casia_surf();
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let out = H2hMapper::new(&model, &system).run().unwrap();
+    let link = BandwidthClass::LowMinus.bandwidth().as_f64();
+    let mut last = f64::INFINITY;
+    for mult in [1.0, 2.0, 4.0, 12.0] {
+        let rep = simulate(
+            &model,
+            &system,
+            &out.mapping,
+            &out.locality,
+            SimConfig::shared_nic(h2h::model::units::BytesPerSec::new(link * mult)),
+        );
+        let mk = rep.makespan().as_f64();
+        assert!(
+            mk <= last + 1e-9,
+            "more NIC capacity must not slow things down ({mult}x: {mk} vs {last})"
+        );
+        last = mk;
+    }
+    // A 12x NIC equals fully dedicated links (12 accelerators).
+    let ded = simulate(&model, &system, &out.mapping, &out.locality, SimConfig::dedicated());
+    assert!((last - ded.makespan().as_f64()).abs() / last < 1e-9);
+}
