@@ -1,0 +1,82 @@
+//! Graph algorithms: Kahn topological sort.
+
+use crate::stable_graph::{NodeIndex, StableDiGraph};
+use crate::Direction;
+
+/// Witness of a dependency cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct Cycle<N = NodeIndex>(N);
+
+impl Cycle<NodeIndex> {
+    /// A node on the detected cycle.
+    pub fn node_id(&self) -> NodeIndex {
+        self.0
+    }
+}
+
+/// Topological order of `g` (ties broken by insertion index, so the
+/// result is deterministic).
+///
+/// # Errors
+///
+/// Returns a [`Cycle`] naming one node on a cycle if the graph is not a
+/// DAG. The `_space` parameter mirrors petgraph's signature and is
+/// ignored.
+pub fn toposort<N, E>(
+    g: &StableDiGraph<N, E>,
+    _space: Option<()>,
+) -> Result<Vec<NodeIndex>, Cycle<NodeIndex>> {
+    let n = g.node_count();
+    let mut indegree = vec![0usize; n];
+    for v in g.node_indices() {
+        indegree[v.index()] = g.neighbors_directed(v, Direction::Incoming).count();
+    }
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|i| indegree[*i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(i)) = ready.pop() {
+        let v = NodeIndex::new(i);
+        order.push(v);
+        for s in g.neighbors_directed(v, Direction::Outgoing) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                ready.push(std::cmp::Reverse(s.index()));
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let stuck = (0..n)
+            .find(|i| indegree[*i] > 0)
+            .expect("cycle implies a node with remaining in-degree");
+        Err(Cycle(NodeIndex::new(stuck)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_diamond_and_detects_cycles() {
+        let mut g: StableDiGraph<&str, ()> = StableDiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        let order = toposort(&g, None).unwrap();
+        let pos = |n: NodeIndex| order.iter().position(|x| *x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c));
+        assert!(pos(b) < pos(d) && pos(c) < pos(d));
+
+        g.add_edge(d, a, ());
+        assert!(toposort(&g, None).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `petgraph` crate.
+//!
+//! Implements exactly the slice of the API `h2h-model` uses: an
+//! append-only [`stable_graph::StableDiGraph`] (no node/edge removal is
+//! ever requested, so "stable" indices come for free), directed
+//! neighbor/edge iteration, Kahn topological sort, and serde (shim)
+//! round-tripping. Iteration orders are deterministic: nodes and edges
+//! in insertion order, neighbors in edge-insertion order.
+
+pub mod algo;
+pub mod stable_graph;
+pub mod visit;
+
+/// Edge direction selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Edges pointing out of a node.
+    Outgoing,
+    /// Edges pointing into a node.
+    Incoming,
+}

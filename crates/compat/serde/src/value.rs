@@ -1,0 +1,169 @@
+//! The JSON-shaped value tree shared by the `serde`/`serde_json` shims.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A dynamically typed JSON value.
+///
+/// Integers keep their signedness so 64-bit byte counts round-trip
+/// exactly; floats hold anything written with a fraction or exponent.
+/// Objects preserve insertion order (struct field declaration order),
+/// which keeps serialized documents deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative (or arbitrary signed) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object member by key; [`Value::Null`] when absent or not an
+    /// object (mirrors `serde_json`'s infallible indexing).
+    pub fn field(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    /// Object member by key, `None` when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            Value::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::U64(u) => i64::try_from(*u).ok(),
+            Value::I64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as ordered object pairs, if an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.field(key)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::U64(u) => write!(f, "{u}"),
+            Value::I64(i) => write!(f, "{i}"),
+            Value::F64(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Array(_) | Value::Object(_) => f.write_str("<composite>"),
+        }
+    }
+}

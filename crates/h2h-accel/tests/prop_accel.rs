@@ -6,7 +6,6 @@ use proptest::prelude::*;
 
 use h2h_accel::catalog::standard_accelerators;
 use h2h_accel::dataflow::occupancy;
-use h2h_accel::model::AccelModel;
 use h2h_model::layer::{ConvParams, FcParams, Layer, LayerOp, LstmParams};
 
 proptest! {

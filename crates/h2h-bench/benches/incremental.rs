@@ -1,5 +1,8 @@
 //! Full re-scheduling vs incremental propagation (paper §4.2's
-//! "update … without traversing the entire graph").
+//! "update … without traversing the entire graph"), plus the search-path
+//! comparison the remap loop actually cares about: scoring one candidate
+//! move by full locality rebuild + full evaluation versus the
+//! delta-engine stage/rollback.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -7,6 +10,7 @@ use std::time::Duration;
 
 use h2h_core::activation_fusion::rebuild_locality;
 use h2h_core::compute_map::computation_prioritized;
+use h2h_core::delta::DeltaEngine;
 use h2h_core::{H2hConfig, PinPreset};
 use h2h_model::units::Seconds;
 use h2h_system::incremental::IncrementalSchedule;
@@ -35,6 +39,40 @@ fn bench_incremental(c: &mut Criterion) {
             bump += 1;
             inc.set_duration(victim, Seconds::new(1e-3 + (bump % 7) as f64 * 1e-5));
             black_box(inc.propagate(&model, &[victim]))
+        })
+    });
+    group.finish();
+
+    // One candidate "move layer L to accelerator A" scored the old way
+    // (full knapsack/fusion rebuild + full evaluation) vs through the
+    // delta engine (scoped rebuild replay + cone propagation + undo).
+    let target = system
+        .acc_ids()
+        .find(|a| {
+            *a != mapping.acc_of(victim) && system.acc(*a).supports(model.layer(victim))
+        })
+        .expect("vlocnet layers run on several accelerators");
+    let mut group = c.benchmark_group("score_candidate_move");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group.bench_function("full_rebuild_evaluate", |b| {
+        let mut map = mapping.clone();
+        let home = map.acc_of(victim);
+        b.iter(|| {
+            map.set(victim, target);
+            let loc = rebuild_locality(&ev, &map, &cfg, &PinPreset::new());
+            let mk = ev.evaluate(&map, &loc).makespan();
+            map.set(victim, home);
+            black_box(mk)
+        })
+    });
+    group.bench_function("delta_stage_rollback", |b| {
+        let mut map = mapping.clone();
+        let preset = PinPreset::new();
+        let mut engine = DeltaEngine::new(&ev, &cfg, &preset, &map);
+        b.iter(|| {
+            let score = engine.stage_move(&mut map, victim, target);
+            engine.reject_staged(&mut map);
+            black_box(score)
         })
     });
     group.finish();

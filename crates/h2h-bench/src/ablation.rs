@@ -188,6 +188,7 @@ pub fn annealing_ablation(model: &ModelGraph, bw: BandwidthClass) -> Vec<Ablatio
             &ev,
             &cfg,
             &AnnealConfig { iterations, ..Default::default() },
+            &h2h_core::PinPreset::new(),
         )
         .expect("standard system maps every zoo model");
         rows.push(AblationRow {

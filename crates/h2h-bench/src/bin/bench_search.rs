@@ -1,0 +1,118 @@
+//! Search-efficiency benchmark: runs the step-4 remapping loop with the
+//! incremental delta engine and with the per-candidate
+//! full-re-evaluation reference on every zoo model, checks the two
+//! agree, and emits `BENCH_search.json` so the perf trajectory of the
+//! search core is tracked from run to run.
+//!
+//! ```text
+//! cargo run --release -p h2h-bench --bin bench_search [out.json]
+//! ```
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use h2h_core::compute_map::computation_prioritized;
+use h2h_core::remap::{data_locality_remapping, data_locality_remapping_reference};
+use h2h_core::{H2hConfig, PinPreset};
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+/// One model's delta-vs-reference search record.
+#[derive(Debug, Serialize)]
+struct SearchRecord {
+    model: String,
+    bandwidth: String,
+    layers: usize,
+    attempted_moves: usize,
+    accepted_moves: usize,
+    passes: usize,
+    delta_evals: usize,
+    full_evals_delta: usize,
+    full_evals_reference: usize,
+    full_eval_reduction: f64,
+    mean_propagated_layers: f64,
+    max_propagated_layers: usize,
+    delta_seconds: f64,
+    reference_seconds: f64,
+    wall_clock_speedup: f64,
+    final_latency_s: f64,
+    matches_reference: bool,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_search.json".to_owned());
+    let bw = BandwidthClass::LowMinus;
+    let system = SystemSpec::standard(bw);
+    let cfg = H2hConfig::default();
+    let preset = PinPreset::new();
+
+    let mut records = Vec::new();
+    println!(
+        "{:<10} {:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "model", "layers", "attempts", "full(old)", "full(new)", "reduction", "speedup", "match"
+    );
+    for model in h2h_model::zoo::all_models() {
+        let ev = Evaluator::new(&model, &system);
+        let (seed, _) = computation_prioritized(&ev, &cfg, &preset)
+            .expect("standard system maps every zoo model");
+
+        let mut map_delta = seed.clone();
+        let t = Instant::now();
+        let delta = data_locality_remapping(&ev, &cfg, &preset, &mut map_delta);
+        let delta_seconds = t.elapsed().as_secs_f64();
+
+        let mut map_ref = seed;
+        let t = Instant::now();
+        let reference = data_locality_remapping_reference(&ev, &cfg, &preset, &mut map_ref);
+        let reference_seconds = t.elapsed().as_secs_f64();
+
+        let matches_reference = map_delta == map_ref
+            && (delta.schedule.makespan().as_f64() - reference.schedule.makespan().as_f64())
+                .abs()
+                <= reference.schedule.makespan().as_f64() * 1e-12;
+        let reduction = if delta.stats.full_evals > 0 {
+            reference.stats.full_evals as f64 / delta.stats.full_evals as f64
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<10} {:>7} {:>9} {:>10} {:>10} {:>8.1}x {:>8.1}x {:>8}",
+            model.name(),
+            model.num_layers(),
+            delta.stats.attempted_moves,
+            reference.stats.full_evals,
+            delta.stats.full_evals,
+            reduction,
+            reference_seconds / delta_seconds.max(1e-12),
+            matches_reference,
+        );
+        records.push(SearchRecord {
+            model: model.name().to_owned(),
+            bandwidth: bw.label().to_owned(),
+            layers: model.num_layers(),
+            attempted_moves: delta.stats.attempted_moves,
+            accepted_moves: delta.stats.accepted_moves,
+            passes: delta.stats.passes,
+            delta_evals: delta.stats.delta_evals,
+            full_evals_delta: delta.stats.full_evals,
+            full_evals_reference: reference.stats.full_evals,
+            full_eval_reduction: reduction,
+            mean_propagated_layers: delta.stats.mean_propagated(),
+            max_propagated_layers: delta.stats.max_propagated,
+            delta_seconds,
+            reference_seconds,
+            wall_clock_speedup: reference_seconds / delta_seconds.max(1e-12),
+            final_latency_s: delta.schedule.makespan().as_f64(),
+            matches_reference,
+        });
+    }
+
+    let json = serde_json::to_string_pretty(&records).expect("records serialize");
+    std::fs::write(&out_path, json).expect("write BENCH_search.json");
+    println!("\nwrote {out_path}");
+    if records.iter().any(|r| !r.matches_reference) {
+        eprintln!("WARNING: delta search diverged from the reference on some model");
+        std::process::exit(1);
+    }
+}

@@ -107,7 +107,7 @@ pub fn run_sweep(cfg: &H2hConfig) -> Vec<ModelRun> {
 }
 
 /// Selects the runs of one bandwidth class, in Table 2 model order.
-pub fn at_bandwidth<'r>(runs: &'r [ModelRun], bw: BandwidthClass) -> Vec<&'r ModelRun> {
+pub fn at_bandwidth(runs: &[ModelRun], bw: BandwidthClass) -> Vec<&ModelRun> {
     runs.iter().filter(|r| r.bandwidth == bw.label()).collect()
 }
 

@@ -12,11 +12,13 @@
 //! | `dynamic_modality` | §4.5 extension experiment |
 //! | `ablation` | design-choice ablations (ours) |
 //! | `batch_sweep` | batched-serving extension (ours) |
+//! | `bench_search` | delta-vs-full search-core record → `BENCH_search.json` (ours) |
 //! | `repro_all` | everything above + JSON dump |
 //!
 //! Criterion benches (`cargo bench -p h2h-bench`) measure mapper search
 //! time (Fig. 5b's wall-clock complement), scheduler evaluation
-//! throughput, knapsack solvers and the event-driven simulator.
+//! throughput, incremental-vs-full candidate scoring, knapsack solvers
+//! and the event-driven simulator.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -34,23 +34,88 @@ pub fn activation_fusion_opt(
     mapping: &Mapping,
     loc: &mut LocalityState,
 ) {
-    let model = ev.model();
-    let system = ev.system();
-    let mut candidates: Vec<(Bytes, LayerId, LayerId)> = model
+    let candidates = sorted_fusion_candidates(ev, mapping);
+    fusion_pass(ev, mapping, loc, &candidates, &mut FullEvalOracle { ev, mapping });
+}
+
+/// Every fusable edge (non-input producer) in the pass's canonical
+/// global order: activation bytes descending, ties by endpoint
+/// indices. Mapping-independent — the incremental search core computes
+/// it once and filters per candidate mapping;
+/// [`sorted_fusion_candidates`] filters it for one mapping. Both share
+/// this single definition of the order so they can never drift apart.
+pub fn sorted_fusable_edges(model: &h2h_model::ModelGraph) -> Vec<(LayerId, LayerId)> {
+    let mut edges: Vec<(Bytes, LayerId, LayerId)> = model
         .edges()
-        .filter(|(from, to, _)| {
-            mapping.get(*from).is_some()
-                && mapping.get(*from) == mapping.get(*to)
-                && !matches!(model.layer(*from).op(), LayerOp::Input { .. })
+        .filter(|(from, _, _)| {
+            !matches!(model.layer(*from).op(), LayerOp::Input { .. })
         })
         .map(|(from, to, e)| (e.bytes(), from, to))
         .collect();
-    candidates.sort_by(|a, b| {
+    edges.sort_by(|a, b| {
         b.0.cmp(&a.0)
             .then(a.1.index().cmp(&b.1.index()))
             .then(a.2.index().cmp(&b.2.index()))
     });
-    for (_, from, to) in candidates {
+    edges.into_iter().map(|(_, f, t)| (f, t)).collect()
+}
+
+/// The colocated fusion candidates of `mapping`, in the canonical
+/// global order of [`sorted_fusable_edges`].
+pub fn sorted_fusion_candidates(
+    ev: &Evaluator<'_>,
+    mapping: &Mapping,
+) -> Vec<(LayerId, LayerId)> {
+    sorted_fusable_edges(ev.model())
+        .into_iter()
+        .filter(|(from, to)| {
+            mapping.get(*from).is_some() && mapping.get(*from) == mapping.get(*to)
+        })
+        .collect()
+}
+
+/// How a [`fusion_pass`] run observes the schedule it is mutating.
+///
+/// The pass body is shared between the one-shot optimizer (guards
+/// answered by full evaluations) and the incremental search core
+/// (guards answered by the delta schedule, which is bitwise-equal), so
+/// the two can never drift apart in candidate order or accept logic.
+pub trait FusionOracle {
+    /// Called after a non-risky fusion is accepted (capacity permitting).
+    fn fused(&mut self, loc: &LocalityState, from: LayerId, to: LayerId);
+    /// Called after a risky fusion is applied or reverted, so the
+    /// oracle can resynchronize its schedule state.
+    fn toggled(&mut self, loc: &LocalityState, from: LayerId, to: LayerId);
+    /// Exact makespan of the mapping under `loc`.
+    fn makespan(&mut self, loc: &LocalityState) -> h2h_model::units::Seconds;
+}
+
+struct FullEvalOracle<'e, 'm, 'a> {
+    ev: &'e Evaluator<'m>,
+    mapping: &'a Mapping,
+}
+
+impl FusionOracle for FullEvalOracle<'_, '_, '_> {
+    fn fused(&mut self, _loc: &LocalityState, _from: LayerId, _to: LayerId) {}
+    fn toggled(&mut self, _loc: &LocalityState, _from: LayerId, _to: LayerId) {}
+    fn makespan(&mut self, loc: &LocalityState) -> h2h_model::units::Seconds {
+        self.ev.evaluate(self.mapping, loc).makespan()
+    }
+}
+
+/// The step-3 pass body over pre-ordered `candidates` (see module docs
+/// for the accept rules). `oracle` supplies exact makespans for the
+/// risky-candidate guard and observes every fusion toggle.
+pub fn fusion_pass(
+    ev: &Evaluator<'_>,
+    mapping: &Mapping,
+    loc: &mut LocalityState,
+    candidates: &[(LayerId, LayerId)],
+    oracle: &mut dyn FusionOracle,
+) {
+    let model = ev.model();
+    let system = ev.system();
+    for &(from, to) in candidates {
         let acc = mapping.acc_of(from);
         let local = |s: &LayerId, loc: &LocalityState| {
             loc.is_fused(from, *s) && mapping.get(*s) == Some(acc)
@@ -62,14 +127,18 @@ pub fn activation_fusion_opt(
         let risky = !already_pays_dram_write && !all_local_after;
         if !risky {
             // Capacity-checked; refusal is fine (budget exhausted).
-            let _ = loc.try_fuse(model, system, from, to, acc);
+            if loc.try_fuse(model, system, from, to, acc) {
+                oracle.fused(loc, from, to);
+            }
             continue;
         }
-        let before = ev.evaluate(mapping, loc).makespan();
+        let before = oracle.makespan(loc);
         if loc.try_fuse(model, system, from, to, acc) {
-            let after = ev.evaluate(mapping, loc).makespan();
+            oracle.toggled(loc, from, to);
+            let after = oracle.makespan(loc);
             if after > before {
                 loc.unfuse(model, from, to, acc);
+                oracle.toggled(loc, from, to);
             }
         }
     }

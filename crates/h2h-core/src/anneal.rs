@@ -6,14 +6,21 @@
 //! This module provides a deterministic (seeded) SA over the same
 //! objective (end-to-end modeled latency with steps 2–3 re-applied per
 //! candidate), used by the `ablation` experiment.
+//!
+//! Proposals are scored by the incremental [`DeltaEngine`] (scoped
+//! locality-rebuild replay + cone-local schedule propagation), whose
+//! makespans are bitwise-equal to full evaluations, so the walk pays no
+//! full evaluation per proposal at all. The returned result is still
+//! evaluated exactly and guarded to never lose to the seed mapping.
 
-use h2h_system::schedule::{Evaluator, Schedule};
+use h2h_system::schedule::Evaluator;
 use h2h_system::system::AccId;
 
 use crate::activation_fusion::rebuild_locality;
 use crate::baseline::BaselineOutcome;
 use crate::compute_map::computation_prioritized;
 use crate::config::H2hConfig;
+use crate::delta::DeltaEngine;
 use crate::pipeline::H2hError;
 use crate::preset::PinPreset;
 
@@ -38,7 +45,9 @@ impl Default for AnnealConfig {
 }
 
 /// Runs simulated annealing from the computation-prioritized seed
-/// mapping. Deterministic per configuration.
+/// mapping. Deterministic per configuration. The caller's [`PinPreset`]
+/// (dynamic modality change, §4.5) participates in every locality
+/// rebuild, exactly as in the greedy pipeline.
 ///
 /// # Errors
 ///
@@ -48,10 +57,10 @@ pub fn simulated_annealing(
     ev: &Evaluator<'_>,
     cfg: &H2hConfig,
     anneal: &AnnealConfig,
+    preset: &PinPreset,
 ) -> Result<BaselineOutcome, H2hError> {
     let model = ev.model();
     let system = ev.system();
-    let preset = PinPreset::new();
 
     let mut state = anneal.seed | 1;
     let mut next = move || {
@@ -74,14 +83,14 @@ pub fn simulated_annealing(
         })
         .collect();
 
-    let (mut mapping, _) = computation_prioritized(ev, cfg, &preset)?;
-    let mut current: Schedule = {
-        let loc = rebuild_locality(ev, &mapping, cfg, &preset);
-        ev.evaluate(&mapping, &loc)
-    };
+    let (mut mapping, _) = computation_prioritized(ev, cfg, preset)?;
+    let seed_mapping = mapping.clone();
+    let mut engine = DeltaEngine::new(ev, cfg, preset, &mapping);
+    let seed_makespan = engine.schedule().makespan();
+    let mut current_makespan = seed_makespan.as_f64();
     let mut best_mapping = mapping.clone();
-    let mut best: Schedule = current.clone();
-    let mut temp = current.makespan().as_f64() * anneal.initial_temp;
+    let mut best_makespan = current_makespan;
+    let mut temp = current_makespan * anneal.initial_temp;
 
     for _ in 0..anneal.iterations {
         // Propose: move one random layer to a random capable device.
@@ -96,26 +105,39 @@ pub fn simulated_annealing(
         if pick == old {
             pick = options[(options.iter().position(|a| *a == old).unwrap() + 1) % options.len()];
         }
-        mapping.set(layers[li], pick);
-        let loc = rebuild_locality(ev, &mapping, cfg, &preset);
-        let cand = ev.evaluate(&mapping, &loc);
-        let delta = cand.makespan().as_f64() - current.makespan().as_f64();
+        engine.stats.attempted_moves += 1;
+        let _objective_score = engine.stage_move(&mut mapping, layers[li], pick);
+        let cand_makespan = engine.staged_makespan();
+        let delta = cand_makespan - current_makespan;
         let accept = delta <= 0.0 || (temp > 0.0 && uniform() < (-delta / temp).exp());
         if accept {
-            current = cand;
-            if current.makespan() < best.makespan() {
-                best = current.clone();
+            engine.accept_staged();
+            current_makespan = cand_makespan;
+            if current_makespan < best_makespan {
+                best_makespan = current_makespan;
                 best_mapping = mapping.clone();
             }
         } else {
-            mapping.set(layers[li], old);
+            engine.reject_staged(&mut mapping);
         }
         temp *= anneal.cooling;
     }
 
-    let locality = rebuild_locality(ev, &best_mapping, cfg, &preset);
-    let schedule = ev.evaluate(&best_mapping, &locality);
-    Ok(BaselineOutcome { mapping: best_mapping, locality, schedule })
+    let mut stats = engine.stats;
+    let mut locality = rebuild_locality(ev, &best_mapping, cfg, preset);
+    let mut schedule = ev.evaluate(&best_mapping, &locality);
+    stats.full_rebuilds += 1;
+    stats.full_evals += 1;
+    if schedule.makespan() > seed_makespan {
+        // Safety net (never expected to trigger): the walk may not lose
+        // to its own seed.
+        best_mapping = seed_mapping;
+        locality = rebuild_locality(ev, &best_mapping, cfg, preset);
+        schedule = ev.evaluate(&best_mapping, &locality);
+        stats.full_rebuilds += 1;
+        stats.full_evals += 1;
+    }
+    Ok(BaselineOutcome { mapping: best_mapping, locality, schedule, stats })
 }
 
 #[cfg(test)]
@@ -141,6 +163,7 @@ mod tests {
             &ev,
             &cfg,
             &AnnealConfig { iterations: 200, ..Default::default() },
+            &PinPreset::new(),
         )
         .unwrap();
         assert!(
@@ -162,12 +185,14 @@ mod tests {
             &ev,
             &cfg,
             &AnnealConfig { iterations: 150, seed: 42, ..Default::default() },
+            &PinPreset::new(),
         )
         .unwrap();
         let b = simulated_annealing(
             &ev,
             &cfg,
             &AnnealConfig { iterations: 150, seed: 42, ..Default::default() },
+            &PinPreset::new(),
         )
         .unwrap();
         assert_eq!(a.mapping, b.mapping);
@@ -184,9 +209,68 @@ mod tests {
             &ev,
             &cfg,
             &AnnealConfig { iterations: 0, ..Default::default() },
+            &PinPreset::new(),
         )
         .unwrap();
         let (seed_mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
         assert_eq!(sa.mapping, seed_mapping);
+    }
+
+    #[test]
+    fn sa_honours_the_callers_preset() {
+        // A preset pin must survive into the SA result's locality: the
+        // regression this test guards is `simulated_annealing`
+        // hard-coding `PinPreset::new()` and silently dropping
+        // pre-buffered weights.
+        let model = h2h_model::zoo::cnn_lstm();
+        let system = SystemSpec::standard(BandwidthClass::Mid);
+        let ev = Evaluator::new(&model, &system);
+        let cfg = H2hConfig::default();
+        // Find a weighted layer and pre-buffer it where SA's seed maps it.
+        let (seed_mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+        let weighted = model
+            .topo_order()
+            .into_iter()
+            .find(|id| model.layer(*id).has_weights())
+            .expect("zoo model has weighted layers");
+        let mut preset = PinPreset::new();
+        preset.insert(weighted, seed_mapping.acc_of(weighted));
+        let sa = simulated_annealing(
+            &ev,
+            &cfg,
+            &AnnealConfig { iterations: 40, ..Default::default() },
+            &preset,
+        )
+        .unwrap();
+        // If SA kept the layer where the weights already live, they must
+        // be pinned (forced pins precede the knapsack).
+        if sa.mapping.acc_of(weighted) == seed_mapping.acc_of(weighted) {
+            assert!(
+                sa.locality.is_pinned(weighted),
+                "preset pin dropped by the annealer"
+            );
+        }
+        assert!(sa.stats.delta_evals > 0, "SA must route through the delta engine");
+    }
+
+    #[test]
+    fn sa_spends_fewer_full_evals_than_proposals() {
+        let model = h2h_model::zoo::mocap();
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let ev = Evaluator::new(&model, &system);
+        let cfg = H2hConfig::default();
+        let sa = simulated_annealing(
+            &ev,
+            &cfg,
+            &AnnealConfig { iterations: 300, ..Default::default() },
+            &PinPreset::new(),
+        )
+        .unwrap();
+        assert!(
+            sa.stats.full_evals < sa.stats.attempted_moves,
+            "full evals ({}) should undercut proposals ({})",
+            sa.stats.full_evals,
+            sa.stats.attempted_moves
+        );
     }
 }

@@ -22,6 +22,7 @@ use h2h_system::system::AccId;
 
 use crate::activation_fusion::rebuild_locality;
 use crate::compute_map::computation_prioritized;
+use crate::delta::SearchStats;
 use crate::config::H2hConfig;
 use crate::pipeline::H2hError;
 use crate::preset::PinPreset;
@@ -36,6 +37,9 @@ pub struct BaselineOutcome {
     pub locality: LocalityState,
     /// The evaluated schedule.
     pub schedule: Schedule,
+    /// Evaluation counters (zero for single-shot mappers; populated by
+    /// iterative searches like simulated annealing).
+    pub stats: SearchStats,
 }
 
 /// The paper's baseline: computation-prioritized mapping with weight
@@ -58,7 +62,7 @@ pub fn computation_prioritized_baseline(
         &PinPreset::new(),
     );
     let schedule = ev.evaluate(&mapping, &locality);
-    Ok(BaselineOutcome { mapping, locality, schedule })
+    Ok(BaselineOutcome { mapping, locality, schedule, stats: SearchStats::default() })
 }
 
 /// Communication-prioritized cluster mapping: all layers of one modality
@@ -102,7 +106,7 @@ pub fn cluster_mapping(
                     None => cost += 1e6,
                 }
             }
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, acc));
             }
         }
@@ -127,7 +131,7 @@ pub fn cluster_mapping(
 
     let locality = rebuild_locality(ev, &mapping, cfg, &PinPreset::new());
     let schedule = ev.evaluate(&mapping, &locality);
-    Ok(BaselineOutcome { mapping, locality, schedule })
+    Ok(BaselineOutcome { mapping, locality, schedule, stats: SearchStats::default() })
 }
 
 /// A validity-respecting pseudo-random mapping (xorshift64*, so the
@@ -165,7 +169,7 @@ pub fn random_mapping(
     }
     let locality = LocalityState::new(system);
     let schedule = ev.evaluate(&mapping, &locality);
-    Ok(BaselineOutcome { mapping, locality, schedule })
+    Ok(BaselineOutcome { mapping, locality, schedule, stats: SearchStats::default() })
 }
 
 /// Brute-force optimum over all capable assignments, with steps 2–3
@@ -207,7 +211,7 @@ pub fn exhaustive_best(
         let sched = ev.evaluate(&mapping, &loc);
         if best
             .as_ref()
-            .map_or(true, |(b, _, _)| sched.makespan() < *b)
+            .is_none_or(|(b, _, _)| sched.makespan() < *b)
         {
             best = Some((sched.makespan(), mapping, sched));
         }

@@ -37,16 +37,32 @@ impl MapObjective {
     /// Scalar score of a schedule under this objective (lower is
     /// better).
     pub fn score(&self, schedule: &h2h_system::schedule::Schedule) -> f64 {
+        self.score_parts(
+            schedule.makespan().as_f64(),
+            schedule.energy().total().as_f64(),
+            schedule.bottleneck_busy().as_f64(),
+        )
+    }
+
+    /// Scalar score from raw schedule quantities; lets the incremental
+    /// delta engine score candidates from its running aggregates without
+    /// materializing a full `Schedule`.
+    pub fn score_parts(&self, makespan: f64, energy_total: f64, bottleneck_busy: f64) -> f64 {
         match self {
-            MapObjective::Latency => schedule.makespan().as_f64(),
-            MapObjective::Energy => schedule.energy().total().as_f64(),
-            MapObjective::EnergyDelayProduct => {
-                schedule.makespan().as_f64() * schedule.energy().total().as_f64()
-            }
-            MapObjective::Throughput => {
-                schedule.bottleneck_busy().as_f64() + 1e-6 * schedule.makespan().as_f64()
-            }
+            MapObjective::Latency => makespan,
+            MapObjective::Energy => energy_total,
+            MapObjective::EnergyDelayProduct => makespan * energy_total,
+            MapObjective::Throughput => bottleneck_busy + 1e-6 * makespan,
         }
+    }
+
+    /// Score of an incremental [`h2h_system::incremental::ScheduleProxy`].
+    pub fn score_proxy(&self, proxy: &h2h_system::incremental::ScheduleProxy) -> f64 {
+        self.score_parts(
+            proxy.makespan.as_f64(),
+            proxy.energy_total,
+            proxy.bottleneck_busy.as_f64(),
+        )
     }
 }
 

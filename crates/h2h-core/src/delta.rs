@@ -1,0 +1,448 @@
+//! The incremental-evaluation search core (paper §4.2 / §4.4).
+//!
+//! Every H2H search loop asks the same question thousands of times:
+//! *"if layer L moved to accelerator A, what would the system cost
+//! be?"*. Historically each candidate re-ran the full knapsack +
+//! fusion rebuild and a full `O(V+E)` list schedule. [`DeltaEngine`]
+//! answers it incrementally instead:
+//!
+//! 1. **Scoped locality rebuild** — a move from accelerator `A` to `B`
+//!    can only change the weight-knapsack inputs *of `A` and `B`*
+//!    (knapsacks are per-accelerator), so only those two accelerators'
+//!    pin sets are re-optimized; every other accelerator's pins are
+//!    carried over unchanged.
+//! 2. **Delta scheduling** — the tentative durations feed
+//!    [`IncrementalSchedule`], which re-times only the affected cone
+//!    (graph successors + same-accelerator queue successors) instead of
+//!    the whole graph.
+//!
+//! The rebuild replay is *exact*: per-accelerator pin sets provably
+//! cannot change off the two touched accelerators, and the fusion
+//! pass — whose "risky" candidates are guarded by a global makespan
+//! comparison — is replayed in its exact global order with the guard
+//! answered by the incremental schedule, which is bitwise-equal to the
+//! full evaluation it replaces (same per-layer costs from
+//! [`Evaluator::layer_cost`], same recurrence). Accepted candidates
+//! therefore commit the delta state directly; the only full
+//! evaluations in a search run are the seed and the finalization, and
+//! final mappings/latencies are identical to the historical
+//! per-candidate full-re-evaluation implementations (asserted by
+//! equivalence tests over the whole zoo).
+//!
+//! [`SearchStats`] counts delta vs full evaluations so the speedup is
+//! observable (`h2h-bench` emits it as `BENCH_search.json`).
+
+use std::collections::HashSet;
+
+use serde::Serialize;
+
+use h2h_model::graph::LayerId;
+use h2h_model::units::Seconds;
+use h2h_system::incremental::IncrementalSchedule;
+use h2h_system::locality::LocalityState;
+use h2h_system::mapping::Mapping;
+use h2h_system::schedule::{Evaluator, Schedule};
+use h2h_system::system::AccId;
+
+use crate::activation_fusion::{
+    fusion_pass, rebuild_locality, sorted_fusable_edges, FusionOracle,
+};
+use crate::config::H2hConfig;
+use crate::preset::PinPreset;
+use crate::weight_locality::weight_locality_pass;
+
+/// Instrumentation of one search run: how often the delta engine
+/// answered a candidate query versus how often a full evaluation was
+/// needed, and how local the delta updates were.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct SearchStats {
+    /// Candidate moves scored by the delta engine.
+    pub delta_evals: usize,
+    /// Full `Evaluator::evaluate` calls on the search path.
+    pub full_evals: usize,
+    /// Full (all-accelerator) locality rebuilds.
+    pub full_rebuilds: usize,
+    /// Scoped (two-accelerator) locality rebuilds.
+    pub scoped_rebuilds: usize,
+    /// Total layers re-timed across all delta propagations.
+    pub propagated_layers: usize,
+    /// Largest single propagation cone.
+    pub max_propagated: usize,
+    /// Moves attempted by the search loop.
+    pub attempted_moves: usize,
+    /// Moves accepted.
+    pub accepted_moves: usize,
+    /// Full passes executed (remap loop only).
+    pub passes: usize,
+}
+
+impl SearchStats {
+    /// Full evaluations a per-candidate-full-re-evaluation
+    /// implementation would have spent: one per attempted move (the
+    /// historical inner loop), versus [`SearchStats::full_evals`]
+    /// actually spent.
+    pub fn full_evals_saved_ratio(&self) -> f64 {
+        if self.full_evals == 0 {
+            return self.attempted_moves as f64;
+        }
+        self.attempted_moves as f64 / self.full_evals as f64
+    }
+
+    /// Mean layers re-timed per delta evaluation.
+    pub fn mean_propagated(&self) -> f64 {
+        if self.delta_evals == 0 {
+            return 0.0;
+        }
+        self.propagated_layers as f64 / self.delta_evals as f64
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.delta_evals += other.delta_evals;
+        self.full_evals += other.full_evals;
+        self.full_rebuilds += other.full_rebuilds;
+        self.scoped_rebuilds += other.scoped_rebuilds;
+        self.propagated_layers += other.propagated_layers;
+        self.max_propagated = self.max_propagated.max(other.max_propagated);
+        self.attempted_moves += other.attempted_moves;
+        self.accepted_moves += other.accepted_moves;
+        self.passes += other.passes;
+    }
+}
+
+fn note_propagation(stats: &mut SearchStats, touched: usize) {
+    stats.propagated_layers += touched;
+    stats.max_propagated = stats.max_propagated.max(touched);
+}
+
+/// The [`FusionOracle`] that answers the shared fusion pass's makespan
+/// guards from the incremental schedule. Non-risky fusions batch their
+/// cost refreshes in `pending`, flushed lazily right before a guard
+/// reads the makespan (and once at the end via
+/// [`DeltaOracle::flush`]).
+struct DeltaOracle<'x, 'e, 'm> {
+    ev: &'e Evaluator<'m>,
+    mapping: &'x Mapping,
+    inc: &'x mut IncrementalSchedule,
+    stats: &'x mut SearchStats,
+    pending: Vec<LayerId>,
+}
+
+impl DeltaOracle<'_, '_, '_> {
+    fn flush(&mut self, loc: &LocalityState) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let seeds = self.inc.refresh_costs(self.ev, self.mapping, loc, pending);
+        self.inc.propagate(self.ev.model(), &seeds);
+        note_propagation(self.stats, self.inc.touched());
+    }
+}
+
+impl FusionOracle for DeltaOracle<'_, '_, '_> {
+    fn fused(&mut self, _loc: &LocalityState, from: LayerId, to: LayerId) {
+        self.pending.push(from);
+        self.pending.push(to);
+    }
+
+    fn toggled(&mut self, loc: &LocalityState, from: LayerId, to: LayerId) {
+        let seeds = self.inc.refresh_costs(self.ev, self.mapping, loc, [from, to]);
+        self.inc.propagate(self.ev.model(), &seeds);
+        note_propagation(self.stats, self.inc.touched());
+    }
+
+    fn makespan(&mut self, loc: &LocalityState) -> Seconds {
+        self.flush(loc);
+        self.inc.makespan()
+    }
+}
+
+/// Incremental candidate-move evaluator bound to one search run.
+///
+/// The engine always holds the exact state of the current mapping
+/// (locality + the delta schedule mirroring it, with aggregates
+/// resummed so every objective scores bitwise like a full evaluation).
+/// Candidates are staged transactionally on top and either rolled back
+/// or committed as the new current state.
+#[derive(Debug)]
+pub struct DeltaEngine<'e, 'm> {
+    ev: &'e Evaluator<'m>,
+    cfg: &'e H2hConfig,
+    preset: &'e PinPreset,
+    inc: IncrementalSchedule,
+    locality: LocalityState,
+    schedule: Schedule,
+    score: f64,
+    staged: Option<(LayerId, AccId)>,
+    staged_locality: Option<LocalityState>,
+    /// All non-input-producer edges pre-sorted by the fusion pass's
+    /// global order (bytes desc, then endpoint indices) — the
+    /// mapping-independent part of the candidate list, computed once.
+    sorted_edges: Vec<(LayerId, LayerId)>,
+    /// Evaluation counters for this run.
+    pub stats: SearchStats,
+}
+
+impl<'e, 'm> DeltaEngine<'e, 'm> {
+    /// Binds the engine to `mapping`'s exact state (one full rebuild +
+    /// evaluation).
+    pub fn new(
+        ev: &'e Evaluator<'m>,
+        cfg: &'e H2hConfig,
+        preset: &'e PinPreset,
+        mapping: &Mapping,
+    ) -> Self {
+        let mut stats = SearchStats::default();
+        stats.full_rebuilds += 1;
+        stats.full_evals += 1;
+        let locality = rebuild_locality(ev, mapping, cfg, preset);
+        let schedule = ev.evaluate(mapping, &locality);
+        let score = cfg.objective.score(&schedule);
+        let inc = IncrementalSchedule::new(ev, mapping, &locality);
+        let sorted_edges = sorted_fusable_edges(ev.model());
+        DeltaEngine {
+            ev,
+            cfg,
+            preset,
+            inc,
+            locality,
+            schedule,
+            score,
+            staged: None,
+            staged_locality: None,
+            sorted_edges,
+            stats,
+        }
+    }
+
+    /// Objective score of the current (exact) state.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Schedule of the last exactly evaluated state (the seed, or the
+    /// last [`DeltaEngine::finalize`]d state). Trusted accepts advance
+    /// the engine past this snapshot; call
+    /// [`DeltaEngine::finalize`] for an up-to-date exact schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Locality of the current state (exact: the staged rebuild replay
+    /// reproduces the full rebuild's decisions bitwise).
+    pub fn locality(&self) -> &LocalityState {
+        &self.locality
+    }
+
+    /// Re-evaluates the current state exactly (one full evaluation) and
+    /// consumes the engine, yielding the final `(locality, schedule,
+    /// stats)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate is still staged.
+    pub fn finalize(mut self, mapping: &Mapping) -> (LocalityState, Schedule, SearchStats) {
+        assert!(self.staged.is_none(), "finalize with a staged candidate");
+        self.stats.full_evals += 1;
+        let schedule = self.ev.evaluate(mapping, &self.locality);
+        (self.locality, schedule, self.stats)
+    }
+
+    /// Stages the candidate "move `layer` to `to`": mutates `mapping`,
+    /// performs the scoped locality rebuild for the two touched
+    /// accelerators and delta-propagates the schedule. Returns the
+    /// candidate's objective score (delta-exact). The candidate stays
+    /// staged until [`DeltaEngine::reject_staged`] or
+    /// [`DeltaEngine::accept_staged`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate is already staged or `to` equals the
+    /// layer's current accelerator.
+    pub fn stage_move(&mut self, mapping: &mut Mapping, layer: LayerId, to: AccId) -> f64 {
+        assert!(self.staged.is_none(), "candidate already staged");
+        let from = mapping.acc_of(layer);
+        assert_ne!(from, to, "staging a no-op move");
+        self.stats.delta_evals += 1;
+        self.stats.scoped_rebuilds += 1;
+        self.staged = Some((layer, from));
+        self.inc.begin();
+
+        let model = self.ev.model();
+
+        // Strip the pins charged to the two touched accelerators
+        // (attribution uses the pre-move mapping): a move can only
+        // change the per-accelerator knapsack inputs of its endpoints,
+        // so every other accelerator's pin set is provably identical to
+        // what a full rebuild would recompute and is carried over.
+        //
+        // Fusions are different: the activation-fusion pass guards
+        // "risky" candidates with a *global* makespan comparison, so
+        // any accelerator's fusion decisions can in principle flip when
+        // the schedule changes. To keep the delta score exactly equal
+        // to the full rebuild (and search decisions bitwise identical),
+        // all fusions are stripped and the fusion pass below re-runs in
+        // full — with its makespan guards answered by the incremental
+        // schedule instead of full evaluations.
+        let mut loc = self.locality.clone();
+        let in_scope = |a: AccId| a == from || a == to;
+        let stripped_pins: Vec<(LayerId, AccId)> = loc
+            .pinned_layers()
+            .filter_map(|l| mapping.get(l).filter(|a| in_scope(*a)).map(|a| (l, a)))
+            .collect();
+        let old_pins: HashSet<LayerId> = stripped_pins.iter().map(|(l, _)| *l).collect();
+        for (l, a) in stripped_pins {
+            loc.unpin(model, l, a);
+        }
+        let stripped_fusions: Vec<(LayerId, LayerId, AccId)> = loc
+            .fused_edges()
+            .filter_map(|(f, t)| mapping.get(f).map(|a| (f, t, a)))
+            .collect();
+        let mut fusion_dirty: Vec<LayerId> = Vec::new();
+        for (f, t, a) in stripped_fusions {
+            loc.unfuse(model, f, t, a);
+            fusion_dirty.push(f);
+            fusion_dirty.push(t);
+        }
+
+        // Apply the move.
+        mapping.set(layer, to);
+        let mut seeds = self.inc.move_layer(layer, to);
+
+        // Scoped step 2: the shared `weight_locality_pass` body (preset
+        // pins + per-accelerator knapsack) restricted to the two
+        // touched accelerators.
+        let mut scoped: Vec<AccId> = vec![from, to];
+        scoped.sort_by_key(|a| a.index());
+        if self.cfg.enable_weight_locality {
+            weight_locality_pass(
+                self.ev,
+                mapping,
+                &mut loc,
+                self.cfg.knapsack,
+                self.preset,
+                &scoped,
+            );
+        }
+
+        // Re-derive the costs of every layer whose terms can change:
+        // the moved layer (new compute time / DRAM rate), layers whose
+        // pin state differs between the stripped and re-run knapsacks,
+        // and the endpoints of stripped fusions. Unchanged-pin layers
+        // on the touched accelerators keep their exact costs — only
+        // their start times can move, which propagation handles. The
+        // delta state then mirrors the full evaluation of `(mapping,
+        // pins-only locality)` bitwise.
+        let new_pins: HashSet<LayerId> = loc
+            .pinned_layers()
+            .filter(|l| mapping.get(*l).is_some_and(in_scope))
+            .collect();
+        let mut dirty: Vec<LayerId> = vec![layer];
+        dirty.extend(old_pins.symmetric_difference(&new_pins).copied());
+        dirty.extend(fusion_dirty);
+        seeds.extend(self.inc.refresh_costs(self.ev, mapping, &loc, dirty.iter().copied()));
+        self.inc.propagate(model, &seeds);
+        self.note_propagation();
+
+        // Step 3 replay: the shared `fusion_pass` body over all
+        // accelerators in the exact global candidate order of
+        // `activation_fusion_opt`, with the makespan guard for risky
+        // candidates answered by the delta schedule (bitwise-equal to
+        // the full evaluation it replaces).
+        if self.cfg.enable_activation_fusion {
+            let sorted_edges = std::mem::take(&mut self.sorted_edges);
+            let candidates: Vec<(LayerId, LayerId)> = sorted_edges
+                .iter()
+                .copied()
+                .filter(|(f, t)| {
+                    mapping.get(*f).is_some() && mapping.get(*f) == mapping.get(*t)
+                })
+                .collect();
+            let mut oracle = DeltaOracle {
+                ev: self.ev,
+                mapping,
+                inc: &mut self.inc,
+                stats: &mut self.stats,
+                pending: Vec::new(),
+            };
+            fusion_pass(self.ev, mapping, &mut loc, &candidates, &mut oracle);
+            oracle.flush(&loc);
+            self.sorted_edges = sorted_edges;
+        }
+
+        // A fresh in-order summation makes the proxy aggregates
+        // bitwise-equal to a full evaluation's, so every objective's
+        // score — not just latency — filters exactly.
+        self.inc.resum_aggregates();
+        self.staged_locality = Some(loc);
+        self.cfg.objective.score_proxy(&self.inc.proxy())
+    }
+
+    fn note_propagation(&mut self) {
+        note_propagation(&mut self.stats, self.inc.touched());
+    }
+
+    /// Makespan of the currently staged candidate (delta-exact given
+    /// the scoped locality rebuild).
+    pub fn staged_makespan(&self) -> f64 {
+        self.inc.makespan().as_f64()
+    }
+
+    /// Rolls the staged candidate back, restoring `mapping` and the
+    /// delta schedule to the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate is staged.
+    pub fn reject_staged(&mut self, mapping: &mut Mapping) {
+        let (layer, from) = self.staged.take().expect("no staged candidate");
+        self.staged_locality = None;
+        mapping.set(layer, from);
+        self.inc.rollback();
+    }
+
+    /// Commits the staged candidate: its replayed locality and delta
+    /// schedule become the engine's current state (no full evaluation —
+    /// the replay is exact by construction). Returns the committed
+    /// objective score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no candidate is staged.
+    pub fn accept_staged(&mut self) -> f64 {
+        assert!(self.staged.take().is_some(), "no staged candidate");
+        self.locality = self
+            .staged_locality
+            .take()
+            .expect("staged candidate carries its locality");
+        self.inc.commit();
+        self.score = self.cfg.objective.score_proxy(&self.inc.proxy());
+        self.stats.accepted_moves += 1;
+        self.score
+    }
+
+    /// Greedy accept-if-better step: stages the move and accepts iff
+    /// the candidate score improves on the current state by more than
+    /// `accept_epsilon` — the same decision rule (over bitwise-equal
+    /// scores) as the historical full-re-evaluation loop. Returns
+    /// `true` on accept (with `mapping` left moved) and `false` on
+    /// reject (with `mapping` restored).
+    pub fn try_improving_move(
+        &mut self,
+        mapping: &mut Mapping,
+        layer: LayerId,
+        to: AccId,
+    ) -> bool {
+        self.stats.attempted_moves += 1;
+        let best = self.score;
+        let cand = self.stage_move(mapping, layer, to);
+        if cand + self.cfg.accept_epsilon < best {
+            self.accept_staged();
+            true
+        } else {
+            self.reject_staged(mapping);
+            false
+        }
+    }
+}

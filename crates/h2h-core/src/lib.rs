@@ -37,6 +37,7 @@ pub mod anneal;
 pub mod baseline;
 pub mod compute_map;
 pub mod config;
+pub mod delta;
 pub mod dynamic;
 pub mod knapsack;
 pub mod pipeline;
@@ -46,6 +47,7 @@ pub mod report;
 pub mod weight_locality;
 
 pub use config::{H2hConfig, KnapsackKind, MapObjective};
+pub use delta::{DeltaEngine, SearchStats};
 pub use dynamic::{DynamicOutcome, DynamicSession};
 pub use pipeline::{H2hError, H2hMapper, H2hOutcome, Step, StepSnapshot};
 pub use preset::PinPreset;

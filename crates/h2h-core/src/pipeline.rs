@@ -27,6 +27,7 @@ use h2h_system::system::SystemSpec;
 use crate::activation_fusion::{activation_fusion_opt, rebuild_locality};
 use crate::compute_map::computation_prioritized;
 use crate::config::H2hConfig;
+use crate::delta::SearchStats;
 use crate::preset::PinPreset;
 use crate::remap::data_locality_remapping;
 use crate::weight_locality::weight_locality_opt;
@@ -153,6 +154,9 @@ pub struct H2hOutcome {
     pub schedule: Schedule,
     /// Total mapper wall-clock ("search time", Fig. 5b).
     pub search_time: Duration,
+    /// Delta-vs-full evaluation counters of the step-4 search (zeroed
+    /// when remapping is disabled).
+    pub remap_stats: SearchStats,
 }
 
 impl H2hOutcome {
@@ -252,9 +256,9 @@ impl<'a> H2hMapper<'a> {
     ///
     /// Panics if `batch == 0`.
     pub fn with_serving_batch(mut self, batch: u32) -> Self {
-        let model = self.evaluator.model();
-        let system = self.evaluator.system();
-        self.evaluator = Evaluator::new(model, system).with_batch(batch);
+        // Preserve the already-built evaluator state (memoized cost
+        // cache, topological order) — only the batch factor changes.
+        self.evaluator = self.evaluator.with_batch(batch);
         self
     }
 
@@ -287,7 +291,7 @@ impl<'a> H2hMapper<'a> {
         let loc2 = if cfg.enable_weight_locality {
             weight_locality_opt(ev, &mapping, zero, cfg.knapsack, &self.preset)
         } else {
-            zero_state(ev.system())
+            LocalityState::new(ev.system())
         };
         let s2 = ev.evaluate(&mapping, &loc2);
         snapshots.push(StepSnapshot::record(Step::WeightLocality, &s2, t.elapsed()));
@@ -301,17 +305,17 @@ impl<'a> H2hMapper<'a> {
         let s3 = ev.evaluate(&mapping, &loc3);
         snapshots.push(StepSnapshot::record(Step::ActivationFusion, &s3, t.elapsed()));
 
-        // Step 4: remapping (re-runs steps 2-3 per attempt).
+        // Step 4: remapping (delta-scored, exact at accept time).
         let t = Instant::now();
-        let (locality, schedule) = if cfg.enable_remapping {
+        let (locality, schedule, remap_stats) = if cfg.enable_remapping {
             let out = data_locality_remapping(ev, cfg, &self.preset, &mut mapping);
-            (out.locality, out.schedule)
+            (out.locality, out.schedule, out.stats)
         } else {
             // Even with remapping disabled the final state re-runs the
             // rebuild so step-3 capacity ordering matches step 4's.
             let loc = rebuild_locality(ev, &mapping, cfg, &self.preset);
             let sched = ev.evaluate(&mapping, &loc);
-            (loc, sched)
+            (loc, sched, SearchStats::default())
         };
         snapshots.push(StepSnapshot::record(Step::Remapping, &schedule, t.elapsed()));
 
@@ -322,12 +326,9 @@ impl<'a> H2hMapper<'a> {
             locality,
             schedule,
             search_time: total_start.elapsed(),
+            remap_stats,
         })
     }
-}
-
-fn zero_state(system: &SystemSpec) -> LocalityState {
-    LocalityState::new(system)
 }
 
 #[cfg(test)]

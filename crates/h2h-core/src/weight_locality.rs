@@ -28,24 +28,47 @@ pub fn weight_locality_opt(
     kind: KnapsackKind,
     preset: &PinPreset,
 ) -> LocalityState {
+    let mut loc = base;
+    let accs: Vec<AccId> = ev.system().acc_ids().collect();
+    weight_locality_pass(ev, mapping, &mut loc, kind, preset, &accs);
+    loc
+}
+
+/// The step-2 pass body, restricted to `accs`: forced preset pins for
+/// layers mapped there, then the per-accelerator knapsack. Because both
+/// stages are strictly per-accelerator, running this over a subset of
+/// accelerators reproduces exactly what the full pass would decide for
+/// them — the property the incremental search core's scoped rebuild
+/// relies on, which is why both share this one body.
+pub fn weight_locality_pass(
+    ev: &Evaluator<'_>,
+    mapping: &Mapping,
+    loc: &mut LocalityState,
+    kind: KnapsackKind,
+    preset: &PinPreset,
+    accs: &[AccId],
+) {
     let model = ev.model();
     let system = ev.system();
     let eth = system.ethernet().as_f64();
-    let mut loc = base;
 
     // Forced pins first: weights already resident from a previous
     // configuration keep their slot as long as the layer still maps to
     // that accelerator.
     for (layer, acc) in preset.iter() {
-        if mapping.get(layer) == Some(acc) && model.layer(layer).has_weights() {
+        if accs.contains(&acc)
+            && mapping.get(layer) == Some(acc)
+            && model.layer(layer).has_weights()
+        {
             // Capacity can refuse if the new configuration shrank the
             // budget; the knapsack below then competes for the slot.
             let _ = loc.try_pin(model, system, layer, acc);
         }
     }
 
-    for acc in system.acc_ids() {
+    for &acc in accs {
         let dram = system.acc(acc).dram_bandwidth().as_f64();
+        let mut ids = Vec::new();
         let items: Vec<Item> = model
             .layers()
             .filter(|(id, layer)| {
@@ -53,8 +76,9 @@ pub fn weight_locality_opt(
             })
             .map(|(id, layer)| {
                 let bytes = layer.weight_bytes(DataType::F32).as_u64();
+                ids.push(id);
                 Item {
-                    id: id.index(),
+                    id: ids.len() - 1,
                     weight: bytes,
                     value: bytes as f64 * (1.0 / eth - 1.0 / dram),
                 }
@@ -70,15 +94,10 @@ pub fn weight_locality_opt(
             KnapsackKind::Auto => solve_auto(&items, capacity),
         };
         for idx in chosen {
-            let layer = model
-                .layer_ids()
-                .find(|l| l.index() == idx)
-                .expect("knapsack ids come from the model");
-            let ok = loc.try_pin(model, system, layer, acc);
+            let ok = loc.try_pin(model, system, ids[idx], acc);
             debug_assert!(ok, "knapsack selections must fit the DRAM budget");
         }
     }
-    loc
 }
 
 /// Total weight bytes mapped to `acc` (reporting helper).

@@ -14,7 +14,7 @@ use crate::tensor::TensorShape;
 /// friendly channel counts).
 pub fn scale_channels(c: u32, width: f64) -> u32 {
     let scaled = (c as f64 * width).round() as u32;
-    (scaled.max(8) + 7) / 8 * 8
+    scaled.max(8).div_ceil(8) * 8
 }
 
 /// ResNet stem: 7×7 stride-2 convolution + 3×3 stride-2 max pool.

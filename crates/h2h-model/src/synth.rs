@@ -134,9 +134,9 @@ fn vision_branch(
     depth: usize,
     rng: &mut StdRng,
 ) -> Result<(LayerId, LayerId), ModelError> {
-    let side = *[96u32, 112, 128, 160].get(rng.random_range(0..4)).expect("static") ;
+    let side = *[96u32, 112, 128, 160].get(rng.random_range(0..4usize)).expect("static") ;
     let input = b.input(&format!("{tag}.in"), TensorShape::Feature { c: 3, h: side, w: side });
-    let mut channels = 8 * rng.random_range(4..=8);
+    let mut channels = 8 * rng.random_range(4u32..=8);
     let mut x = b.conv(&format!("{tag}.stem"), input, channels, rng.random_range(3..=7), 2)?;
     let mut summary = None;
     for d in 0..depth.saturating_sub(1) {
@@ -167,17 +167,17 @@ fn sequence_branch(
     rng: &mut StdRng,
 ) -> Result<(LayerId, LayerId), ModelError> {
     let steps = rng.random_range(500..=4000);
-    let features = 8 * rng.random_range(2..=16);
+    let features = 8 * rng.random_range(2u32..=16);
     let input = b.input(&format!("{tag}.in"), TensorShape::Sequence { steps, features });
     let mut x = input;
     let conv_layers = depth / 2;
-    let mut channels = 8 * rng.random_range(8..=32);
+    let mut channels = 8 * rng.random_range(8u32..=32);
     for d in 0..conv_layers {
         let stride = if rng.random_bool(0.5) { 2 } else { 1 };
         x = b.conv1d(&format!("{tag}.c1d{d}"), x, channels, rng.random_range(3..=5), stride)?;
         channels = (channels + 64).min(512);
     }
-    let hidden = 8 * rng.random_range(16..=64);
+    let hidden = 8 * rng.random_range(16u32..=64);
     let mut summary = None;
     for d in 0..(depth - conv_layers).max(1) {
         let last = d + 1 == (depth - conv_layers).max(1);

@@ -17,8 +17,10 @@ use crate::units::Bytes;
 /// (the paper does not model quantized transfers); narrower types exist so
 /// custom accelerator plug-ins can model quantized local storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum DataType {
     /// 32-bit float (default model precision).
+    #[default]
     F32,
     /// 16-bit float.
     F16,
@@ -37,11 +39,6 @@ impl DataType {
     }
 }
 
-impl Default for DataType {
-    fn default() -> Self {
-        DataType::F32
-    }
-}
 
 /// Logical shape of an activation tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -4,13 +4,50 @@
 //! iteration, we only update a node's direct successor neighbors without
 //! traversing the entire graph"*).
 //!
-//! [`IncrementalSchedule`] seeds itself from a full [`Evaluator`] pass
-//! and thereafter accepts per-layer duration changes (a weight getting
-//! pinned, an edge getting fused), propagating start/finish times along
-//! a worklist that touches only the affected cone: the layer itself, its
-//! graph successors, and queue successors on the same accelerator. The
-//! equivalence with full re-evaluation is asserted by tests and measured
-//! by the `incremental` criterion bench.
+//! [`IncrementalSchedule`] mirrors the full [`Evaluator`]'s list
+//! schedule as mutable per-layer state and re-derives start/finish times
+//! along only the *affected cone* of a change: the changed layers, their
+//! graph successors, and queue successors on the owning accelerators.
+//! On top of the original duration-delta API
+//! ([`IncrementalSchedule::set_duration`] +
+//! [`IncrementalSchedule::propagate`]) it supports the full search-move
+//! primitive: [`IncrementalSchedule::move_layer`] re-queues a layer onto
+//! another accelerator and [`IncrementalSchedule::refresh_costs`]
+//! re-derives per-layer cost decompositions from a tentative locality
+//! state, keeping running aggregates (Ethernet/DRAM busy time, energy,
+//! per-accelerator busy) in sync so any [`crate::schedule::Schedule`]-level
+//! objective can be scored without a full re-evaluation.
+//!
+//! # Invariants the delta engine maintains
+//!
+//! 1. **Cost fidelity** — `dur[l]` always equals
+//!    `LayerCost::duration()` of the layer's last refreshed cost, and
+//!    costs come from [`Evaluator::layer_cost`], the same primitive the
+//!    full evaluator sums. Identical durations + an identical start-time
+//!    recurrence ⇒ after propagation over the full affected cone, every
+//!    start/finish equals the full evaluation *bitwise*.
+//! 2. **Queue order** — each accelerator executes its layers in the
+//!    single global topological priority (`Evaluator`'s `topo_order`);
+//!    [`IncrementalSchedule::move_layer`] re-inserts at the sorted
+//!    position, so queue order never depends on move history.
+//! 3. **Aggregate coherence** — `eth_busy`/`dram_busy`/`comp_busy`/
+//!    energy/`per_acc_busy` are updated by exact add/subtract of layer
+//!    cost terms on every refresh and move, so they can drift from a
+//!    fresh sum by float re-association only (≈ulp per operation).
+//!    [`IncrementalSchedule::resum_aggregates`] eliminates even that:
+//!    it re-sums in the evaluator's exact iteration order, after which
+//!    the proxy quantities are bitwise-equal to a full
+//!    [`Evaluator::evaluate`] of the same state — search loops call it
+//!    before reading a candidate's score.
+//! 4. **Transactionality** — between [`IncrementalSchedule::begin`] and
+//!    [`IncrementalSchedule::rollback`] every mutation is journaled
+//!    (first-touch undo log for times/costs, move list, aggregate
+//!    snapshot); rollback restores the pre-transaction state exactly, so
+//!    a rejected candidate move costs only its cone size.
+//!
+//! Equivalence with full re-evaluation is asserted by unit tests here,
+//! by `prop_schedule.rs`/`prop_incremental.rs` property suites, and
+//! measured by the `incremental` criterion bench.
 
 use std::collections::VecDeque;
 
@@ -19,28 +56,95 @@ use h2h_model::units::Seconds;
 
 use crate::locality::LocalityState;
 use crate::mapping::Mapping;
-use crate::schedule::Evaluator;
+use crate::schedule::{Evaluator, LayerCost};
+use crate::system::AccId;
 
-/// A mutable schedule supporting localized duration updates.
+/// Schedule-level quantities derivable from the incremental aggregates —
+/// enough to score any mapping objective (latency, energy, EDP,
+/// pipelined throughput) without building a full
+/// [`crate::schedule::Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleProxy {
+    /// End-to-end latency (max finish).
+    pub makespan: Seconds,
+    /// Total modeled energy (compute + Ethernet + DRAM).
+    pub energy_total: f64,
+    /// Busy time of the bottleneck accelerator.
+    pub bottleneck_busy: Seconds,
+    /// Total Ethernet busy time.
+    pub eth_busy: Seconds,
+}
+
+/// Undo log of one open transaction.
+#[derive(Debug, Clone, Default)]
+struct Journal {
+    /// `(layer, old_start, old_finish)`, first touch only.
+    times: Vec<(usize, f64, f64)>,
+    /// `(layer, old_cost, old_dur)`, first touch only.
+    costs: Vec<(usize, LayerCost, f64)>,
+    /// `(layer, from_acc)` in application order.
+    moves: Vec<(LayerId, usize)>,
+    /// Aggregate snapshot taken at `begin`.
+    eth_busy: f64,
+    comp_busy: f64,
+    dram_busy: f64,
+    dram_bytes: f64,
+    compute_energy: f64,
+    per_acc_busy: Vec<f64>,
+}
+
+/// A mutable schedule supporting localized updates and transactional
+/// candidate evaluation (see module docs for the invariants).
 #[derive(Debug, Clone)]
 pub struct IncrementalSchedule {
     /// Layer duration (weight + IFM + compute + OFM), seconds.
     dur: Vec<f64>,
+    /// Last refreshed cost decomposition per layer.
+    costs: Vec<LayerCost>,
     start: Vec<f64>,
     finish: Vec<f64>,
     /// Per-accelerator execution order (global topological priority).
     acc_queue: Vec<Vec<LayerId>>,
     /// Position of each layer in its accelerator queue.
     queue_pos: Vec<usize>,
-    /// Accelerator index per layer.
+    /// Accelerator index per layer (`usize::MAX` for sparse slots).
     acc_of: Vec<usize>,
+    /// Rank of each layer in the global topological priority.
+    topo_pos: Vec<usize>,
+    /// The global topological priority itself (the evaluator's
+    /// iteration order, used by exact aggregate resummation).
+    order: Vec<LayerId>,
+    /// Busy seconds per accelerator.
+    per_acc_busy: Vec<f64>,
+    // Running aggregates (see invariant 3).
+    eth_busy: f64,
+    comp_busy: f64,
+    dram_busy: f64,
+    dram_bytes: f64,
+    compute_energy: f64,
+    // Energy-model constants captured at seed time.
+    eth_power_w: f64,
+    dram_pj_per_byte: f64,
     /// Layers touched by the last [`IncrementalSchedule::propagate`].
     touched: usize,
+    /// First-touch epoch stamps for time/cost journaling.
+    time_stamp: Vec<u64>,
+    cost_stamp: Vec<u64>,
+    epoch: u64,
+    /// Worklist membership / visit stamps for `propagate` (persistent,
+    /// so the hot path allocates nothing per call).
+    queued_stamp: Vec<u64>,
+    visited_stamp: Vec<u64>,
+    prop_epoch: u64,
+    /// Set once the duration-only legacy path (`set_duration`) is used;
+    /// the aggregate-backed proxy is then meaningless.
+    duration_only: bool,
+    journal: Option<Journal>,
 }
 
 impl IncrementalSchedule {
-    /// Seeds the incremental state from a full evaluation of
-    /// `(mapping, locality)`.
+    /// Seeds the incremental state from `(mapping, locality)` using the
+    /// exact per-layer costs and recurrence of [`Evaluator::evaluate`].
     ///
     /// # Panics
     ///
@@ -52,25 +156,66 @@ impl IncrementalSchedule {
     ) -> Self {
         let model = ev.model();
         let system = ev.system();
-        let full = ev.evaluate(mapping, locality);
         let bound = model.id_bound();
-        let mut dur = vec![0.0; bound];
-        let mut start = vec![0.0; bound];
-        let mut finish = vec![0.0; bound];
-        let mut acc_of = vec![usize::MAX; bound];
-        let mut acc_queue: Vec<Vec<LayerId>> = vec![Vec::new(); system.num_accs()];
-        let mut queue_pos = vec![0usize; bound];
-        for id in model.topo_order() {
-            let t = full.timing(id).expect("complete mapping schedules every layer");
-            dur[id.index()] = (t.finish - t.start).as_f64();
-            start[id.index()] = t.start.as_f64();
-            finish[id.index()] = t.finish.as_f64();
+        let n_accs = system.num_accs();
+        let emodel = system.energy_model();
+        let mut inc = IncrementalSchedule {
+            dur: vec![0.0; bound],
+            costs: vec![LayerCost::default(); bound],
+            start: vec![0.0; bound],
+            finish: vec![0.0; bound],
+            acc_queue: vec![Vec::new(); n_accs],
+            queue_pos: vec![0usize; bound],
+            acc_of: vec![usize::MAX; bound],
+            topo_pos: vec![usize::MAX; bound],
+            order: Vec::with_capacity(bound),
+            per_acc_busy: vec![0.0; n_accs],
+            eth_busy: 0.0,
+            comp_busy: 0.0,
+            dram_busy: 0.0,
+            dram_bytes: 0.0,
+            compute_energy: 0.0,
+            eth_power_w: emodel.eth_link_power_w,
+            dram_pj_per_byte: emodel.dram_pj_per_byte,
+            touched: 0,
+            time_stamp: vec![0; bound],
+            cost_stamp: vec![0; bound],
+            epoch: 0,
+            queued_stamp: vec![0; bound],
+            visited_stamp: vec![0; bound],
+            prop_epoch: 0,
+            duration_only: false,
+            journal: None,
+        };
+        let mut acc_ready = vec![0.0f64; n_accs];
+        for (rank, id) in model.topo_order().into_iter().enumerate() {
+            let i = id.index();
+            let cost = ev.layer_cost(mapping, locality, id);
+            let dur = cost.duration().as_f64();
             let a = mapping.acc_of(id).index();
-            acc_of[id.index()] = a;
-            queue_pos[id.index()] = acc_queue[a].len();
-            acc_queue[a].push(id);
+            inc.order.push(id);
+            inc.topo_pos[i] = rank;
+            inc.acc_of[i] = a;
+            inc.queue_pos[i] = inc.acc_queue[a].len();
+            inc.acc_queue[a].push(id);
+            inc.costs[i] = cost;
+            inc.dur[i] = dur;
+            inc.eth_busy += cost.eth_time.as_f64();
+            inc.comp_busy += cost.compute.as_f64();
+            inc.dram_busy += cost.dram_time.as_f64();
+            inc.dram_bytes += cost.dram_bytes.as_f64();
+            inc.compute_energy += cost.compute_energy.as_f64();
+            inc.per_acc_busy[a] += dur;
+            let deps = model
+                .predecessors(id)
+                .map(|p| inc.finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let s = deps.max(acc_ready[a]);
+            inc.start[i] = s;
+            inc.finish[i] = s + dur;
+            acc_ready[a] = s + dur;
         }
-        IncrementalSchedule { dur, start, finish, acc_queue, queue_pos, acc_of, touched: 0 }
+        inc
     }
 
     /// Current makespan (max finish over all layers).
@@ -83,31 +228,272 @@ impl IncrementalSchedule {
         Seconds::new(self.finish[layer.index()])
     }
 
+    /// Duration currently assumed for one layer.
+    pub fn duration_of(&self, layer: LayerId) -> Seconds {
+        Seconds::new(self.dur[layer.index()])
+    }
+
+    /// The accelerator queue (global topological priority order).
+    pub fn queue(&self, acc: AccId) -> &[LayerId] {
+        &self.acc_queue[acc.index()]
+    }
+
     /// Number of layers whose times were recomputed by the last
     /// propagation (the paper's locality-of-update argument).
     pub fn touched(&self) -> usize {
         self.touched
     }
 
+    /// Recomputes every running aggregate by a fresh summation over the
+    /// per-layer costs in the evaluator's exact iteration order. After
+    /// this call the [`ScheduleProxy`] quantities are bitwise-equal to
+    /// a full [`Evaluator::evaluate`] of the same `(mapping, locality)`
+    /// state — delta updates can only differ from a fresh sum by float
+    /// re-association, and this removes that.
+    pub fn resum_aggregates(&mut self) {
+        let mut eth = 0.0f64;
+        let mut comp = 0.0f64;
+        let mut dram = 0.0f64;
+        let mut dram_bytes = 0u64;
+        let mut energy = 0.0f64;
+        let mut busy = vec![0.0f64; self.per_acc_busy.len()];
+        for k in 0..self.order.len() {
+            let i = self.order[k].index();
+            let c = &self.costs[i];
+            eth += c.eth_time.as_f64();
+            comp += c.compute.as_f64();
+            dram += c.dram_time.as_f64();
+            dram_bytes += c.dram_bytes.as_u64();
+            energy += c.compute_energy.as_f64();
+            busy[self.acc_of[i]] += self.dur[i];
+        }
+        self.eth_busy = eth;
+        self.comp_busy = comp;
+        self.dram_busy = dram;
+        self.dram_bytes = dram_bytes as f64;
+        self.compute_energy = energy;
+        self.per_acc_busy = busy;
+    }
+
+    /// Schedule-level scores derived from the running aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the duration-only legacy path
+    /// ([`IncrementalSchedule::set_duration`]) was never used on this
+    /// instance — it leaves the cost aggregates stale.
+    pub fn proxy(&self) -> ScheduleProxy {
+        debug_assert!(
+            !self.duration_only,
+            "proxy() after set_duration(): aggregates are stale; use refresh_costs"
+        );
+        let energy_total = self.compute_energy
+            + self.eth_busy * self.eth_power_w
+            + self.dram_bytes * self.dram_pj_per_byte * 1e-12;
+        ScheduleProxy {
+            makespan: self.makespan(),
+            energy_total,
+            bottleneck_busy: Seconds::new(
+                self.per_acc_busy.iter().cloned().fold(0.0, f64::max),
+            ),
+            eth_busy: Seconds::new(self.eth_busy.max(0.0)),
+        }
+    }
+
+    /// Opens a transaction: every subsequent mutation is journaled until
+    /// [`IncrementalSchedule::commit`] or
+    /// [`IncrementalSchedule::rollback`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already open.
+    pub fn begin(&mut self) {
+        assert!(self.journal.is_none(), "transaction already open");
+        self.epoch += 1;
+        self.journal = Some(Journal {
+            eth_busy: self.eth_busy,
+            comp_busy: self.comp_busy,
+            dram_busy: self.dram_busy,
+            dram_bytes: self.dram_bytes,
+            compute_energy: self.compute_energy,
+            per_acc_busy: self.per_acc_busy.clone(),
+            ..Journal::default()
+        });
+    }
+
+    /// Discards the open transaction, keeping all changes.
+    pub fn commit(&mut self) {
+        self.journal = None;
+    }
+
+    /// Reverts every change made since [`IncrementalSchedule::begin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn rollback(&mut self) {
+        let journal = self.journal.take().expect("no open transaction");
+        // Undo queue surgery in reverse order; the canonical sorted
+        // insertion restores exact positions.
+        for (layer, from_acc) in journal.moves.iter().rev() {
+            self.requeue(*layer, *from_acc);
+        }
+        for (i, cost, dur) in &journal.costs {
+            self.costs[*i] = *cost;
+            self.dur[*i] = *dur;
+        }
+        for (i, s, f) in &journal.times {
+            self.start[*i] = *s;
+            self.finish[*i] = *f;
+        }
+        self.eth_busy = journal.eth_busy;
+        self.comp_busy = journal.comp_busy;
+        self.dram_busy = journal.dram_busy;
+        self.dram_bytes = journal.dram_bytes;
+        self.compute_energy = journal.compute_energy;
+        self.per_acc_busy = journal.per_acc_busy;
+    }
+
+    fn journal_time(&mut self, i: usize) {
+        if let Some(j) = self.journal.as_mut() {
+            if self.time_stamp[i] != self.epoch {
+                self.time_stamp[i] = self.epoch;
+                j.times.push((i, self.start[i], self.finish[i]));
+            }
+        }
+    }
+
+    fn journal_cost(&mut self, i: usize) {
+        if let Some(j) = self.journal.as_mut() {
+            if self.cost_stamp[i] != self.epoch {
+                self.cost_stamp[i] = self.epoch;
+                j.costs.push((i, self.costs[i], self.dur[i]));
+            }
+        }
+    }
+
+    /// Removes `layer` from its current queue and re-inserts it into
+    /// `to_acc`'s queue at the global-topological-priority position
+    /// (no journaling — shared by `move_layer` and rollback).
+    fn requeue(&mut self, layer: LayerId, to_acc: usize) {
+        let i = layer.index();
+        let from_acc = self.acc_of[i];
+        let pos = self.queue_pos[i];
+        self.acc_queue[from_acc].remove(pos);
+        for k in pos..self.acc_queue[from_acc].len() {
+            self.queue_pos[self.acc_queue[from_acc][k].index()] = k;
+        }
+        let rank = self.topo_pos[i];
+        let queue = &self.acc_queue[to_acc];
+        let insert_at = queue.partition_point(|l| self.topo_pos[l.index()] < rank);
+        self.acc_queue[to_acc].insert(insert_at, layer);
+        for k in insert_at..self.acc_queue[to_acc].len() {
+            self.queue_pos[self.acc_queue[to_acc][k].index()] = k;
+        }
+        self.per_acc_busy[from_acc] -= self.dur[i];
+        self.per_acc_busy[to_acc] += self.dur[i];
+        self.acc_of[i] = to_acc;
+    }
+
+    /// Moves `layer` onto `to_acc`'s queue (journaled). Returns the
+    /// propagation seeds the move creates: the layer itself plus the
+    /// layers whose queue predecessor changed (the old queue successor
+    /// and the new one). Durations are *not* recomputed — call
+    /// [`IncrementalSchedule::refresh_costs`] with the tentative
+    /// locality, then [`IncrementalSchedule::propagate`].
+    pub fn move_layer(&mut self, layer: LayerId, to_acc: AccId) -> Vec<LayerId> {
+        let i = layer.index();
+        let from_acc = self.acc_of[i];
+        let old_pos = self.queue_pos[i];
+        if from_acc == to_acc.index() {
+            return vec![layer];
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.moves.push((layer, from_acc));
+        }
+        self.requeue(layer, to_acc.index());
+        let mut seeds = vec![layer];
+        // The old queue successor (now sitting at `old_pos`) lost its
+        // predecessor…
+        if let Some(succ) = self.acc_queue[from_acc].get(old_pos) {
+            seeds.push(*succ);
+        }
+        // …and the new queue successor gained one.
+        if let Some(succ) = self.acc_queue[to_acc.index()].get(self.queue_pos[i] + 1) {
+            seeds.push(*succ);
+        }
+        seeds
+    }
+
+    /// Re-derives the cost decomposition of `layers` from `(mapping,
+    /// locality)` (journaled), updating durations and aggregates.
+    /// Returns the subset whose duration actually changed — the seeds a
+    /// subsequent [`IncrementalSchedule::propagate`] needs.
+    pub fn refresh_costs(
+        &mut self,
+        ev: &Evaluator<'_>,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        layers: impl IntoIterator<Item = LayerId>,
+    ) -> Vec<LayerId> {
+        let mut changed = Vec::new();
+        for id in layers {
+            let i = id.index();
+            self.journal_cost(i);
+            let old = self.costs[i];
+            let old_dur = self.dur[i];
+            let new = ev.layer_cost(mapping, locality, id);
+            let new_dur = new.duration().as_f64();
+            self.eth_busy += new.eth_time.as_f64() - old.eth_time.as_f64();
+            self.comp_busy += new.compute.as_f64() - old.compute.as_f64();
+            self.dram_busy += new.dram_time.as_f64() - old.dram_time.as_f64();
+            self.dram_bytes += new.dram_bytes.as_f64() - old.dram_bytes.as_f64();
+            self.compute_energy +=
+                new.compute_energy.as_f64() - old.compute_energy.as_f64();
+            self.per_acc_busy[self.acc_of[i]] += new_dur - old_dur;
+            self.costs[i] = new;
+            self.dur[i] = new_dur;
+            if new_dur != old_dur {
+                changed.push(id);
+            }
+        }
+        changed
+    }
+
     /// Overrides one layer's duration (e.g. after pinning its weights or
     /// fusing one of its edges) **without** propagating; call
     /// [`IncrementalSchedule::propagate`] once after a batch of changes.
+    ///
+    /// Duration-only override: the per-layer cost decomposition and the
+    /// energy/Ethernet aggregates are *not* adjusted, so
+    /// [`IncrementalSchedule::proxy`] becomes meaningless (debug-asserted)
+    /// — use [`IncrementalSchedule::refresh_costs`] on the search path.
     pub fn set_duration(&mut self, layer: LayerId, dur: Seconds) {
-        self.dur[layer.index()] = dur.as_f64();
+        let i = layer.index();
+        self.journal_cost(i);
+        let new = dur.as_f64();
+        self.per_acc_busy[self.acc_of[i]] += new - self.dur[i];
+        self.dur[i] = new;
+        self.duration_only = true;
     }
 
     /// Recomputes start/finish times along the affected cone of `seeds`
-    /// (the layers whose durations changed). Returns the new makespan.
+    /// (the layers whose durations or queue predecessors changed).
+    /// Returns the new makespan.
     pub fn propagate(&mut self, model: &ModelGraph, seeds: &[LayerId]) -> Seconds {
         let mut work: VecDeque<LayerId> = seeds.iter().copied().collect();
-        let mut queued = vec![false; self.dur.len()];
+        self.prop_epoch += 1;
+        let epoch = self.prop_epoch;
         for s in seeds {
-            queued[s.index()] = true;
+            self.queued_stamp[s.index()] = epoch;
         }
         self.touched = 0;
         while let Some(id) = work.pop_front() {
-            queued[id.index()] = false;
-            self.touched += 1;
+            self.queued_stamp[id.index()] = 0;
+            if self.visited_stamp[id.index()] != epoch {
+                self.visited_stamp[id.index()] = epoch;
+                self.touched += 1;
+            }
             let deps = model
                 .predecessors(id)
                 .map(|p| self.finish[p.index()])
@@ -121,24 +507,26 @@ impl IncrementalSchedule {
             };
             let new_start = deps.max(avail);
             let new_finish = new_start + self.dur[id.index()];
-            let changed = (new_finish - self.finish[id.index()]).abs() > 1e-15
-                || (new_start - self.start[id.index()]).abs() > 1e-15;
-            self.start[id.index()] = new_start;
-            self.finish[id.index()] = new_finish;
-            if !changed {
+            let changed = new_finish != self.finish[id.index()]
+                || new_start != self.start[id.index()];
+            if changed {
+                self.journal_time(id.index());
+                self.start[id.index()] = new_start;
+                self.finish[id.index()] = new_finish;
+            } else {
                 continue;
             }
             // Direct graph successors…
             for s in model.successors(id) {
-                if !queued[s.index()] {
-                    queued[s.index()] = true;
+                if self.queued_stamp[s.index()] != epoch {
+                    self.queued_stamp[s.index()] = epoch;
                     work.push_back(s);
                 }
             }
             // …and the next layer in this accelerator's queue.
             if let Some(next) = self.acc_queue[a].get(qp + 1) {
-                if !queued[next.index()] {
-                    queued[next.index()] = true;
+                if self.queued_stamp[next.index()] != epoch {
+                    self.queued_stamp[next.index()] = epoch;
                     work.push_back(*next);
                 }
             }
@@ -221,6 +609,13 @@ mod tests {
         inc.assert_matches_full(&ev, &map, &loc);
         let full = ev.evaluate(&map, &loc);
         assert!((inc.makespan().as_f64() - full.makespan().as_f64()).abs() < 1e-12);
+        // Aggregates agree with the full schedule at seed time.
+        let proxy = inc.proxy();
+        assert!((proxy.energy_total - full.energy().total().as_f64()).abs() < 1e-12);
+        assert!(
+            (proxy.bottleneck_busy.as_f64() - full.bottleneck_busy().as_f64()).abs() < 1e-12
+        );
+        assert!((proxy.eth_busy.as_f64() - full.eth_busy().as_f64()).abs() < 1e-12);
     }
 
     #[test]
@@ -315,5 +710,80 @@ mod tests {
         let (inc, mk) = IncrementalSchedule::with_changes(&ev, &map, &loc_a, &changes);
         assert!((mk.as_f64() - full_b.makespan().as_f64()).abs() < 1e-9);
         inc.assert_matches_full(&ev, &map, &loc_b);
+    }
+
+    #[test]
+    fn move_refresh_propagate_matches_full_schedule() {
+        // The full search-move primitive: move a layer to the other
+        // accelerator, refresh its cost, propagate — must equal a fresh
+        // full evaluation of the moved mapping bitwise.
+        let m = chain();
+        let sys = const_system(
+            vec![ConstAccel::universal("u0", 1e-3), ConstAccel::universal("u1", 2e-3)],
+            1e6,
+        );
+        let ids = m.topo_order();
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let ev = Evaluator::new(&m, &sys);
+        let loc = LocalityState::new(&sys);
+        let mut inc = IncrementalSchedule::new(&ev, &map, &loc);
+
+        map.set(ids[2], AccId::new(1));
+        let mut seeds = inc.move_layer(ids[2], AccId::new(1));
+        seeds.extend(inc.refresh_costs(&ev, &map, &loc, m.layer_ids()));
+        let mk = inc.propagate(&m, &seeds);
+        let full = ev.evaluate(&map, &loc);
+        assert_eq!(mk.as_f64(), full.makespan().as_f64(), "bitwise equality expected");
+        inc.assert_matches_full(&ev, &map, &loc);
+        let proxy = inc.proxy();
+        assert!((proxy.energy_total - full.energy().total().as_f64()).abs() < 1e-9);
+        assert!(
+            (proxy.bottleneck_busy.as_f64() - full.bottleneck_busy().as_f64()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn rollback_restores_exact_state() {
+        let m = h2h_model::zoo::cnn_lstm();
+        let sys = crate::system::SystemSpec::standard(BandwidthClass::Mid);
+        let ev = Evaluator::new(&m, &sys);
+        let mut map = Mapping::new(&m);
+        for (id, layer) in m.layers() {
+            let acc = sys.acc_ids().find(|a| sys.acc(*a).supports(layer)).unwrap();
+            map.set(id, acc);
+        }
+        let loc = LocalityState::new(&sys);
+        let mut inc = IncrementalSchedule::new(&ev, &map, &loc);
+        let reference = inc.clone();
+
+        // Tentatively shuffle several layers across capable devices.
+        let ids = m.topo_order();
+        inc.begin();
+        let mut all_seeds = Vec::new();
+        for (k, id) in ids.iter().enumerate().take(8) {
+            let layer = m.layer(*id);
+            let target = sys
+                .acc_ids()
+                .filter(|a| sys.acc(*a).supports(layer))
+                .nth(k % 2)
+                .unwrap_or_else(|| map.acc_of(*id));
+            all_seeds.extend(inc.move_layer(*id, target));
+        }
+        all_seeds.extend(inc.refresh_costs(&ev, &map, &loc, m.layer_ids()));
+        inc.propagate(&m, &all_seeds);
+        inc.rollback();
+
+        assert_eq!(inc.makespan(), reference.makespan());
+        for id in m.layer_ids() {
+            assert_eq!(inc.finish_of(id), reference.finish_of(id));
+            assert_eq!(inc.duration_of(id), reference.duration_of(id));
+        }
+        for acc in sys.acc_ids() {
+            assert_eq!(inc.queue(acc), reference.queue(acc));
+        }
+        assert_eq!(inc.proxy(), reference.proxy());
     }
 }

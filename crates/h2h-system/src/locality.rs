@@ -68,6 +68,19 @@ impl LocalityState {
         true
     }
 
+    /// Reverts a pin, refunding the layer's weight bytes to `acc`'s
+    /// budget (the accelerator the layer was mapped to when
+    /// [`LocalityState::try_pin`] charged it). Returns `false` if the
+    /// layer was not pinned.
+    pub fn unpin(&mut self, model: &ModelGraph, layer: LayerId, acc: AccId) -> bool {
+        if !self.pinned.remove(&layer) {
+            return false;
+        }
+        let bytes = model.layer(layer).weight_bytes(DataType::F32);
+        self.used[acc.index()] -= bytes.as_u64();
+        true
+    }
+
     /// True if `layer`'s weights are resident in its accelerator's DRAM.
     pub fn is_pinned(&self, layer: LayerId) -> bool {
         self.pinned.contains(&layer)
@@ -135,6 +148,11 @@ impl LocalityState {
     /// Iterate over pinned layers (arbitrary order).
     pub fn pinned_layers(&self) -> impl Iterator<Item = LayerId> + '_ {
         self.pinned.iter().copied()
+    }
+
+    /// Iterate over fused `(from, to)` edges (arbitrary order).
+    pub fn fused_edges(&self) -> impl Iterator<Item = (LayerId, LayerId)> + '_ {
+        self.fused.iter().copied()
     }
 
     /// Total pinned-weight bytes across the system.

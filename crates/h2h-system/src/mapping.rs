@@ -92,7 +92,7 @@ impl Mapping {
     }
 
     /// Layers of `model` mapped to `acc`, in topological-priority order.
-    pub fn layers_on_model<'m>(&self, model: &'m ModelGraph, acc: AccId) -> Vec<LayerId> {
+    pub fn layers_on_model(&self, model: &ModelGraph, acc: AccId) -> Vec<LayerId> {
         model
             .topo_order()
             .into_iter()

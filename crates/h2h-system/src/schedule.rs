@@ -65,6 +65,41 @@ impl CostCache {
     }
 }
 
+/// Full cost decomposition of one layer under a `(mapping, locality)`
+/// pair — everything a schedule needs to know about the layer except
+/// *when* it runs. [`Evaluator::layer_cost`] is the single source of
+/// truth for these terms: the full evaluator and the incremental delta
+/// engine both consume it, so the two can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LayerCost {
+    /// Weight-transfer share (Ethernet or local DRAM).
+    pub weight_xfer: Seconds,
+    /// IFM-download share (all incoming edges).
+    pub ifm_xfer: Seconds,
+    /// Pure compute share.
+    pub compute: Seconds,
+    /// OFM-upload share.
+    pub ofm_xfer: Seconds,
+    /// Portion of the above spent on Ethernet.
+    pub eth_time: Seconds,
+    /// Portion of the above spent on local DRAM.
+    pub dram_time: Seconds,
+    /// Bytes touching local DRAM (the Ethernet-side energy model is
+    /// time-based, so Ethernet bytes are not tracked).
+    pub dram_bytes: Bytes,
+    /// PE-array dynamic energy.
+    pub compute_energy: Joules,
+}
+
+impl LayerCost {
+    /// Serialized occupancy of the owning accelerator — the exact sum
+    /// (in the exact order) the list scheduler adds to a layer's start
+    /// time, so incremental and full schedules agree bitwise.
+    pub fn duration(&self) -> Seconds {
+        self.weight_xfer + self.ifm_xfer + self.compute + self.ofm_xfer
+    }
+}
+
 /// Timing decomposition of one scheduled layer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LayerTiming {
@@ -288,15 +323,112 @@ impl<'a> Evaluator<'a> {
             && !matches!(self.model.layer(from).op(), LayerOp::Input { .. })
     }
 
+    /// Computes one layer's full cost decomposition under `(mapping,
+    /// locality)` — weight/IFM/compute/OFM terms, the Ethernet vs DRAM
+    /// split, byte volumes and compute energy. This is the shared
+    /// primitive behind [`Evaluator::evaluate`] and the incremental
+    /// delta engine; term order matches the historical evaluator so
+    /// schedules agree bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is unmapped or mapped to an accelerator that
+    /// cannot execute it.
+    pub fn layer_cost(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        id: LayerId,
+    ) -> LayerCost {
+        let eth = self.system.ethernet();
+        let b = self.batch as f64;
+        let layer = self.model.layer(id);
+        let acc = mapping.acc_of(id);
+        let dram_bw = self.system.acc(acc).dram_bandwidth();
+        let is_input = matches!(layer.op(), LayerOp::Input { .. });
+        let mut cost = LayerCost::default();
+
+        // Weight transfer (once per batch).
+        let wbytes = layer.weight_bytes(DataType::F32);
+        if wbytes > Bytes::ZERO {
+            if locality.is_pinned(id) {
+                cost.weight_xfer = dram_bw.transfer_time(wbytes);
+                cost.dram_time += cost.weight_xfer;
+                cost.dram_bytes += wbytes;
+            } else {
+                cost.weight_xfer = eth.transfer_time(wbytes);
+                cost.eth_time += cost.weight_xfer;
+            }
+        }
+
+        // IFM transfers: one per incoming edge, repeated per batch item.
+        for pred in self.model.predecessors(id) {
+            let bytes = self
+                .model
+                .edge_bytes(pred, id)
+                .expect("predecessor edge exists");
+            if self.edge_is_local(locality, mapping, pred, id) {
+                let t = dram_bw.transfer_time(bytes) * b;
+                cost.ifm_xfer += t;
+                cost.dram_time += t;
+                cost.dram_bytes += bytes * self.batch as u64;
+            } else {
+                let t = eth.transfer_time(bytes) * b;
+                cost.ifm_xfer += t;
+                cost.eth_time += t;
+            }
+        }
+
+        // Compute, per batch item.
+        cost.compute = self
+            .cache
+            .time(id, acc)
+            .expect("mapping validated: accelerator supports layer")
+            * b;
+        cost.compute_energy = self
+            .cache
+            .energy(id, acc)
+            .expect("mapping validated: accelerator supports layer")
+            * b;
+
+        // OFM transfer: model inputs emit nothing (data already at
+        // host); otherwise one Ethernet upload serves all unfused
+        // consumers (and the final output), one DRAM write serves all
+        // fused consumers.
+        if !is_input {
+            let obytes = layer.ofm_bytes(DataType::F32);
+            let succs: Vec<LayerId> = self.model.successors(id).collect();
+            let is_output = succs.is_empty();
+            let any_remote = is_output
+                || succs
+                    .iter()
+                    .any(|s| !self.edge_is_local(locality, mapping, id, *s));
+            let any_local = succs
+                .iter()
+                .any(|s| self.edge_is_local(locality, mapping, id, *s));
+            if any_remote {
+                let t = eth.transfer_time(obytes) * b;
+                cost.ofm_xfer += t;
+                cost.eth_time += t;
+            }
+            if any_local {
+                let t = dram_bw.transfer_time(obytes) * b;
+                cost.ofm_xfer += t;
+                cost.dram_time += t;
+                cost.dram_bytes += obytes * self.batch as u64;
+            }
+        }
+
+        cost
+    }
+
     fn evaluate_filtered(
         &self,
         mapping: &Mapping,
         locality: &LocalityState,
         include: impl Fn(LayerId) -> bool,
     ) -> Schedule {
-        let eth = self.system.ethernet();
         let emodel = self.system.energy_model();
-        let b = self.batch as f64;
         let bound = self.model.id_bound();
         let mut timings: Vec<Option<LayerTiming>> = vec![None; bound];
         let mut finish: Vec<Seconds> = vec![Seconds::ZERO; bound];
@@ -308,96 +440,19 @@ impl<'a> Evaluator<'a> {
         let mut comp_busy = Seconds::ZERO;
         let mut dram_busy = Seconds::ZERO;
         let mut energy = EnergyBreakdown::default();
-        let mut eth_bytes = Bytes::ZERO;
         let mut dram_bytes = Bytes::ZERO;
 
         for &id in &self.order {
             if !include(id) {
                 continue;
             }
-            let layer = self.model.layer(id);
             let acc = mapping.acc_of(id);
-            let dram_bw = self.system.acc(acc).dram_bandwidth();
-            let is_input = matches!(layer.op(), LayerOp::Input { .. });
-
-            // Weight transfer.
-            let wbytes = layer.weight_bytes(DataType::F32);
-            let mut t_weight = Seconds::ZERO;
-            if wbytes > Bytes::ZERO {
-                if locality.is_pinned(id) {
-                    t_weight = dram_bw.transfer_time(wbytes);
-                    dram_busy += t_weight;
-                    dram_bytes += wbytes;
-                } else {
-                    t_weight = eth.transfer_time(wbytes);
-                    eth_busy += t_weight;
-                    eth_bytes += wbytes;
-                }
-            }
-
-            // IFM transfers: one per incoming edge, repeated per batch
-            // item.
-            let mut t_ifm = Seconds::ZERO;
-            for pred in self.model.predecessors(id) {
-                let bytes = self
-                    .model
-                    .edge_bytes(pred, id)
-                    .expect("predecessor edge exists");
-                if self.edge_is_local(locality, mapping, pred, id) {
-                    let t = dram_bw.transfer_time(bytes) * b;
-                    t_ifm += t;
-                    dram_busy += t;
-                    dram_bytes += bytes * self.batch as u64;
-                } else {
-                    let t = eth.transfer_time(bytes) * b;
-                    t_ifm += t;
-                    eth_busy += t;
-                    eth_bytes += bytes * self.batch as u64;
-                }
-            }
-
-            // Compute, per batch item.
-            let t_comp = self
-                .cache
-                .time(id, acc)
-                .expect("mapping validated: accelerator supports layer")
-                * b;
-            comp_busy += t_comp;
-            energy.compute += self
-                .cache
-                .energy(id, acc)
-                .expect("mapping validated: accelerator supports layer")
-                * b;
-
-            // OFM transfer: model inputs emit nothing (data already at
-            // host); otherwise one Ethernet upload serves all unfused
-            // consumers (and the final output), one DRAM write serves
-            // all fused consumers.
-            let mut t_ofm = Seconds::ZERO;
-            if !is_input {
-                let obytes = layer.ofm_bytes(DataType::F32);
-                let succs: Vec<LayerId> = self.model.successors(id).collect();
-                let is_output = succs.is_empty();
-                let any_remote = is_output
-                    || succs
-                        .iter()
-                        .any(|s| !self.edge_is_local(locality, mapping, id, *s));
-                let any_local = succs
-                    .iter()
-                    .any(|s| self.edge_is_local(locality, mapping, id, *s));
-                if any_remote {
-                    let t = eth.transfer_time(obytes) * b;
-                    t_ofm += t;
-                    eth_busy += t;
-                    eth_bytes += obytes * self.batch as u64;
-                }
-                if any_local {
-                    let t = dram_bw.transfer_time(obytes) * b;
-                    t_ofm += t;
-                    dram_busy += t;
-                    dram_bytes += obytes * self.batch as u64;
-                }
-            }
+            let cost = self.layer_cost(mapping, locality, id);
+            eth_busy += cost.eth_time;
+            comp_busy += cost.compute;
+            dram_busy += cost.dram_time;
+            dram_bytes += cost.dram_bytes;
+            energy.compute += cost.compute_energy;
 
             // Dependencies + accelerator availability.
             let ready = self
@@ -406,7 +461,7 @@ impl<'a> Evaluator<'a> {
                 .map(|p| finish[p.index()])
                 .fold(Seconds::ZERO, Seconds::max);
             let start = ready.max(acc_ready[acc.index()]);
-            let dur = t_weight + t_ifm + t_comp + t_ofm;
+            let dur = cost.duration();
             let end = start + dur;
             finish[id.index()] = end;
             acc_ready[acc.index()] = end;
@@ -417,16 +472,15 @@ impl<'a> Evaluator<'a> {
                 acc,
                 start,
                 finish: end,
-                weight_xfer: t_weight,
-                ifm_xfer: t_ifm,
-                compute: t_comp,
-                ofm_xfer: t_ofm,
+                weight_xfer: cost.weight_xfer,
+                ifm_xfer: cost.ifm_xfer,
+                compute: cost.compute,
+                ofm_xfer: cost.ofm_xfer,
             });
         }
 
         energy.ethernet = Joules::new(eth_busy.as_f64() * emodel.eth_link_power_w);
         energy.dram = Joules::new(dram_bytes.as_f64() * emodel.dram_pj_per_byte * 1e-12);
-        let _ = eth_bytes;
 
         Schedule {
             makespan,
