@@ -66,6 +66,44 @@ impl MapObjective {
     }
 }
 
+/// How the search loops (step-4 remapping, simulated annealing) score a
+/// candidate layer move.
+///
+/// Every strategy produces **bit-identical search decisions** — they
+/// differ only in how much work a candidate costs. The delta engine's
+/// staged rebuild, its prefix-exact fast path and a plain full
+/// evaluation all reproduce the same score for the same candidate (the
+/// equivalence suites assert this over the whole zoo), so strategies
+/// can be mixed freely per candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreStrategy {
+    /// Per-candidate adaptive (default): take the prefix-exact fast
+    /// path when the candidate mapping has no risky fusion candidate
+    /// (skipping the global fusion-pass replay entirely); otherwise
+    /// fall back to a plain full evaluation for models at or below
+    /// [`H2hConfig::small_model_threshold`] layers (where the replay
+    /// overhead exceeds a full evaluation) and to the delta replay for
+    /// larger models.
+    Adaptive,
+    /// Always the staged delta rebuild with the global fusion-pass
+    /// replay (the pre-adaptive behavior; kept for benchmarking).
+    Replay,
+    /// Always a plain full locality rebuild + schedule evaluation per
+    /// candidate (the reference behavior; kept for benchmarking).
+    FullEval,
+}
+
+impl ScoreStrategy {
+    /// Stable lowercase label (bench/report output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScoreStrategy::Adaptive => "adaptive",
+            ScoreStrategy::Replay => "replay",
+            ScoreStrategy::FullEval => "full-eval",
+        }
+    }
+}
+
 /// Configuration of the four-step H2H mapper.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct H2hConfig {
@@ -93,6 +131,28 @@ pub struct H2hConfig {
     pub accept_epsilon: f64,
     /// What step 4 minimizes (the paper: latency).
     pub objective: MapObjective,
+    /// How candidate moves are scored (see [`ScoreStrategy`]). All
+    /// strategies make bit-identical search decisions.
+    pub strategy: ScoreStrategy,
+    /// Models with at most this many layers prefer a plain full
+    /// evaluation over the delta replay when the prefix-exact fast path
+    /// does not apply (calibrated on the zoo: below ~80 layers the
+    /// global fusion-pass replay costs more than one full evaluation —
+    /// see `BENCH_search.json`).
+    pub small_model_threshold: usize,
+    /// Worker threads for candidate scoring in the search loops
+    /// (`1` = serial). Results, final mappings and search stats are
+    /// identical for every thread count: candidates are scored on
+    /// per-thread engine forks and committed in deterministic candidate
+    /// order, never in thread completion order. Effective parallelism
+    /// is capped at `std::thread::available_parallelism()` unless
+    /// [`H2hConfig::score_oversubscribe`] is set.
+    pub score_threads: usize,
+    /// Honor [`H2hConfig::score_threads`] beyond the machine's
+    /// available parallelism (oversubscription only adds scheduling
+    /// overhead, never changes results — the equivalence tests set this
+    /// to exercise the worker protocol on any machine).
+    pub score_oversubscribe: bool,
 }
 
 impl Default for H2hConfig {
@@ -106,6 +166,10 @@ impl Default for H2hConfig {
             enable_remapping: true,
             accept_epsilon: 1e-9,
             objective: MapObjective::Latency,
+            strategy: ScoreStrategy::Adaptive,
+            small_model_threshold: 80,
+            score_threads: 1,
+            score_oversubscribe: false,
         }
     }
 }

@@ -14,29 +14,63 @@
 //! 2. **Delta scheduling** — the tentative durations feed
 //!    [`IncrementalSchedule`], which re-times only the affected cone
 //!    (graph successors + same-accelerator queue successors) instead of
-//!    the whole graph.
+//!    the whole graph. Cost refreshes are *deferred*: they batch up and
+//!    flush right before the first exact makespan read (or once at the
+//!    end), so a layer stripped and re-fused within one candidate is
+//!    re-derived once, not twice.
 //!
-//! The rebuild replay is *exact*: per-accelerator pin sets provably
-//! cannot change off the two touched accelerators, and the fusion
-//! pass — whose "risky" candidates are guarded by a global makespan
-//! comparison — is replayed in its exact global order with the guard
-//! answered by the incremental schedule, which is bitwise-equal to the
-//! full evaluation it replaces (same per-layer costs from
-//! [`Evaluator::layer_cost`], same recurrence). Accepted candidates
-//! therefore commit the delta state directly; the only full
-//! evaluations in a search run are the seed and the finalization, and
-//! final mappings/latencies are identical to the historical
-//! per-candidate full-re-evaluation implementations (asserted by
-//! equivalence tests over the whole zoo).
+//! # Scoring strategies (all bitwise-exact)
+//!
+//! The fusion pass guards "risky" candidates with a *global* makespan
+//! comparison, so in general the staged rebuild must replay the fusion
+//! pass over **all** accelerators in its exact global order (with the
+//! guard answered by the incremental schedule, which is bitwise-equal
+//! to the full evaluation it replaces). Three refinements, selected
+//! per candidate by [`ScoreStrategy`]:
+//!
+//! * **Prefix-exact fast path** — risky candidates only arise at
+//!   producers with ≥ 2 consumers at least one of which is co-located.
+//!   When the candidate mapping has *no* such producer anywhere, every
+//!   fusion decision is a purely per-accelerator capacity rule, so
+//!   untouched accelerators' fusion sets are carried over verbatim and
+//!   only the two touched accelerators' candidates are re-fused — no
+//!   global replay, no makespan guards. Chain-structured models (VFS,
+//!   CNN-LSTM, MoCap) take this path for essentially every candidate.
+//! * **Full-eval fallback** — on small models (≤
+//!   [`crate::H2hConfig::small_model_threshold`] layers) a risky
+//!   candidate is cheaper to score by a plain full rebuild +
+//!   evaluation than by the global replay; the adaptive strategy does
+//!   exactly that (and reseeds the delta state on accept).
+//! * **Global replay** — large models with risky candidates keep the
+//!   exact replay.
+//!
+//! Accepted candidates commit the delta state directly; the only full
+//! evaluations in a search run are the seed, the finalization and any
+//! full-eval-fallback candidates, and final mappings/latencies are
+//! identical to the historical per-candidate full-re-evaluation
+//! implementations (asserted by equivalence tests over the whole zoo,
+//! over every strategy and over scoring thread counts 1–8).
+//!
+//! # Parallel scoring
+//!
+//! [`DeltaEngine::fork`] produces a cheap clone for a scoring worker:
+//! the read-only model/system data (sorted fusable edges, multi-consumer
+//! producer lists, topological priority inside [`IncrementalSchedule`],
+//! DRAM capacity tables inside [`LocalityState`]) is shared behind
+//! `Arc`s, and only the mutable scratch is copied. The commit protocol
+//! lives in [`crate::parallel`]: workers score disjoint candidate
+//! subsets transactionally (stage → record → reject) and the main
+//! engine commits the winning move in deterministic candidate order.
 //!
 //! [`SearchStats`] counts delta vs full evaluations so the speedup is
 //! observable (`h2h-bench` emits it as `BENCH_search.json`).
 
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use serde::Serialize;
 
 use h2h_model::graph::LayerId;
+use h2h_model::layer::LayerOp;
 use h2h_model::units::Seconds;
 use h2h_system::incremental::IncrementalSchedule;
 use h2h_system::locality::LocalityState;
@@ -47,7 +81,7 @@ use h2h_system::system::AccId;
 use crate::activation_fusion::{
     fusion_pass, rebuild_locality, sorted_fusable_edges, FusionOracle,
 };
-use crate::config::H2hConfig;
+use crate::config::{H2hConfig, ScoreStrategy};
 use crate::preset::PinPreset;
 use crate::weight_locality::weight_locality_pass;
 
@@ -58,6 +92,9 @@ use crate::weight_locality::weight_locality_pass;
 pub struct SearchStats {
     /// Candidate moves scored by the delta engine.
     pub delta_evals: usize,
+    /// Delta evaluations that took the prefix-exact fast path (no
+    /// global fusion replay).
+    pub prefix_evals: usize,
     /// Full `Evaluator::evaluate` calls on the search path.
     pub full_evals: usize,
     /// Full (all-accelerator) locality rebuilds.
@@ -66,6 +103,9 @@ pub struct SearchStats {
     pub scoped_rebuilds: usize,
     /// Total layers re-timed across all delta propagations.
     pub propagated_layers: usize,
+    /// Individual propagation rounds executed (each re-times one
+    /// affected cone).
+    pub propagations: usize,
     /// Largest single propagation cone.
     pub max_propagated: usize,
     /// Moves attempted by the search loop.
@@ -88,21 +128,28 @@ impl SearchStats {
         self.attempted_moves as f64 / self.full_evals as f64
     }
 
-    /// Mean layers re-timed per delta evaluation.
+    /// Mean layers re-timed per propagation round — the paper's
+    /// locality-of-update measure, always ≤
+    /// [`SearchStats::max_propagated`]. (A candidate evaluation may run
+    /// several propagation rounds, so this is deliberately *not*
+    /// normalized by [`SearchStats::delta_evals`]: doing so once
+    /// inflated the "mean" far beyond the largest possible cone.)
     pub fn mean_propagated(&self) -> f64 {
-        if self.delta_evals == 0 {
+        if self.propagations == 0 {
             return 0.0;
         }
-        self.propagated_layers as f64 / self.delta_evals as f64
+        self.propagated_layers as f64 / self.propagations as f64
     }
 
     /// Accumulates another run's counters into this one.
     pub fn absorb(&mut self, other: &SearchStats) {
         self.delta_evals += other.delta_evals;
+        self.prefix_evals += other.prefix_evals;
         self.full_evals += other.full_evals;
         self.full_rebuilds += other.full_rebuilds;
         self.scoped_rebuilds += other.scoped_rebuilds;
         self.propagated_layers += other.propagated_layers;
+        self.propagations += other.propagations;
         self.max_propagated = self.max_propagated.max(other.max_propagated);
         self.attempted_moves += other.attempted_moves;
         self.accepted_moves += other.accepted_moves;
@@ -112,30 +159,47 @@ impl SearchStats {
 
 fn note_propagation(stats: &mut SearchStats, touched: usize) {
     stats.propagated_layers += touched;
+    stats.propagations += 1;
     stats.max_propagated = stats.max_propagated.max(touched);
 }
 
 /// The [`FusionOracle`] that answers the shared fusion pass's makespan
-/// guards from the incremental schedule. Non-risky fusions batch their
-/// cost refreshes in `pending`, flushed lazily right before a guard
-/// reads the makespan (and once at the end via
-/// [`DeltaOracle::flush`]).
+/// guards from the incremental schedule. Cost refreshes (the staged
+/// move itself, pin diffs, stripped and re-fused edge endpoints) batch
+/// in `pending` and structural re-queue seeds in `pending_seeds`; both
+/// are flushed lazily right before a guard reads the makespan (and once
+/// at the end via [`DeltaOracle::flush`]), so layers stripped and
+/// re-fused within one candidate are refreshed once, with their final
+/// state.
 struct DeltaOracle<'x, 'e, 'm> {
     ev: &'e Evaluator<'m>,
     mapping: &'x Mapping,
     inc: &'x mut IncrementalSchedule,
     stats: &'x mut SearchStats,
     pending: Vec<LayerId>,
+    pending_seeds: Vec<LayerId>,
 }
 
 impl DeltaOracle<'_, '_, '_> {
     fn flush(&mut self, loc: &LocalityState) {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() && self.pending_seeds.is_empty() {
             return;
         }
-        let pending = std::mem::take(&mut self.pending);
-        let seeds = self.inc.refresh_costs(self.ev, self.mapping, loc, pending);
-        self.inc.propagate(self.ev.model(), &seeds);
+        // Stripped-then-restored layers appear several times in the
+        // batch; one refresh against the flush-time locality is the
+        // same snapshot (and the same seeds), minus the repeat
+        // `layer_cost` derivations.
+        self.pending.sort_unstable();
+        self.pending.dedup();
+        self.inc.refresh_costs_into(
+            self.ev,
+            self.mapping,
+            loc,
+            self.pending.drain(..),
+            &mut self.pending_seeds,
+        );
+        self.inc.propagate(self.ev.model(), &self.pending_seeds);
+        self.pending_seeds.clear();
         note_propagation(self.stats, self.inc.touched());
     }
 }
@@ -147,8 +211,19 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
     }
 
     fn toggled(&mut self, loc: &LocalityState, from: LayerId, to: LayerId) {
-        let seeds = self.inc.refresh_costs(self.ev, self.mapping, loc, [from, to]);
-        self.inc.propagate(self.ev.model(), &seeds);
+        // Toggles always follow a makespan read, so the batches are
+        // drained and `pending_seeds` is free to reuse as the seed
+        // buffer.
+        debug_assert!(self.pending.is_empty() && self.pending_seeds.is_empty());
+        self.inc.refresh_costs_into(
+            self.ev,
+            self.mapping,
+            loc,
+            [from, to],
+            &mut self.pending_seeds,
+        );
+        self.inc.propagate(self.ev.model(), &self.pending_seeds);
+        self.pending_seeds.clear();
         note_propagation(self.stats, self.inc.touched());
     }
 
@@ -158,6 +233,31 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
     }
 }
 
+/// Read-only per-(model, system) data shared by an engine and all its
+/// scoring-worker forks.
+#[derive(Debug)]
+struct EngineShared {
+    /// All non-input-producer edges pre-sorted by the fusion pass's
+    /// global order (bytes desc, then endpoint indices) — the
+    /// mapping-independent part of the candidate list, computed once.
+    sorted_edges: Vec<(LayerId, LayerId)>,
+    /// Non-input producers with ≥ 2 consumers (and those consumers):
+    /// the only places a "risky" fusion candidate can arise. The
+    /// prefix-exact fast path applies exactly when no such producer is
+    /// co-located with any of its consumers in the candidate mapping.
+    multi_out: Vec<(LayerId, Vec<LayerId>)>,
+}
+
+/// The staged candidate: which layer moved, where it came from, and
+/// whether it was scored through the delta schedule (transactional) or
+/// a plain full evaluation.
+#[derive(Debug, Clone, Copy)]
+struct StagedMove {
+    layer: LayerId,
+    from: AccId,
+    delta: bool,
+}
+
 /// Incremental candidate-move evaluator bound to one search run.
 ///
 /// The engine always holds the exact state of the current mapping
@@ -165,7 +265,11 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
 /// resummed so every objective scores bitwise like a full evaluation).
 /// Candidates are staged transactionally on top and either rolled back
 /// or committed as the new current state.
-#[derive(Debug)]
+///
+/// `Clone` copies the mutable scratch and shares the read-only data;
+/// use [`DeltaEngine::fork`] for scoring workers (it also zeroes the
+/// stats, which workers report per candidate instead).
+#[derive(Debug, Clone)]
 pub struct DeltaEngine<'e, 'm> {
     ev: &'e Evaluator<'m>,
     cfg: &'e H2hConfig,
@@ -174,12 +278,22 @@ pub struct DeltaEngine<'e, 'm> {
     locality: LocalityState,
     schedule: Schedule,
     score: f64,
-    staged: Option<(LayerId, AccId)>,
+    staged: Option<StagedMove>,
     staged_locality: Option<LocalityState>,
-    /// All non-input-producer edges pre-sorted by the fusion pass's
-    /// global order (bytes desc, then endpoint indices) — the
-    /// mapping-independent part of the candidate list, computed once.
-    sorted_edges: Vec<(LayerId, LayerId)>,
+    staged_schedule: Option<Schedule>,
+    staged_makespan: f64,
+    /// Resolved adaptive fallback: small models score risky candidates
+    /// by full evaluation, large ones by the global replay.
+    prefer_full: bool,
+    shared: Arc<EngineShared>,
+    // Reusable scratch for the staging hot path, kept across candidates
+    // so steady-state scoring allocates nothing.
+    spare_locality: Option<LocalityState>,
+    scratch_costs: Vec<LayerId>,
+    scratch_seeds: Vec<LayerId>,
+    scratch_cands: Vec<(LayerId, LayerId)>,
+    scratch_pins: Vec<(LayerId, AccId)>,
+    scratch_fusions: Vec<(LayerId, LayerId, AccId)>,
     /// Evaluation counters for this run.
     pub stats: SearchStats,
 }
@@ -196,11 +310,19 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         let mut stats = SearchStats::default();
         stats.full_rebuilds += 1;
         stats.full_evals += 1;
+        let model = ev.model();
         let locality = rebuild_locality(ev, mapping, cfg, preset);
         let schedule = ev.evaluate(mapping, &locality);
         let score = cfg.objective.score(&schedule);
         let inc = IncrementalSchedule::new(ev, mapping, &locality);
-        let sorted_edges = sorted_fusable_edges(ev.model());
+        let multi_out = model
+            .layer_ids()
+            .filter(|id| !matches!(model.layer(*id).op(), LayerOp::Input { .. }))
+            .filter_map(|id| {
+                let succs: Vec<LayerId> = model.successors(id).collect();
+                (succs.len() >= 2).then_some((id, succs))
+            })
+            .collect();
         DeltaEngine {
             ev,
             cfg,
@@ -211,9 +333,40 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
             score,
             staged: None,
             staged_locality: None,
-            sorted_edges,
+            staged_schedule: None,
+            staged_makespan: 0.0,
+            prefer_full: model.num_layers() <= cfg.small_model_threshold,
+            shared: Arc::new(EngineShared {
+                sorted_edges: sorted_fusable_edges(model),
+                multi_out,
+            }),
+            spare_locality: None,
+            scratch_costs: Vec::new(),
+            scratch_seeds: Vec::new(),
+            scratch_cands: Vec::new(),
+            scratch_pins: Vec::new(),
+            scratch_fusions: Vec::new(),
             stats,
         }
+    }
+
+    /// Cheap clone for a scoring worker thread: shares the read-only
+    /// `Arc`s, copies the mutable scratch, zeroes the stats (workers
+    /// report per-candidate stat deltas back to the main engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate is staged.
+    pub fn fork(&self) -> Self {
+        assert!(self.staged.is_none(), "fork with a staged candidate");
+        let mut fork = self.clone();
+        fork.stats = SearchStats::default();
+        fork
+    }
+
+    /// The configuration this engine scores under.
+    pub(crate) fn config(&self) -> &H2hConfig {
+        self.cfg
     }
 
     /// Objective score of the current (exact) state.
@@ -221,10 +374,11 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         self.score
     }
 
-    /// Schedule of the last exactly evaluated state (the seed, or the
-    /// last [`DeltaEngine::finalize`]d state). Trusted accepts advance
-    /// the engine past this snapshot; call
-    /// [`DeltaEngine::finalize`] for an up-to-date exact schedule.
+    /// Schedule of the last exactly evaluated state (the seed, the last
+    /// [`DeltaEngine::finalize`]d state, or the last accepted
+    /// full-eval-fallback candidate). Trusted delta accepts advance the
+    /// engine past this snapshot; call [`DeltaEngine::finalize`] for an
+    /// up-to-date exact schedule.
     pub fn schedule(&self) -> &Schedule {
         &self.schedule
     }
@@ -249,12 +403,30 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         (self.locality, schedule, self.stats)
     }
 
+    /// True when moving `layer` to `to` leaves a mapping in which some
+    /// multi-consumer producer is co-located with one of its consumers —
+    /// i.e. the fusion pass could see a "risky" candidate whose accept
+    /// decision needs a global makespan guard. When false, the
+    /// prefix-exact fast path applies.
+    fn candidate_has_risky_fusion(
+        &self,
+        mapping: &Mapping,
+        layer: LayerId,
+        to: AccId,
+    ) -> bool {
+        let mapped = |l: LayerId| if l == layer { Some(to) } else { mapping.get(l) };
+        self.shared.multi_out.iter().any(|(f, succs)| {
+            let fa = mapped(*f);
+            fa.is_some() && succs.iter().any(|s| mapped(*s) == fa)
+        })
+    }
+
     /// Stages the candidate "move `layer` to `to`": mutates `mapping`,
-    /// performs the scoped locality rebuild for the two touched
-    /// accelerators and delta-propagates the schedule. Returns the
-    /// candidate's objective score (delta-exact). The candidate stays
-    /// staged until [`DeltaEngine::reject_staged`] or
-    /// [`DeltaEngine::accept_staged`].
+    /// scores the candidate through the strategy-selected path
+    /// (prefix-exact scoped rebuild, global fusion replay, or plain
+    /// full evaluation — all bitwise-identical scores) and returns the
+    /// candidate's objective score. The candidate stays staged until
+    /// [`DeltaEngine::reject_staged`] or [`DeltaEngine::accept_staged`].
     ///
     /// # Panics
     ///
@@ -264,9 +436,60 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         assert!(self.staged.is_none(), "candidate already staged");
         let from = mapping.acc_of(layer);
         assert_ne!(from, to, "staging a no-op move");
+        match self.cfg.strategy {
+            ScoreStrategy::FullEval => self.stage_full(mapping, layer, from, to),
+            ScoreStrategy::Replay => self.stage_delta(mapping, layer, from, to, false),
+            ScoreStrategy::Adaptive => {
+                if !self.candidate_has_risky_fusion(mapping, layer, to) {
+                    self.stage_delta(mapping, layer, from, to, true)
+                } else if self.prefer_full {
+                    self.stage_full(mapping, layer, from, to)
+                } else {
+                    self.stage_delta(mapping, layer, from, to, false)
+                }
+            }
+        }
+    }
+
+    /// Plain full evaluation of the candidate (reference semantics);
+    /// the delta schedule is left untouched and reseeded on accept.
+    fn stage_full(
+        &mut self,
+        mapping: &mut Mapping,
+        layer: LayerId,
+        from: AccId,
+        to: AccId,
+    ) -> f64 {
+        self.stats.full_evals += 1;
+        self.stats.full_rebuilds += 1;
+        self.staged = Some(StagedMove { layer, from, delta: false });
+        mapping.set(layer, to);
+        let loc = rebuild_locality(self.ev, mapping, self.cfg, self.preset);
+        let schedule = self.ev.evaluate(mapping, &loc);
+        let score = self.cfg.objective.score(&schedule);
+        self.staged_makespan = schedule.makespan().as_f64();
+        self.staged_locality = Some(loc);
+        self.staged_schedule = Some(schedule);
+        score
+    }
+
+    /// Transactional delta scoring: scoped pin rebuild plus either the
+    /// prefix-exact local re-fusion (`prefix`) or the global
+    /// fusion-pass replay.
+    fn stage_delta(
+        &mut self,
+        mapping: &mut Mapping,
+        layer: LayerId,
+        from: AccId,
+        to: AccId,
+        prefix: bool,
+    ) -> f64 {
         self.stats.delta_evals += 1;
         self.stats.scoped_rebuilds += 1;
-        self.staged = Some((layer, from));
+        if prefix {
+            self.stats.prefix_evals += 1;
+        }
+        self.staged = Some(StagedMove { layer, from, delta: true });
         self.inc.begin();
 
         let model = self.ev.model();
@@ -276,44 +499,68 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         // change the per-accelerator knapsack inputs of its endpoints,
         // so every other accelerator's pin set is provably identical to
         // what a full rebuild would recompute and is carried over.
-        //
-        // Fusions are different: the activation-fusion pass guards
-        // "risky" candidates with a *global* makespan comparison, so
-        // any accelerator's fusion decisions can in principle flip when
-        // the schedule changes. To keep the delta score exactly equal
-        // to the full rebuild (and search decisions bitwise identical),
-        // all fusions are stripped and the fusion pass below re-runs in
-        // full — with its makespan guards answered by the incremental
-        // schedule instead of full evaluations.
-        let mut loc = self.locality.clone();
+        let mut loc = match self.spare_locality.take() {
+            Some(mut spare) => {
+                spare.clone_from(&self.locality);
+                spare
+            }
+            None => self.locality.clone(),
+        };
         let in_scope = |a: AccId| a == from || a == to;
-        let stripped_pins: Vec<(LayerId, AccId)> = loc
-            .pinned_layers()
-            .filter_map(|l| mapping.get(l).filter(|a| in_scope(*a)).map(|a| (l, a)))
-            .collect();
-        let old_pins: HashSet<LayerId> = stripped_pins.iter().map(|(l, _)| *l).collect();
-        for (l, a) in stripped_pins {
+        // Deferred cost refreshes: the moved layer, stripped fusion
+        // endpoints, (re-)pinned layers and re-fused endpoints
+        // accumulate here and are re-derived lazily — at the first
+        // exact makespan read, or once at the end when no guard fires —
+        // with their final locality state, instead of once per
+        // intermediate state. Duplicates and unchanged-state layers are
+        // fine: a refresh whose cost comes out identical seeds nothing.
+        let mut pending_costs = std::mem::take(&mut self.scratch_costs);
+        pending_costs.clear();
+        pending_costs.push(layer);
+        self.scratch_pins.clear();
+        self.scratch_pins.extend(
+            loc.pinned_layers()
+                .filter_map(|l| mapping.get(l).filter(|a| in_scope(*a)).map(|a| (l, a))),
+        );
+        for k in 0..self.scratch_pins.len() {
+            let (l, a) = self.scratch_pins[k];
             loc.unpin(model, l, a);
+            pending_costs.push(l);
         }
-        let stripped_fusions: Vec<(LayerId, LayerId, AccId)> = loc
-            .fused_edges()
-            .filter_map(|(f, t)| mapping.get(f).map(|a| (f, t, a)))
-            .collect();
-        let mut fusion_dirty: Vec<LayerId> = Vec::new();
-        for (f, t, a) in stripped_fusions {
+
+        // Fusions: the activation-fusion pass guards "risky" candidates
+        // with a *global* makespan comparison, so in general any
+        // accelerator's fusion decisions can flip when the schedule
+        // changes — the replay strips them all and re-runs the pass in
+        // its exact global order below. On the prefix fast path the
+        // caller has proven no risky candidate exists anywhere, so
+        // every fusion decision is a per-accelerator capacity rule:
+        // only the two touched accelerators' fusions (charge
+        // attribution: the producer's pre-move accelerator, which
+        // co-location guarantees equals the consumer's) can change.
+        self.scratch_fusions.clear();
+        self.scratch_fusions.extend(
+            loc.fused_edges()
+                .filter_map(|(f, t)| mapping.get(f).map(|a| (f, t, a)))
+                .filter(|(_, _, a)| !prefix || in_scope(*a)),
+        );
+        for k in 0..self.scratch_fusions.len() {
+            let (f, t, a) = self.scratch_fusions[k];
             loc.unfuse(model, f, t, a);
-            fusion_dirty.push(f);
-            fusion_dirty.push(t);
+            pending_costs.push(f);
+            pending_costs.push(t);
         }
 
         // Apply the move.
         mapping.set(layer, to);
-        let mut seeds = self.inc.move_layer(layer, to);
+        let mut pending_seeds = std::mem::take(&mut self.scratch_seeds);
+        pending_seeds.clear();
+        self.inc.move_layer_into(layer, to, &mut pending_seeds);
 
         // Scoped step 2: the shared `weight_locality_pass` body (preset
         // pins + per-accelerator knapsack) restricted to the two
         // touched accelerators.
-        let mut scoped: Vec<AccId> = vec![from, to];
+        let mut scoped = [from, to];
         scoped.sort_by_key(|a| a.index());
         if self.cfg.enable_weight_locality {
             weight_locality_pass(
@@ -325,68 +572,92 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
                 &scoped,
             );
         }
+        // Every in-scope pin of the rebuilt state joins the refresh;
+        // together with the stripped pins above this covers the pin
+        // diff (re-deriving a pin whose state is unchanged is a no-op).
+        pending_costs
+            .extend(loc.pinned_layers().filter(|l| mapping.get(*l).is_some_and(in_scope)));
 
-        // Re-derive the costs of every layer whose terms can change:
-        // the moved layer (new compute time / DRAM rate), layers whose
-        // pin state differs between the stripped and re-run knapsacks,
-        // and the endpoints of stripped fusions. Unchanged-pin layers
-        // on the touched accelerators keep their exact costs — only
-        // their start times can move, which propagation handles. The
-        // delta state then mirrors the full evaluation of `(mapping,
-        // pins-only locality)` bitwise.
-        let new_pins: HashSet<LayerId> = loc
-            .pinned_layers()
-            .filter(|l| mapping.get(*l).is_some_and(in_scope))
-            .collect();
-        let mut dirty: Vec<LayerId> = vec![layer];
-        dirty.extend(old_pins.symmetric_difference(&new_pins).copied());
-        dirty.extend(fusion_dirty);
-        seeds.extend(self.inc.refresh_costs(self.ev, mapping, &loc, dirty.iter().copied()));
-        self.inc.propagate(model, &seeds);
-        self.note_propagation();
-
-        // Step 3 replay: the shared `fusion_pass` body over all
-        // accelerators in the exact global candidate order of
-        // `activation_fusion_opt`, with the makespan guard for risky
-        // candidates answered by the delta schedule (bitwise-equal to
-        // the full evaluation it replaces).
-        if self.cfg.enable_activation_fusion {
-            let sorted_edges = std::mem::take(&mut self.sorted_edges);
-            let candidates: Vec<(LayerId, LayerId)> = sorted_edges
-                .iter()
-                .copied()
-                .filter(|(f, t)| {
-                    mapping.get(*f).is_some() && mapping.get(*f) == mapping.get(*t)
-                })
-                .collect();
+        let shared = self.shared.clone();
+        if self.cfg.enable_activation_fusion && prefix {
+            // Prefix-exact step 3: only the touched accelerators'
+            // candidates are re-fused, in the canonical global order
+            // restricted to them (per-accelerator budget consumption
+            // order is preserved, and that is all a capacity-only
+            // decision depends on). No makespan guards are needed: the
+            // no-risky-candidate precondition makes every candidate's
+            // accept rule unconditional-if-it-fits.
+            let system = self.ev.system();
+            for &(f, t) in &shared.sorted_edges {
+                let fa = mapping.get(f);
+                if fa.is_none() || fa != mapping.get(t) {
+                    continue;
+                }
+                let acc = fa.expect("checked above");
+                if !in_scope(acc) {
+                    continue;
+                }
+                if loc.try_fuse(model, system, f, t, acc) {
+                    pending_costs.push(f);
+                    pending_costs.push(t);
+                }
+            }
+        }
+        if self.cfg.enable_activation_fusion && !prefix {
+            // Step 3 replay: the shared `fusion_pass` body over all
+            // accelerators in the exact global candidate order of
+            // `activation_fusion_opt`, with the makespan guard for
+            // risky candidates answered by the delta schedule
+            // (bitwise-equal to the full evaluation it replaces).
+            let mut candidates = std::mem::take(&mut self.scratch_cands);
+            candidates.clear();
+            candidates.extend(shared.sorted_edges.iter().copied().filter(|(f, t)| {
+                mapping.get(*f).is_some() && mapping.get(*f) == mapping.get(*t)
+            }));
             let mut oracle = DeltaOracle {
                 ev: self.ev,
                 mapping,
                 inc: &mut self.inc,
                 stats: &mut self.stats,
-                pending: Vec::new(),
+                pending: pending_costs,
+                pending_seeds,
             };
             fusion_pass(self.ev, mapping, &mut loc, &candidates, &mut oracle);
             oracle.flush(&loc);
-            self.sorted_edges = sorted_edges;
+            self.scratch_costs = oracle.pending;
+            self.scratch_seeds = oracle.pending_seeds;
+            self.scratch_cands = candidates;
+        } else {
+            // Prefix path (or fusion disabled): one deferred flush (a
+            // layer refreshed once with its final state is the same
+            // snapshot its duplicates would telescope to).
+            pending_costs.sort_unstable();
+            pending_costs.dedup();
+            self.inc.refresh_costs_into(
+                self.ev,
+                mapping,
+                &loc,
+                pending_costs.drain(..),
+                &mut pending_seeds,
+            );
+            self.inc.propagate(model, &pending_seeds);
+            note_propagation(&mut self.stats, self.inc.touched());
+            self.scratch_costs = pending_costs;
+            self.scratch_seeds = pending_seeds;
         }
 
         // A fresh in-order summation makes the proxy aggregates
         // bitwise-equal to a full evaluation's, so every objective's
         // score — not just latency — filters exactly.
         self.inc.resum_aggregates();
+        self.staged_makespan = self.inc.makespan().as_f64();
         self.staged_locality = Some(loc);
         self.cfg.objective.score_proxy(&self.inc.proxy())
     }
 
-    fn note_propagation(&mut self) {
-        note_propagation(&mut self.stats, self.inc.touched());
-    }
-
-    /// Makespan of the currently staged candidate (delta-exact given
-    /// the scoped locality rebuild).
+    /// Makespan of the currently staged candidate (exact).
     pub fn staged_makespan(&self) -> f64 {
-        self.inc.makespan().as_f64()
+        self.staged_makespan
     }
 
     /// Rolls the staged candidate back, restoring `mapping` and the
@@ -396,27 +667,44 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
     ///
     /// Panics if no candidate is staged.
     pub fn reject_staged(&mut self, mapping: &mut Mapping) {
-        let (layer, from) = self.staged.take().expect("no staged candidate");
-        self.staged_locality = None;
-        mapping.set(layer, from);
-        self.inc.rollback();
+        let staged = self.staged.take().expect("no staged candidate");
+        // Recycle the staged locality's buffers for the next candidate.
+        self.spare_locality = self.staged_locality.take();
+        self.staged_schedule = None;
+        mapping.set(staged.layer, staged.from);
+        if staged.delta {
+            self.inc.rollback();
+        }
     }
 
     /// Commits the staged candidate: its replayed locality and delta
-    /// schedule become the engine's current state (no full evaluation —
-    /// the replay is exact by construction). Returns the committed
-    /// objective score.
+    /// schedule become the engine's current state (a delta-staged
+    /// candidate commits without any full evaluation — the replay is
+    /// exact by construction; a full-eval-staged candidate reseeds the
+    /// delta schedule from its already-evaluated state). `mapping` must
+    /// be the mapping the candidate was staged on (still moved).
+    /// Returns the committed objective score.
     ///
     /// # Panics
     ///
     /// Panics if no candidate is staged.
-    pub fn accept_staged(&mut self) -> f64 {
-        assert!(self.staged.take().is_some(), "no staged candidate");
-        self.locality = self
+    pub fn accept_staged(&mut self, mapping: &Mapping) -> f64 {
+        let staged = self.staged.take().expect("no staged candidate");
+        let accepted = self
             .staged_locality
             .take()
             .expect("staged candidate carries its locality");
-        self.inc.commit();
+        self.spare_locality = Some(std::mem::replace(&mut self.locality, accepted));
+        if staged.delta {
+            self.inc.commit();
+            self.staged_schedule = None;
+        } else {
+            self.schedule = self
+                .staged_schedule
+                .take()
+                .expect("full-eval candidate carries its schedule");
+            self.inc = IncrementalSchedule::new(self.ev, mapping, &self.locality);
+        }
         self.score = self.cfg.objective.score_proxy(&self.inc.proxy());
         self.stats.accepted_moves += 1;
         self.score
@@ -438,7 +726,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         let best = self.score;
         let cand = self.stage_move(mapping, layer, to);
         if cand + self.cfg.accept_epsilon < best {
-            self.accept_staged();
+            self.accept_staged(mapping);
             true
         } else {
             self.reject_staged(mapping);

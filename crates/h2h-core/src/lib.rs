@@ -40,14 +40,16 @@ pub mod config;
 pub mod delta;
 pub mod dynamic;
 pub mod knapsack;
+pub mod parallel;
 pub mod pipeline;
 pub mod preset;
 pub mod remap;
 pub mod report;
 pub mod weight_locality;
 
-pub use config::{H2hConfig, KnapsackKind, MapObjective};
+pub use config::{H2hConfig, KnapsackKind, MapObjective, ScoreStrategy};
 pub use delta::{DeltaEngine, SearchStats};
+pub use parallel::ScoringPool;
 pub use dynamic::{DynamicOutcome, DynamicSession};
 pub use pipeline::{H2hError, H2hMapper, H2hOutcome, Step, StepSnapshot};
 pub use preset::PinPreset;

@@ -1,0 +1,294 @@
+//! Parallel candidate scoring (ROADMAP: "Parallel candidate scoring").
+//!
+//! The search loops spend nearly all of their time scoring candidate
+//! moves for one layer at a time, and every candidate of a batch is
+//! scored against the *same* current state — embarrassingly parallel
+//! once each evaluator owns its own scratch. [`ScoringPool`] fans a
+//! candidate batch out across `std::thread::scope` workers, each
+//! owning a [`DeltaEngine::fork`] (shared read-only model/system data
+//! behind `Arc`s, private mutable scratch) plus its own `Mapping` copy.
+//!
+//! # Determinism (the commit protocol)
+//!
+//! Results are **bit-identical to the serial loop for every thread
+//! count**, including the search statistics:
+//!
+//! 1. Candidates are indexed in their serial visit order and dealt
+//!    round-robin to the lanes (workers + the main engine, which
+//!    scores its own share instead of idling).
+//! 2. Each lane scores transactionally — stage, record `(score,
+//!    makespan, stat delta)`, reject — so a lane's engine always holds
+//!    the current state. Results are keyed by candidate index, never
+//!    by thread completion order.
+//! 3. The caller applies the serial decision rule over the indexed
+//!    results (first improving candidate for the greedy remap loop;
+//!    in-order Metropolis acceptance for the annealer) and absorbs the
+//!    stat deltas of exactly the candidates the serial loop would have
+//!    scored — speculative scoring beyond the accepted index is wasted
+//!    wall-clock on an idle core, not a semantic difference.
+//! 4. On accept, the move is committed on the main engine and
+//!    broadcast to every worker, which replays it (stage + accept) on
+//!    its fork; each engine's state stays bitwise equal to the main
+//!    one because staging is deterministic in the state.
+//!
+//! Channels are per-worker request queues plus one shared result
+//! channel; requests are FIFO per worker, so a broadcast commit is
+//! always applied before the next scoring batch without extra
+//! synchronization.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::Scope;
+
+use h2h_model::graph::LayerId;
+use h2h_system::mapping::Mapping;
+use h2h_system::system::AccId;
+
+use crate::delta::{DeltaEngine, SearchStats};
+
+/// One scored candidate: its objective score, exact makespan, and the
+/// search-stat delta its scoring produced (with `attempted_moves = 1`),
+/// ready to be absorbed by the main engine if the serial loop would
+/// have scored it.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateOutcome {
+    /// Objective score of the staged candidate (bitwise-equal to the
+    /// serial scoring of the same candidate in the same state).
+    pub score: f64,
+    /// Exact makespan of the staged candidate.
+    pub makespan: f64,
+    /// Stat delta of scoring this one candidate.
+    pub stats: SearchStats,
+}
+
+/// Scores one candidate transactionally on `engine`, leaving the
+/// engine's state and stats untouched and returning the outcome with a
+/// per-candidate stat delta.
+pub(crate) fn score_candidate(
+    engine: &mut DeltaEngine<'_, '_>,
+    mapping: &mut Mapping,
+    layer: LayerId,
+    to: AccId,
+) -> CandidateOutcome {
+    let saved = engine.stats;
+    engine.stats = SearchStats::default();
+    let score = engine.stage_move(mapping, layer, to);
+    let makespan = engine.staged_makespan();
+    let mut stats = engine.stats;
+    stats.attempted_moves = 1;
+    engine.reject_staged(mapping);
+    engine.stats = saved;
+    CandidateOutcome { score, makespan, stats }
+}
+
+/// Applies an accepted move to `engine` (stage + accept) without
+/// perturbing its stats beyond the accept counter — the scoring stat
+/// delta was already recorded by [`score_candidate`] on whichever lane
+/// scored the winning candidate. Returns the committed score.
+pub(crate) fn commit_move(
+    engine: &mut DeltaEngine<'_, '_>,
+    mapping: &mut Mapping,
+    layer: LayerId,
+    to: AccId,
+) -> f64 {
+    let saved = engine.stats;
+    engine.stage_move(mapping, layer, to);
+    let score = engine.accept_staged(mapping);
+    engine.stats = saved;
+    engine.stats.accepted_moves += 1;
+    score
+}
+
+/// Scoring workers to spawn for `cfg`: the requested thread count
+/// (minus the main lane), capped at the machine's available
+/// parallelism unless the config oversubscribes — extra workers on a
+/// saturated machine only add scheduling overhead, never change
+/// results.
+pub(crate) fn effective_workers(cfg: &crate::H2hConfig) -> usize {
+    let requested = cfg.score_threads.max(1);
+    let capped = if cfg.score_oversubscribe {
+        requested
+    } else {
+        requested.min(
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        )
+    };
+    capped - 1
+}
+
+enum Request {
+    /// Score the given `(candidate index, layer, destination)` jobs.
+    Score(Vec<(usize, LayerId, AccId)>),
+    /// The main engine accepted this move: replay it.
+    Commit(LayerId, AccId),
+}
+
+/// A scoped pool of scoring workers (see module docs for the
+/// protocol). Dropping the pool closes the request channels and lets
+/// the workers join at scope exit.
+#[derive(Debug)]
+pub struct ScoringPool {
+    txs: Vec<Sender<Request>>,
+    results: Receiver<(usize, CandidateOutcome)>,
+    // Reusable batch scratch (one batch per layer visit — the hot loop
+    // should not allocate; only the per-worker job lists must, since
+    // they are moved across the channel).
+    main_jobs: Vec<(usize, LayerId, AccId)>,
+    slots: Vec<Option<CandidateOutcome>>,
+}
+
+impl ScoringPool {
+    /// Spawns `workers` scoring threads into `scope`, each owning a
+    /// fork of `engine` and a copy of `mapping` (both must be the
+    /// current, unstaged search state).
+    pub fn spawn<'scope, 'env, 'e: 'env, 'm: 'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        engine: &DeltaEngine<'e, 'm>,
+        mapping: &Mapping,
+        workers: usize,
+    ) -> ScoringPool {
+        let (result_tx, results) = channel();
+        let mut txs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Request>();
+            let mut worker_engine = engine.fork();
+            let mut worker_mapping = mapping.clone();
+            let worker_results: Sender<(usize, CandidateOutcome)> = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    match req {
+                        Request::Score(jobs) => {
+                            for (idx, layer, to) in jobs {
+                                let out = score_candidate(
+                                    &mut worker_engine,
+                                    &mut worker_mapping,
+                                    layer,
+                                    to,
+                                );
+                                if worker_results.send((idx, out)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        Request::Commit(layer, to) => {
+                            commit_move(&mut worker_engine, &mut worker_mapping, layer, to);
+                        }
+                    }
+                }
+            });
+            txs.push(tx);
+        }
+        ScoringPool { txs, results, main_jobs: Vec::new(), slots: Vec::new() }
+    }
+
+    /// Number of scoring lanes (workers + the main engine).
+    pub fn lanes(&self) -> usize {
+        self.txs.len() + 1
+    }
+
+    /// Scores `cands` against the current state, fanning them
+    /// round-robin across the workers while the main engine scores its
+    /// own share. Fills `out` with one outcome per candidate, in
+    /// candidate order.
+    pub fn score_batch(
+        &mut self,
+        engine: &mut DeltaEngine<'_, '_>,
+        mapping: &mut Mapping,
+        cands: &[(LayerId, AccId)],
+        out: &mut Vec<CandidateOutcome>,
+    ) {
+        out.clear();
+        let lanes = self.lanes();
+        let mut expected = 0;
+        for (lane, tx) in self.txs.iter().enumerate() {
+            let jobs: Vec<(usize, LayerId, AccId)> = cands
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| idx % lanes == lane)
+                .map(|(idx, (layer, to))| (idx, *layer, *to))
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+            expected += jobs.len();
+            tx.send(Request::Score(jobs)).expect("scoring worker alive");
+        }
+        self.main_jobs.clear();
+        self.main_jobs.extend(
+            cands
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| idx % lanes == lanes - 1)
+                .map(|(idx, (layer, to))| (idx, *layer, *to)),
+        );
+        self.slots.clear();
+        self.slots.resize(cands.len(), None);
+        for k in 0..self.main_jobs.len() {
+            let (idx, layer, to) = self.main_jobs[k];
+            self.slots[idx] = Some(score_candidate(engine, mapping, layer, to));
+        }
+        for _ in 0..expected {
+            let (idx, outcome) = self.results.recv().expect("scoring worker alive");
+            self.slots[idx] = Some(outcome);
+        }
+        out.extend(self.slots.drain(..).map(|r| r.expect("every candidate scored")));
+    }
+
+    /// Broadcasts an accepted move to every worker (the caller commits
+    /// it on the main engine itself).
+    pub fn broadcast_commit(&self, layer: LayerId, to: AccId) {
+        for tx in &self.txs {
+            tx.send(Request::Commit(layer, to)).expect("scoring worker alive");
+        }
+    }
+}
+
+/// Serial-equivalent batch step for the greedy remap loop: scores
+/// `cands` (through `pool` when present, inline otherwise), absorbs
+/// the stat deltas of exactly the candidates the serial first-improving
+/// scan would have attempted, and commits the first candidate that
+/// improves on the engine's current score by more than
+/// `accept_epsilon`. Returns `true` on accept (with `mapping` left
+/// moved).
+pub(crate) fn try_first_improving(
+    engine: &mut DeltaEngine<'_, '_>,
+    mapping: &mut Mapping,
+    cands: &[(LayerId, AccId)],
+    pool: Option<&mut ScoringPool>,
+    outcomes: &mut Vec<CandidateOutcome>,
+) -> bool {
+    let eps = engine.config().accept_epsilon;
+    match pool {
+        Some(pool) if cands.len() > 1 => {
+            let best = engine.score();
+            pool.score_batch(engine, mapping, cands, outcomes);
+            let winner = outcomes.iter().position(|o| o.score + eps < best);
+            let attempted = winner.map_or(cands.len(), |w| w + 1);
+            for outcome in &outcomes[..attempted] {
+                engine.stats.absorb(&outcome.stats);
+            }
+            if let Some(w) = winner {
+                let (layer, to) = cands[w];
+                pool.broadcast_commit(layer, to);
+                commit_move(engine, mapping, layer, to);
+                true
+            } else {
+                false
+            }
+        }
+        // Serial (or single candidate): the classic stage/accept-or-
+        // reject walk — accepted candidates commit their own staging.
+        // Workers, when present, must still see the accepted move or
+        // their forks would drift from the main engine.
+        mut pool => {
+            for (layer, to) in cands {
+                if engine.try_improving_move(mapping, *layer, *to) {
+                    if let Some(pool) = pool.as_deref_mut() {
+                        pool.broadcast_commit(*layer, *to);
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}

@@ -11,15 +11,22 @@
 //! The inner loop runs on the [`DeltaEngine`]: candidates are scored by
 //! a scoped locality-rebuild replay plus cone-local schedule
 //! propagation (paper §4.2's "update … without traversing the entire
-//! graph"). The replay reproduces the full rebuild's decisions bitwise,
-//! so accepted moves commit the delta state directly and the whole loop
-//! spends exactly two full schedule evaluations (seed + finalize) while
-//! producing final mappings identical to the historical per-candidate
+//! graph"), through the strategy selected per candidate by
+//! [`crate::config::ScoreStrategy`] (prefix-exact fast path, global
+//! fusion replay, or plain full evaluation — all bitwise-identical
+//! scores). Accepted moves commit the delta state directly, producing
+//! final mappings identical to the historical per-candidate
 //! full-re-evaluation loop (kept below as
 //! [`data_locality_remapping_reference`] and asserted equivalent by
 //! tests on every zoo model).
-
-use std::collections::BTreeSet;
+//!
+//! With `score_threads > 1` the per-layer candidate batch is fanned
+//! out across a scoped [`ScoringPool`] (one [`DeltaEngine::fork`] per
+//! worker) and the **first improving candidate in serial visit order**
+//! is committed — the same decision rule as the serial walk, applied
+//! to index-keyed results instead of thread completion order, so final
+//! mappings, latencies *and search stats* are identical for every
+//! thread count (see `crate::parallel` for the commit protocol).
 
 use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
@@ -29,6 +36,7 @@ use h2h_system::system::AccId;
 use crate::activation_fusion::rebuild_locality;
 use crate::config::H2hConfig;
 use crate::delta::{DeltaEngine, SearchStats};
+use crate::parallel::{try_first_improving, CandidateOutcome, ScoringPool};
 use crate::preset::PinPreset;
 
 /// Outcome of the remapping loop.
@@ -61,51 +69,89 @@ impl RemapOutcome {
 }
 
 /// Runs the greedy remapping loop on the incremental delta engine,
-/// mutating `mapping` in place.
+/// mutating `mapping` in place. With `cfg.score_threads > 1` the
+/// candidate scoring fans out across a scoped worker pool; results are
+/// identical for every thread count.
 pub fn data_locality_remapping(
     ev: &Evaluator<'_>,
     cfg: &H2hConfig,
     preset: &PinPreset,
     mapping: &mut Mapping,
 ) -> RemapOutcome {
+    let mut engine = DeltaEngine::new(ev, cfg, preset, mapping);
+    let workers = crate::parallel::effective_workers(cfg);
+    let passes = if workers == 0 {
+        remap_loop(ev, cfg, &mut engine, mapping, None)
+    } else {
+        std::thread::scope(|scope| {
+            let mut pool = ScoringPool::spawn(scope, &engine, mapping, workers);
+            remap_loop(ev, cfg, &mut engine, mapping, Some(&mut pool))
+        })
+    };
+
+    let (locality, schedule, mut stats) = engine.finalize(mapping);
+    stats.passes = passes;
+    RemapOutcome { locality, schedule, stats }
+}
+
+/// The pass loop shared by the serial and pooled paths: visit layers in
+/// topological order, gather each layer's neighbour-accelerator
+/// candidates (deterministic order), and take the first improving move.
+fn remap_loop(
+    ev: &Evaluator<'_>,
+    cfg: &H2hConfig,
+    engine: &mut DeltaEngine<'_, '_>,
+    mapping: &mut Mapping,
+    mut pool: Option<&mut ScoringPool>,
+) -> usize {
     let model = ev.model();
     let system = ev.system();
-
-    let mut engine = DeltaEngine::new(ev, cfg, preset, mapping);
-    let mut passes = 0;
-
     let order = model.topo_order();
+    let mut passes = 0;
+    let mut neighbours: Vec<AccId> = Vec::new();
+    let mut cands: Vec<(h2h_model::graph::LayerId, AccId)> = Vec::new();
+    let mut outcomes: Vec<CandidateOutcome> = Vec::new();
     while passes < cfg.remap_max_passes {
         passes += 1;
         let mut improved = false;
         for &layer in &order {
             let current = mapping.acc_of(layer);
-            // Candidate destinations: accelerators hosting a neighbour
-            // (deterministic order via BTreeSet).
-            let mut neighbours: BTreeSet<AccId> = model
-                .predecessors(layer)
-                .chain(model.successors(layer))
-                .filter_map(|n| mapping.get(n))
-                .collect();
-            neighbours.remove(&current);
-            for acc in neighbours {
-                if !system.acc(acc).supports(model.layer(layer)) {
-                    continue;
-                }
-                if engine.try_improving_move(mapping, layer, acc) {
-                    improved = true;
-                    break; // greedy: take the move, go to the next layer
-                }
+            // Candidate destinations: accelerators hosting a neighbour,
+            // in deterministic ascending-id order (sorted + deduped —
+            // same order a BTreeSet would yield, without allocating per
+            // visit).
+            neighbours.clear();
+            neighbours.extend(
+                model
+                    .predecessors(layer)
+                    .chain(model.successors(layer))
+                    .filter_map(|n| mapping.get(n))
+                    .filter(|acc| *acc != current),
+            );
+            neighbours.sort_unstable();
+            neighbours.dedup();
+            cands.clear();
+            cands.extend(
+                neighbours
+                    .iter()
+                    .filter(|acc| system.acc(**acc).supports(model.layer(layer)))
+                    .map(|acc| (layer, *acc)),
+            );
+            if cands.is_empty() {
+                continue;
+            }
+            // Greedy: take the first improving move, go to the next
+            // layer.
+            if try_first_improving(engine, mapping, &cands, pool.as_deref_mut(), &mut outcomes)
+            {
+                improved = true;
             }
         }
         if !improved {
             break;
         }
     }
-
-    let (locality, schedule, mut stats) = engine.finalize(mapping);
-    stats.passes = passes;
-    RemapOutcome { locality, schedule, stats }
+    passes
 }
 
 /// The historical implementation: every candidate pays a full locality
@@ -129,18 +175,23 @@ pub fn data_locality_remapping_reference(
     let mut attempted_moves = 0;
 
     let order = model.topo_order();
+    let mut neighbours: Vec<AccId> = Vec::new();
     while passes < cfg.remap_max_passes {
         passes += 1;
         let mut improved = false;
         for &layer in &order {
             let current = mapping.acc_of(layer);
-            let mut neighbours: BTreeSet<AccId> = model
-                .predecessors(layer)
-                .chain(model.successors(layer))
-                .filter_map(|n| mapping.get(n))
-                .collect();
-            neighbours.remove(&current);
-            for acc in neighbours {
+            neighbours.clear();
+            neighbours.extend(
+                model
+                    .predecessors(layer)
+                    .chain(model.successors(layer))
+                    .filter_map(|n| mapping.get(n))
+                    .filter(|acc| *acc != current),
+            );
+            neighbours.sort_unstable();
+            neighbours.dedup();
+            for &acc in &neighbours {
                 if !system.acc(acc).supports(model.layer(layer)) {
                     continue;
                 }

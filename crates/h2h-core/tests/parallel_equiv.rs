@@ -1,0 +1,171 @@
+//! Equivalence properties of the parallel / adaptive search core: for
+//! every zoo model, the step-4 remapping loop must produce identical
+//! final mappings, latencies *and search statistics* for every scoring
+//! thread count and every scoring strategy, all equal to the
+//! per-candidate full-re-evaluation reference.
+//!
+//! Thread counts are exercised with `score_oversubscribe` so the worker
+//! protocol really runs (and really forks engines) even on a
+//! single-core CI machine.
+
+use h2h_core::compute_map::computation_prioritized;
+use h2h_core::remap::{data_locality_remapping, data_locality_remapping_reference};
+use h2h_core::{H2hConfig, PinPreset, ScoreStrategy};
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+#[test]
+fn remap_is_thread_count_invariant_and_matches_the_reference() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in h2h_model::zoo::all_models() {
+        let ev = Evaluator::new(&model, &system);
+        let cfg0 = H2hConfig::default();
+        let (seed, _) = computation_prioritized(&ev, &cfg0, &PinPreset::new()).unwrap();
+
+        let mut map_ref = seed.clone();
+        let reference =
+            data_locality_remapping_reference(&ev, &cfg0, &PinPreset::new(), &mut map_ref);
+
+        let mut serial = None;
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = H2hConfig {
+                score_threads: threads,
+                score_oversubscribe: true,
+                ..H2hConfig::default()
+            };
+            let mut mapping = seed.clone();
+            let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+            assert_eq!(
+                mapping,
+                map_ref,
+                "{} at {threads} threads: diverged from the reference mapping",
+                model.name()
+            );
+            let mk = out.schedule.makespan().as_f64();
+            let mk_ref = reference.schedule.makespan().as_f64();
+            assert!(
+                (mk - mk_ref).abs() <= mk_ref * 1e-12,
+                "{} at {threads} threads: latency {mk} vs reference {mk_ref}",
+                model.name()
+            );
+            match &serial {
+                None => serial = Some((mapping, mk, out.stats)),
+                Some((serial_map, serial_mk, serial_stats)) => {
+                    assert_eq!(&mapping, serial_map, "{}: mapping", model.name());
+                    assert_eq!(mk, *serial_mk, "{}: makespan must be bitwise equal", model.name());
+                    assert_eq!(
+                        &out.stats,
+                        serial_stats,
+                        "{} at {threads} threads: stats diverged from serial",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_scoring_strategy_makes_identical_search_decisions() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in [
+        h2h_model::zoo::mocap(),
+        h2h_model::zoo::cnn_lstm(),
+        h2h_model::zoo::vfs(),
+        h2h_model::zoo::casia_surf(),
+    ] {
+        let ev = Evaluator::new(&model, &system);
+        let cfg0 = H2hConfig::default();
+        let (seed, _) = computation_prioritized(&ev, &cfg0, &PinPreset::new()).unwrap();
+        let mut outcomes = Vec::new();
+        for strategy in [ScoreStrategy::Adaptive, ScoreStrategy::Replay, ScoreStrategy::FullEval]
+        {
+            let cfg = H2hConfig { strategy, ..H2hConfig::default() };
+            let mut mapping = seed.clone();
+            let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+            outcomes.push((strategy, mapping, out));
+        }
+        let (_, first_map, first_out) = &outcomes[0];
+        for (strategy, mapping, out) in &outcomes[1..] {
+            assert_eq!(
+                mapping,
+                first_map,
+                "{} under {strategy:?}: mapping diverged",
+                model.name()
+            );
+            assert_eq!(
+                out.schedule.makespan(),
+                first_out.schedule.makespan(),
+                "{} under {strategy:?}: latency diverged",
+                model.name()
+            );
+            assert_eq!(
+                out.stats.attempted_moves, first_out.stats.attempted_moves,
+                "{} under {strategy:?}: attempt counts diverged",
+                model.name()
+            );
+            assert_eq!(
+                out.stats.accepted_moves, first_out.stats.accepted_moves,
+                "{} under {strategy:?}: accept counts diverged",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_models_take_the_prefix_fast_path() {
+    // VFS and MoCap have no multi-consumer producer, so under the
+    // adaptive strategy every candidate must be scored on the
+    // prefix-exact fast path (no global fusion replay, no full-eval
+    // fallback beyond seed + finalize).
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in [h2h_model::zoo::vfs(), h2h_model::zoo::mocap()] {
+        let ev = Evaluator::new(&model, &system);
+        let cfg = H2hConfig::default();
+        let (mut mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+        assert!(out.stats.delta_evals > 0, "{}: no candidates scored", model.name());
+        assert_eq!(
+            out.stats.prefix_evals,
+            out.stats.delta_evals,
+            "{}: chain model must stay on the fast path",
+            model.name()
+        );
+        assert_eq!(
+            out.stats.full_evals, 2,
+            "{}: only seed + finalize may evaluate fully",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn propagation_stats_are_coherent() {
+    // The regression this guards: `mean_propagated` was once normalized
+    // by delta evaluations instead of propagation rounds, reporting a
+    // "mean" ~20x larger than the largest possible cone.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in h2h_model::zoo::all_models() {
+        let ev = Evaluator::new(&model, &system);
+        let cfg = H2hConfig::default();
+        let (mut mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+        let stats = out.stats;
+        assert!(
+            stats.mean_propagated() <= stats.max_propagated as f64,
+            "{}: mean cone {} exceeds max cone {}",
+            model.name(),
+            stats.mean_propagated(),
+            stats.max_propagated
+        );
+        assert!(
+            stats.max_propagated <= model.num_layers(),
+            "{}: propagation cone cannot exceed the graph",
+            model.name()
+        );
+        // Every delta-scored candidate flushes at least one round (the
+        // moved layer is always in the deferred batch).
+        assert!(stats.propagations >= stats.delta_evals);
+    }
+}

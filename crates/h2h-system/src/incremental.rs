@@ -50,6 +50,7 @@
 //! measured by the `incremental` criterion bench.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use h2h_model::graph::{LayerId, ModelGraph};
 use h2h_model::units::Seconds;
@@ -93,6 +94,23 @@ struct Journal {
     per_acc_busy: Vec<f64>,
 }
 
+/// Read-only per-(model, system) data shared by every clone of an
+/// [`IncrementalSchedule`]: the global topological priority and the
+/// energy-model constants. The parallel search core forks one schedule
+/// per scoring worker, so this is split behind an [`Arc`] to keep those
+/// clones to the mutable scratch only.
+#[derive(Debug)]
+struct IncShared {
+    /// Rank of each layer in the global topological priority.
+    topo_pos: Vec<usize>,
+    /// The global topological priority itself (the evaluator's
+    /// iteration order, used by exact aggregate resummation).
+    order: Vec<LayerId>,
+    // Energy-model constants captured at seed time.
+    eth_power_w: f64,
+    dram_pj_per_byte: f64,
+}
+
 /// A mutable schedule supporting localized updates and transactional
 /// candidate evaluation (see module docs for the invariants).
 #[derive(Debug, Clone)]
@@ -109,11 +127,8 @@ pub struct IncrementalSchedule {
     queue_pos: Vec<usize>,
     /// Accelerator index per layer (`usize::MAX` for sparse slots).
     acc_of: Vec<usize>,
-    /// Rank of each layer in the global topological priority.
-    topo_pos: Vec<usize>,
-    /// The global topological priority itself (the evaluator's
-    /// iteration order, used by exact aggregate resummation).
-    order: Vec<LayerId>,
+    /// Shared read-only topology/energy data (see [`IncShared`]).
+    shared: Arc<IncShared>,
     /// Busy seconds per accelerator.
     per_acc_busy: Vec<f64>,
     // Running aggregates (see invariant 3).
@@ -122,9 +137,6 @@ pub struct IncrementalSchedule {
     dram_busy: f64,
     dram_bytes: f64,
     compute_energy: f64,
-    // Energy-model constants captured at seed time.
-    eth_power_w: f64,
-    dram_pj_per_byte: f64,
     /// Layers touched by the last [`IncrementalSchedule::propagate`].
     touched: usize,
     /// First-touch epoch stamps for time/cost journaling.
@@ -140,6 +152,9 @@ pub struct IncrementalSchedule {
     /// the aggregate-backed proxy is then meaningless.
     duration_only: bool,
     journal: Option<Journal>,
+    /// Retired journal kept for buffer reuse (one transaction per
+    /// scored candidate — the hot loop should not allocate).
+    spare_journal: Option<Journal>,
 }
 
 impl IncrementalSchedule {
@@ -159,6 +174,11 @@ impl IncrementalSchedule {
         let bound = model.id_bound();
         let n_accs = system.num_accs();
         let emodel = system.energy_model();
+        let order = model.topo_order();
+        let mut topo_pos = vec![usize::MAX; bound];
+        for (rank, id) in order.iter().enumerate() {
+            topo_pos[id.index()] = rank;
+        }
         let mut inc = IncrementalSchedule {
             dur: vec![0.0; bound],
             costs: vec![LayerCost::default(); bound],
@@ -167,16 +187,18 @@ impl IncrementalSchedule {
             acc_queue: vec![Vec::new(); n_accs],
             queue_pos: vec![0usize; bound],
             acc_of: vec![usize::MAX; bound],
-            topo_pos: vec![usize::MAX; bound],
-            order: Vec::with_capacity(bound),
+            shared: Arc::new(IncShared {
+                topo_pos,
+                order,
+                eth_power_w: emodel.eth_link_power_w,
+                dram_pj_per_byte: emodel.dram_pj_per_byte,
+            }),
             per_acc_busy: vec![0.0; n_accs],
             eth_busy: 0.0,
             comp_busy: 0.0,
             dram_busy: 0.0,
             dram_bytes: 0.0,
             compute_energy: 0.0,
-            eth_power_w: emodel.eth_link_power_w,
-            dram_pj_per_byte: emodel.dram_pj_per_byte,
             touched: 0,
             time_stamp: vec![0; bound],
             cost_stamp: vec![0; bound],
@@ -186,15 +208,15 @@ impl IncrementalSchedule {
             prop_epoch: 0,
             duration_only: false,
             journal: None,
+            spare_journal: None,
         };
         let mut acc_ready = vec![0.0f64; n_accs];
-        for (rank, id) in model.topo_order().into_iter().enumerate() {
+        let shared = inc.shared.clone();
+        for id in shared.order.iter().copied() {
             let i = id.index();
             let cost = ev.layer_cost(mapping, locality, id);
             let dur = cost.duration().as_f64();
             let a = mapping.acc_of(id).index();
-            inc.order.push(id);
-            inc.topo_pos[i] = rank;
             inc.acc_of[i] = a;
             inc.queue_pos[i] = inc.acc_queue[a].len();
             inc.acc_queue[a].push(id);
@@ -256,23 +278,24 @@ impl IncrementalSchedule {
         let mut dram = 0.0f64;
         let mut dram_bytes = 0u64;
         let mut energy = 0.0f64;
-        let mut busy = vec![0.0f64; self.per_acc_busy.len()];
-        for k in 0..self.order.len() {
-            let i = self.order[k].index();
+        // In-place re-accumulation (any open transaction snapshotted
+        // `per_acc_busy` at `begin`, so rollback still restores it).
+        self.per_acc_busy.fill(0.0);
+        for k in 0..self.shared.order.len() {
+            let i = self.shared.order[k].index();
             let c = &self.costs[i];
             eth += c.eth_time.as_f64();
             comp += c.compute.as_f64();
             dram += c.dram_time.as_f64();
             dram_bytes += c.dram_bytes.as_u64();
             energy += c.compute_energy.as_f64();
-            busy[self.acc_of[i]] += self.dur[i];
+            self.per_acc_busy[self.acc_of[i]] += self.dur[i];
         }
         self.eth_busy = eth;
         self.comp_busy = comp;
         self.dram_busy = dram;
         self.dram_bytes = dram_bytes as f64;
         self.compute_energy = energy;
-        self.per_acc_busy = busy;
     }
 
     /// Schedule-level scores derived from the running aggregates.
@@ -288,8 +311,8 @@ impl IncrementalSchedule {
             "proxy() after set_duration(): aggregates are stale; use refresh_costs"
         );
         let energy_total = self.compute_energy
-            + self.eth_busy * self.eth_power_w
-            + self.dram_bytes * self.dram_pj_per_byte * 1e-12;
+            + self.eth_busy * self.shared.eth_power_w
+            + self.dram_bytes * self.shared.dram_pj_per_byte * 1e-12;
         ScheduleProxy {
             makespan: self.makespan(),
             energy_total,
@@ -310,20 +333,22 @@ impl IncrementalSchedule {
     pub fn begin(&mut self) {
         assert!(self.journal.is_none(), "transaction already open");
         self.epoch += 1;
-        self.journal = Some(Journal {
-            eth_busy: self.eth_busy,
-            comp_busy: self.comp_busy,
-            dram_busy: self.dram_busy,
-            dram_bytes: self.dram_bytes,
-            compute_energy: self.compute_energy,
-            per_acc_busy: self.per_acc_busy.clone(),
-            ..Journal::default()
-        });
+        let mut journal = self.spare_journal.take().unwrap_or_default();
+        journal.times.clear();
+        journal.costs.clear();
+        journal.moves.clear();
+        journal.eth_busy = self.eth_busy;
+        journal.comp_busy = self.comp_busy;
+        journal.dram_busy = self.dram_busy;
+        journal.dram_bytes = self.dram_bytes;
+        journal.compute_energy = self.compute_energy;
+        journal.per_acc_busy.clone_from(&self.per_acc_busy);
+        self.journal = Some(journal);
     }
 
     /// Discards the open transaction, keeping all changes.
     pub fn commit(&mut self) {
-        self.journal = None;
+        self.spare_journal = self.journal.take();
     }
 
     /// Reverts every change made since [`IncrementalSchedule::begin`].
@@ -351,7 +376,8 @@ impl IncrementalSchedule {
         self.dram_busy = journal.dram_busy;
         self.dram_bytes = journal.dram_bytes;
         self.compute_energy = journal.compute_energy;
-        self.per_acc_busy = journal.per_acc_busy;
+        self.per_acc_busy.clone_from(&journal.per_acc_busy);
+        self.spare_journal = Some(journal);
     }
 
     fn journal_time(&mut self, i: usize) {
@@ -383,9 +409,9 @@ impl IncrementalSchedule {
         for k in pos..self.acc_queue[from_acc].len() {
             self.queue_pos[self.acc_queue[from_acc][k].index()] = k;
         }
-        let rank = self.topo_pos[i];
+        let rank = self.shared.topo_pos[i];
         let queue = &self.acc_queue[to_acc];
-        let insert_at = queue.partition_point(|l| self.topo_pos[l.index()] < rank);
+        let insert_at = queue.partition_point(|l| self.shared.topo_pos[l.index()] < rank);
         self.acc_queue[to_acc].insert(insert_at, layer);
         for k in insert_at..self.acc_queue[to_acc].len() {
             self.queue_pos[self.acc_queue[to_acc][k].index()] = k;
@@ -402,17 +428,26 @@ impl IncrementalSchedule {
     /// [`IncrementalSchedule::refresh_costs`] with the tentative
     /// locality, then [`IncrementalSchedule::propagate`].
     pub fn move_layer(&mut self, layer: LayerId, to_acc: AccId) -> Vec<LayerId> {
+        let mut seeds = Vec::with_capacity(3);
+        self.move_layer_into(layer, to_acc, &mut seeds);
+        seeds
+    }
+
+    /// [`IncrementalSchedule::move_layer`], appending the propagation
+    /// seeds into a caller-owned buffer (the search core reuses one
+    /// across candidates).
+    pub fn move_layer_into(&mut self, layer: LayerId, to_acc: AccId, seeds: &mut Vec<LayerId>) {
         let i = layer.index();
         let from_acc = self.acc_of[i];
         let old_pos = self.queue_pos[i];
+        seeds.push(layer);
         if from_acc == to_acc.index() {
-            return vec![layer];
+            return;
         }
         if let Some(j) = self.journal.as_mut() {
             j.moves.push((layer, from_acc));
         }
         self.requeue(layer, to_acc.index());
-        let mut seeds = vec![layer];
         // The old queue successor (now sitting at `old_pos`) lost its
         // predecessor…
         if let Some(succ) = self.acc_queue[from_acc].get(old_pos) {
@@ -422,7 +457,6 @@ impl IncrementalSchedule {
         if let Some(succ) = self.acc_queue[to_acc.index()].get(self.queue_pos[i] + 1) {
             seeds.push(*succ);
         }
-        seeds
     }
 
     /// Re-derives the cost decomposition of `layers` from `(mapping,
@@ -437,6 +471,21 @@ impl IncrementalSchedule {
         layers: impl IntoIterator<Item = LayerId>,
     ) -> Vec<LayerId> {
         let mut changed = Vec::new();
+        self.refresh_costs_into(ev, mapping, locality, layers, &mut changed);
+        changed
+    }
+
+    /// [`IncrementalSchedule::refresh_costs`], appending the changed
+    /// layers into a caller-owned buffer (the search core reuses one
+    /// across candidates).
+    pub fn refresh_costs_into(
+        &mut self,
+        ev: &Evaluator<'_>,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        layers: impl IntoIterator<Item = LayerId>,
+        changed: &mut Vec<LayerId>,
+    ) {
         for id in layers {
             let i = id.index();
             self.journal_cost(i);
@@ -457,7 +506,6 @@ impl IncrementalSchedule {
                 changed.push(id);
             }
         }
-        changed
     }
 
     /// Overrides one layer's duration (e.g. after pinning its weights or

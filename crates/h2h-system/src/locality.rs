@@ -4,8 +4,15 @@
 //! The DRAM budget (`M_acc`) is shared between pinned weights and the
 //! buffers that hold fused activations; both are capacity-checked here so
 //! no optimization pass can oversubscribe a board.
+//!
+//! The representation is optimized for the incremental search core,
+//! which clones one `LocalityState` per scored candidate (and one per
+//! scoring worker thread): the read-only per-accelerator capacity table
+//! is shared behind an [`Arc`], and the mutable scratch is flat vectors
+//! (`memcpy`-cheap clones, allocation-free membership tests) instead of
+//! hash sets.
 
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -15,21 +22,75 @@ use h2h_model::units::Bytes;
 
 use crate::system::{AccId, SystemSpec};
 
+/// Sentinel for "not pinned" in the position index.
+const UNPINNED: usize = usize::MAX;
+
 /// Pinned-weight and fused-edge bookkeeping for one system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct LocalityState {
-    pinned: HashSet<LayerId>,
-    fused: HashSet<(LayerId, LayerId)>,
+    /// Pinned layers, unordered (swap-removed on unpin).
+    pinned: Vec<LayerId>,
+    /// `pinned_pos[layer.index()]` = position in `pinned`, or
+    /// [`UNPINNED`] (grown on demand; layer id bounds are not known at
+    /// construction, only the system is).
+    pinned_pos: Vec<usize>,
+    /// Fused edges, sorted ascending — binary-searched on the
+    /// scheduler's hot path, `memcpy`-cloned by the search core.
+    fused: Vec<(LayerId, LayerId)>,
     used: Vec<u64>,
+    /// Per-accelerator DRAM capacities captured from the system at
+    /// construction: read-only, shared by every clone.
+    caps: Arc<[u64]>,
+}
+
+impl Clone for LocalityState {
+    fn clone(&self) -> Self {
+        LocalityState {
+            pinned: self.pinned.clone(),
+            pinned_pos: self.pinned_pos.clone(),
+            fused: self.fused.clone(),
+            used: self.used.clone(),
+            caps: Arc::clone(&self.caps),
+        }
+    }
+
+    /// Reuses the destination's buffers — the search core clones one
+    /// locality per scored candidate, so this keeps the hot loop
+    /// allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.pinned.clone_from(&source.pinned);
+        self.pinned_pos.clone_from(&source.pinned_pos);
+        self.fused.clone_from(&source.fused);
+        self.used.clone_from(&source.used);
+        self.caps = Arc::clone(&source.caps);
+    }
+}
+
+impl PartialEq for LocalityState {
+    fn eq(&self, other: &Self) -> bool {
+        // Set semantics for pins (insertion order is incidental);
+        // `fused` is kept sorted so direct comparison is set equality.
+        if self.pinned.len() != other.pinned.len() {
+            return false;
+        }
+        self.pinned.iter().all(|l| other.is_pinned(*l))
+            && self.fused == other.fused
+            && self.used == other.used
+    }
 }
 
 impl LocalityState {
     /// Empty state (zero data locality — the step-1 assumption).
     pub fn new(system: &SystemSpec) -> Self {
         LocalityState {
-            pinned: HashSet::new(),
-            fused: HashSet::new(),
+            pinned: Vec::new(),
+            pinned_pos: Vec::new(),
+            fused: Vec::new(),
             used: vec![0; system.num_accs()],
+            caps: system
+                .acc_ids()
+                .map(|a| system.acc(a).dram_capacity().as_u64())
+                .collect(),
         }
     }
 
@@ -38,12 +99,16 @@ impl LocalityState {
         Bytes::new(self.used[acc.index()])
     }
 
-    /// Bytes of local DRAM still free on `acc`.
+    /// Bytes of local DRAM still free on `acc`. (`system` must be the
+    /// system this state was built for; the capacity itself comes from
+    /// the table captured at construction.)
     pub fn dram_free(&self, acc: AccId, system: &SystemSpec) -> Bytes {
-        system
-            .acc(acc)
-            .dram_capacity()
-            .saturating_sub(self.dram_used(acc))
+        debug_assert_eq!(
+            self.caps[acc.index()],
+            system.acc(acc).dram_capacity().as_u64(),
+            "locality state used with a different system"
+        );
+        Bytes::new(self.caps[acc.index()].saturating_sub(self.used[acc.index()]))
     }
 
     /// Attempts to pin `layer`'s weights (at F32) into `acc`'s DRAM.
@@ -56,7 +121,7 @@ impl LocalityState {
         layer: LayerId,
         acc: AccId,
     ) -> bool {
-        if self.pinned.contains(&layer) {
+        if self.is_pinned(layer) {
             return true;
         }
         let bytes = model.layer(layer).weight_bytes(DataType::F32);
@@ -64,7 +129,12 @@ impl LocalityState {
             return false;
         }
         self.used[acc.index()] += bytes.as_u64();
-        self.pinned.insert(layer);
+        let i = layer.index();
+        if self.pinned_pos.len() <= i {
+            self.pinned_pos.resize(i + 1, UNPINNED);
+        }
+        self.pinned_pos[i] = self.pinned.len();
+        self.pinned.push(layer);
         true
     }
 
@@ -73,9 +143,15 @@ impl LocalityState {
     /// [`LocalityState::try_pin`] charged it). Returns `false` if the
     /// layer was not pinned.
     pub fn unpin(&mut self, model: &ModelGraph, layer: LayerId, acc: AccId) -> bool {
-        if !self.pinned.remove(&layer) {
+        if !self.is_pinned(layer) {
             return false;
         }
+        let pos = self.pinned_pos[layer.index()];
+        self.pinned.swap_remove(pos);
+        if let Some(moved) = self.pinned.get(pos) {
+            self.pinned_pos[moved.index()] = pos;
+        }
+        self.pinned_pos[layer.index()] = UNPINNED;
         let bytes = model.layer(layer).weight_bytes(DataType::F32);
         self.used[acc.index()] -= bytes.as_u64();
         true
@@ -83,7 +159,9 @@ impl LocalityState {
 
     /// True if `layer`'s weights are resident in its accelerator's DRAM.
     pub fn is_pinned(&self, layer: LayerId) -> bool {
-        self.pinned.contains(&layer)
+        self.pinned_pos
+            .get(layer.index())
+            .is_some_and(|p| *p != UNPINNED)
     }
 
     /// Number of pinned layers.
@@ -103,9 +181,9 @@ impl LocalityState {
         to: LayerId,
         acc: AccId,
     ) -> bool {
-        if self.fused.contains(&(from, to)) {
+        let Err(slot) = self.fused.binary_search(&(from, to)) else {
             return true;
-        }
+        };
         let Some(bytes) = model.edge_bytes(from, to) else {
             return false;
         };
@@ -113,7 +191,7 @@ impl LocalityState {
             return false;
         }
         self.used[acc.index()] += bytes.as_u64();
-        self.fused.insert((from, to));
+        self.fused.insert(slot, (from, to));
         true
     }
 
@@ -127,9 +205,10 @@ impl LocalityState {
         to: LayerId,
         acc: AccId,
     ) -> bool {
-        if !self.fused.remove(&(from, to)) {
+        let Ok(slot) = self.fused.binary_search(&(from, to)) else {
             return false;
-        }
+        };
+        self.fused.remove(slot);
         let bytes = model.edge_bytes(from, to).expect("fused edges exist");
         self.used[acc.index()] -= bytes.as_u64();
         true
@@ -137,7 +216,7 @@ impl LocalityState {
 
     /// True if the `from → to` edge is activation-fused.
     pub fn is_fused(&self, from: LayerId, to: LayerId) -> bool {
-        self.fused.contains(&(from, to))
+        self.fused.binary_search(&(from, to)).is_ok()
     }
 
     /// Number of fused edges.
@@ -150,7 +229,7 @@ impl LocalityState {
         self.pinned.iter().copied()
     }
 
-    /// Iterate over fused `(from, to)` edges (arbitrary order).
+    /// Iterate over fused `(from, to)` edges (sorted by endpoint ids).
     pub fn fused_edges(&self) -> impl Iterator<Item = (LayerId, LayerId)> + '_ {
         self.fused.iter().copied()
     }

@@ -397,15 +397,21 @@ impl<'a> Evaluator<'a> {
         // fused consumers.
         if !is_input {
             let obytes = layer.ofm_bytes(DataType::F32);
-            let succs: Vec<LayerId> = self.model.successors(id).collect();
-            let is_output = succs.is_empty();
-            let any_remote = is_output
-                || succs
-                    .iter()
-                    .any(|s| !self.edge_is_local(locality, mapping, id, *s));
-            let any_local = succs
-                .iter()
-                .any(|s| self.edge_is_local(locality, mapping, id, *s));
+            // Single allocation-free pass over the consumers: this is the
+            // innermost primitive of the search (hundreds of calls per
+            // scored candidate).
+            let mut has_succ = false;
+            let mut any_remote = false;
+            let mut any_local = false;
+            for s in self.model.successors(id) {
+                has_succ = true;
+                if self.edge_is_local(locality, mapping, id, s) {
+                    any_local = true;
+                } else {
+                    any_remote = true;
+                }
+            }
+            let any_remote = any_remote || !has_succ;
             if any_remote {
                 let t = eth.transfer_time(obytes) * b;
                 cost.ofm_xfer += t;
