@@ -9,13 +9,20 @@
 //! ```text
 //! cargo run --release -p h2h-bench --bin bench_search -- [out.json]
 //!     [--models VFS,MoCap] [--bandwidths Low-,Mid] [--threads 1,2,4,8]
-//!     [--strategy adaptive|replay|full-eval] [--reps 3]
+//!     [--strategy adaptive,replay,full-eval] [--reps 3]
+//!     [--min-large-speedup 1.1]
 //! ```
 //!
 //! Timings are best-of-`reps` (each configuration re-runs from the same
 //! seed mapping), which keeps sub-millisecond rows out of scheduler
-//! noise. Exits non-zero if any row fails to match the reference — CI
-//! runs a two-model `--threads 2` smoke on exactly this contract.
+//! noise. Exits non-zero if any row fails to match the reference, or if
+//! an adaptive-strategy row on a large risky model (more layers than
+//! the small-model threshold and at least one multi-consumer producer,
+//! i.e. the ResNet-like zoo entries) reports `guards_skipped == 0` —
+//! dominance pruning must actually fire there. `--min-large-speedup`
+//! additionally fails any such adaptive row below the given wall-clock
+//! speedup vs the full-re-evaluation reference; CI's 2-thread smoke
+//! runs with `--min-large-speedup 1.1`.
 
 use std::time::Instant;
 
@@ -52,6 +59,12 @@ struct SearchRecord {
     propagations: usize,
     mean_propagated_layers: f64,
     max_propagated_layers: usize,
+    /// Risky fusion guards reached by the delta replay, how many were
+    /// resolved by dominance pruning (no toggle/revert replay), and how
+    /// many rejected toggles restored via the O(cone) savepoint.
+    guards_total: usize,
+    guards_skipped: usize,
+    guard_reverts_fast: usize,
     delta_seconds: f64,
     reference_seconds: f64,
     wall_clock_speedup: f64,
@@ -68,8 +81,10 @@ fn main() {
     let mut models_filter: Option<Vec<String>> = None;
     let mut bandwidths = vec!["Low-".to_owned(), "Mid".to_owned()];
     let mut threads_sweep = vec![1usize, 2, 4, 8];
-    let mut strategy = ScoreStrategy::Adaptive;
+    let mut strategies =
+        vec![ScoreStrategy::Adaptive, ScoreStrategy::Replay, ScoreStrategy::FullEval];
     let mut reps = 3usize;
+    let mut min_large_speedup: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,19 +101,30 @@ fn main() {
                     .collect();
             }
             "--strategy" => {
-                strategy = match value("--strategy").as_str() {
-                    "adaptive" => ScoreStrategy::Adaptive,
-                    "replay" => ScoreStrategy::Replay,
-                    "full-eval" | "fulleval" => ScoreStrategy::FullEval,
-                    other => panic!("unknown strategy `{other}`"),
-                };
+                strategies = parse_list(&value("--strategy"))
+                    .iter()
+                    .map(|s| match s.as_str() {
+                        "adaptive" => ScoreStrategy::Adaptive,
+                        "replay" => ScoreStrategy::Replay,
+                        "full-eval" | "fulleval" => ScoreStrategy::FullEval,
+                        other => panic!("unknown strategy `{other}`"),
+                    })
+                    .collect();
             }
             "--reps" => reps = value("--reps").parse().expect("--reps takes an integer"),
+            "--min-large-speedup" => {
+                min_large_speedup = Some(
+                    value("--min-large-speedup")
+                        .parse()
+                        .expect("--min-large-speedup takes a float"),
+                );
+            }
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => out_path = path.to_owned(),
         }
     }
     let reps = reps.max(1);
+    assert!(!strategies.is_empty(), "--strategy list must not be empty");
 
     // A typo'd filter must not let the divergence check pass vacuously
     // (CI smoke-tests rely on this binary's exit code).
@@ -125,9 +151,11 @@ fn main() {
         .collect();
 
     let mut records = Vec::new();
+    let mut gate_failures = 0usize;
     println!(
-        "{:<10} {:>5} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",
-        "model", "bw", "threads", "layers", "attempts", "reduction", "prefix", "speedup", "match"
+        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "model", "bw", "strategy", "threads", "layers", "attempts", "reduction", "prefix",
+        "g-skip", "speedup", "match"
     );
     for bw in &bandwidths {
         let system = SystemSpec::standard(*bw);
@@ -138,9 +166,21 @@ fn main() {
                 }
             }
             let ev = Evaluator::new(&model, &system);
-            let base_cfg = H2hConfig { strategy, ..H2hConfig::default() };
+            let base_cfg = H2hConfig::default();
             let (seed, _) = computation_prioritized(&ev, &base_cfg, &PinPreset::new())
                 .expect("standard system maps every zoo model");
+            // "Large risky" = more layers than the adaptive fallback
+            // threshold AND at least one multi-consumer producer (a
+            // risky fusion candidate can actually arise) — the
+            // ResNet-like zoo entries. Only these rows are held to the
+            // dominance-pruning and speedup gates.
+            let large_risky = model.num_layers() > base_cfg.small_model_threshold
+                && model.layer_ids().any(|id| {
+                    !matches!(
+                        model.layer(id).op(),
+                        h2h_model::layer::LayerOp::Input { .. }
+                    ) && model.successors(id).count() >= 2
+                });
 
             // Untimed warm-up of both code paths (first-touch cache and
             // allocator effects otherwise land on whichever
@@ -175,63 +215,107 @@ fn main() {
                 (best_seconds, mapping, outcome)
             };
 
-            // The per-candidate full-re-evaluation reference.
+            // The per-candidate full-re-evaluation reference, shared by
+            // every strategy/thread row of this (model, bandwidth).
             let (reference_seconds, map_ref, reference) = time_best(&mut |m| {
                 data_locality_remapping_reference(&ev, &base_cfg, &PinPreset::new(), m)
             });
 
-            for &threads in &threads_sweep {
-                let cfg = H2hConfig { score_threads: threads, ..base_cfg };
-                let (delta_seconds, map_delta, delta) = time_best(&mut |m| {
-                    data_locality_remapping(&ev, &cfg, &PinPreset::new(), m)
-                });
+            for &strategy in &strategies {
+                for &threads in &threads_sweep {
+                    let cfg =
+                        H2hConfig { strategy, score_threads: threads, ..base_cfg };
+                    let (delta_seconds, map_delta, delta) = time_best(&mut |m| {
+                        data_locality_remapping(&ev, &cfg, &PinPreset::new(), m)
+                    });
 
-                let matches_reference = map_delta == map_ref
-                    && (delta.schedule.makespan().as_f64()
-                        - reference.schedule.makespan().as_f64())
-                    .abs()
-                        <= reference.schedule.makespan().as_f64() * 1e-12;
-                let reduction = if delta.stats.full_evals > 0 {
-                    reference.stats.full_evals as f64 / delta.stats.full_evals as f64
-                } else {
-                    f64::INFINITY
-                };
-                let speedup = reference_seconds / delta_seconds.max(1e-12);
-                println!(
-                    "{:<10} {:>5} {:>7} {:>7} {:>9} {:>8.1}x {:>9} {:>8.1}x {:>8}",
-                    model.name(),
-                    bw.label(),
-                    threads,
-                    model.num_layers(),
-                    delta.stats.attempted_moves,
-                    reduction,
-                    delta.stats.prefix_evals,
-                    speedup,
-                    matches_reference,
-                );
-                records.push(SearchRecord {
-                    model: model.name().to_owned(),
-                    bandwidth: bw.label().to_owned(),
-                    layers: model.num_layers(),
-                    threads,
-                    strategy: strategy.label().to_owned(),
-                    attempted_moves: delta.stats.attempted_moves,
-                    accepted_moves: delta.stats.accepted_moves,
-                    passes: delta.stats.passes,
-                    delta_evals: delta.stats.delta_evals,
-                    prefix_evals: delta.stats.prefix_evals,
-                    full_evals_delta: delta.stats.full_evals,
-                    full_evals_reference: reference.stats.full_evals,
-                    full_eval_reduction: reduction,
-                    propagations: delta.stats.propagations,
-                    mean_propagated_layers: delta.stats.mean_propagated(),
-                    max_propagated_layers: delta.stats.max_propagated,
-                    delta_seconds,
-                    reference_seconds,
-                    wall_clock_speedup: speedup,
-                    final_latency_s: delta.schedule.makespan().as_f64(),
-                    matches_reference,
-                });
+                    let matches_reference = map_delta == map_ref
+                        && (delta.schedule.makespan().as_f64()
+                            - reference.schedule.makespan().as_f64())
+                        .abs()
+                            <= reference.schedule.makespan().as_f64() * 1e-12;
+                    let reduction = if delta.stats.full_evals > 0 {
+                        reference.stats.full_evals as f64 / delta.stats.full_evals as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    let speedup = reference_seconds / delta_seconds.max(1e-12);
+                    // Dominance pruning must actually fire where it is
+                    // the point: adaptive rows on large risky models
+                    // route risky candidates through the guard replay,
+                    // so zero skipped guards there means the pruning
+                    // regressed. (FullEval rows never reach guards, and
+                    // small models fall back to plain full evaluation.)
+                    let guards_ok = strategy == ScoreStrategy::FullEval
+                        || !large_risky
+                        || delta.stats.guards_skipped > 0;
+                    let speedup_ok = strategy != ScoreStrategy::Adaptive
+                        || !large_risky
+                        || min_large_speedup.is_none_or(|min| speedup >= min);
+                    println!(
+                        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>9} {:>8.1}x {:>9} {:>9} {:>8.1}x {:>8}",
+                        model.name(),
+                        bw.label(),
+                        strategy.label(),
+                        threads,
+                        model.num_layers(),
+                        delta.stats.attempted_moves,
+                        reduction,
+                        delta.stats.prefix_evals,
+                        delta.stats.guards_skipped,
+                        speedup,
+                        matches_reference,
+                    );
+                    if !guards_ok {
+                        eprintln!(
+                            "FAIL: {} @ {} ({}, {} threads): guards_skipped == 0 on a large risky model",
+                            model.name(),
+                            bw.label(),
+                            strategy.label(),
+                            threads
+                        );
+                    }
+                    if !speedup_ok {
+                        eprintln!(
+                            "FAIL: {} @ {} ({}, {} threads): speedup {:.2}x below the {:.2}x gate",
+                            model.name(),
+                            bw.label(),
+                            strategy.label(),
+                            threads,
+                            speedup,
+                            min_large_speedup.unwrap_or(0.0)
+                        );
+                    }
+                    records.push(SearchRecord {
+                        model: model.name().to_owned(),
+                        bandwidth: bw.label().to_owned(),
+                        layers: model.num_layers(),
+                        threads,
+                        strategy: strategy.label().to_owned(),
+                        attempted_moves: delta.stats.attempted_moves,
+                        accepted_moves: delta.stats.accepted_moves,
+                        passes: delta.stats.passes,
+                        delta_evals: delta.stats.delta_evals,
+                        prefix_evals: delta.stats.prefix_evals,
+                        full_evals_delta: delta.stats.full_evals,
+                        full_evals_reference: reference.stats.full_evals,
+                        full_eval_reduction: reduction,
+                        propagations: delta.stats.propagations,
+                        mean_propagated_layers: delta.stats.mean_propagated(),
+                        max_propagated_layers: delta.stats.max_propagated,
+                        guards_total: delta.stats.guards_total,
+                        guards_skipped: delta.stats.guards_skipped,
+                        guard_reverts_fast: delta.stats.guard_reverts_fast,
+                        delta_seconds,
+                        reference_seconds,
+                        wall_clock_speedup: speedup,
+                        final_latency_s: delta.schedule.makespan().as_f64(),
+                        matches_reference,
+                    });
+                    if !guards_ok || !speedup_ok {
+                        gate_failures += 1;
+                    }
+                }
             }
         }
     }
@@ -242,6 +326,10 @@ fn main() {
     assert!(!records.is_empty(), "benchmark produced no records — nothing was verified");
     if records.iter().any(|r| !r.matches_reference) {
         eprintln!("WARNING: delta search diverged from the reference on some configuration");
+        std::process::exit(1);
+    }
+    if gate_failures > 0 {
+        eprintln!("WARNING: {gate_failures} row(s) failed the guard-pruning/speedup gates");
         std::process::exit(1);
     }
 }

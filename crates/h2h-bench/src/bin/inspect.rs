@@ -6,7 +6,7 @@
 //! ```
 
 use h2h_core::pipeline::H2hMapper;
-use h2h_core::report::mapping_report;
+use h2h_core::report::{mapping_report, search_stats_report};
 use h2h_model::stats::ModelStats;
 use h2h_model::zoo;
 use h2h_system::gantt::render_gantt;
@@ -55,6 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.search_time
     );
     print!("{}", mapping_report(&ev, &out.mapping, &out.locality, &out.schedule));
+    println!();
+    print!("{}", search_stats_report(&out.remap_stats));
     println!();
     println!("{}", render_gantt(&model, &system, &out.mapping, &out.schedule, 100));
     Ok(())

@@ -88,6 +88,45 @@ pub trait FusionOracle {
     fn toggled(&mut self, loc: &LocalityState, from: LayerId, to: LayerId);
     /// Exact makespan of the mapping under `loc`.
     fn makespan(&mut self, loc: &LocalityState) -> h2h_model::units::Seconds;
+
+    /// Offers the oracle the chance to resolve a risky candidate's
+    /// makespan guard without the toggle/measure/maybe-revert replay.
+    /// On `Some(accepted)` the guard is settled: the oracle has left
+    /// `loc` in the decided state (edge fused on accept — with its cost
+    /// refreshes staged — untouched on reject) and the pass moves on.
+    /// On `None` the oracle must leave `loc` unchanged and the pass
+    /// runs the full guard. Any resolution must reproduce the exact
+    /// accept/reject decision the full guard would have made — prove
+    /// it, or return `None`. The default (used by the one-shot
+    /// full-evaluation optimizer, which has no incremental schedule to
+    /// prove against) never resolves.
+    fn resolve_guard(
+        &mut self,
+        loc: &mut LocalityState,
+        from: LayerId,
+        to: LayerId,
+        acc: h2h_system::system::AccId,
+    ) -> Option<bool> {
+        let _ = (loc, from, to, acc);
+        None
+    }
+
+    /// Called right before a risky candidate's toggle is applied (after
+    /// the `before` makespan read), so the oracle can mark a restore
+    /// point for [`FusionOracle::guard_revert`].
+    fn guard_begin(&mut self) {}
+
+    /// Reverts the toggle applied since [`FusionOracle::guard_begin`]
+    /// (the guard rejected; `loc` is already unfused). The default
+    /// resynchronizes like any other toggle; oracles with a restore
+    /// point can do better.
+    fn guard_revert(&mut self, loc: &LocalityState, from: LayerId, to: LayerId) {
+        self.toggled(loc, from, to);
+    }
+
+    /// The guard accepted: the toggle applied since
+    /// [`FusionOracle::guard_begin`] stands; drop the restore point.
+    fn guard_commit(&mut self) {}
 }
 
 struct FullEvalOracle<'e, 'm, 'a> {
@@ -115,13 +154,18 @@ pub fn fusion_pass(
 ) {
     let model = ev.model();
     let system = ev.system();
+    // One consumer buffer for the whole pass — the search core replays
+    // this loop per scored candidate, so a per-edge allocation would be
+    // tens of thousands per remap run.
+    let mut succs: Vec<LayerId> = Vec::new();
     for &(from, to) in candidates {
         let acc = mapping.acc_of(from);
         let local = |s: &LayerId, loc: &LocalityState| {
             loc.is_fused(from, *s) && mapping.get(*s) == Some(acc)
         };
         // Producer-side cost analysis (see doc comment).
-        let succs: Vec<LayerId> = model.successors(from).collect();
+        succs.clear();
+        succs.extend(model.successors(from));
         let already_pays_dram_write = succs.iter().any(|s| local(s, loc));
         let all_local_after = succs.iter().all(|s| *s == to || local(s, loc));
         let risky = !already_pays_dram_write && !all_local_after;
@@ -132,13 +176,23 @@ pub fn fusion_pass(
             }
             continue;
         }
+        // Guard-dominance pruning: when the oracle can prove the
+        // accept/reject outcome from local quantities, the whole
+        // toggle/measure/maybe-revert replay below is skipped (same
+        // decision, by proof).
+        if oracle.resolve_guard(loc, from, to, acc).is_some() {
+            continue;
+        }
         let before = oracle.makespan(loc);
         if loc.try_fuse(model, system, from, to, acc) {
+            oracle.guard_begin();
             oracle.toggled(loc, from, to);
             let after = oracle.makespan(loc);
             if after > before {
                 loc.unfuse(model, from, to, acc);
-                oracle.toggled(loc, from, to);
+                oracle.guard_revert(loc, from, to);
+            } else {
+                oracle.guard_commit();
             }
         }
     }

@@ -9,9 +9,11 @@
 //!
 //! Proposals are scored by the incremental [`DeltaEngine`] (scoped
 //! locality-rebuild replay + cone-local schedule propagation, with the
-//! adaptive strategy of [`crate::config::ScoreStrategy`]), whose
-//! makespans are bitwise-equal to full evaluations, so the walk pays no
-//! full evaluation per proposal at all. The returned result is still
+//! adaptive strategy of [`crate::config::ScoreStrategy`] — risky
+//! fusion guards dominance-pruned and fast-reverted exactly as in the
+//! greedy loop, see [`crate::delta`]), whose makespans are
+//! bitwise-equal to full evaluations, so the walk pays no full
+//! evaluation per proposal at all. The returned result is still
 //! evaluated exactly and guarded to never lose to the seed mapping.
 //!
 //! # Parallel speculation

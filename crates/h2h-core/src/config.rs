@@ -140,6 +140,16 @@ pub struct H2hConfig {
     /// global fusion-pass replay costs more than one full evaluation —
     /// see `BENCH_search.json`).
     pub small_model_threshold: usize,
+    /// Resolve risky fusion guards by dominance pruning when the
+    /// outcome is provable from local quantities (the producer's
+    /// duration change absorbed by every reader of its finish time, the
+    /// consumer's saving bounded by its own slack — see
+    /// [`crate::delta`]'s module docs). Proven guards skip the global
+    /// toggle/revert replay entirely; unproven guards still run it, so
+    /// search decisions are bit-identical either way (asserted by the
+    /// equivalence suites). Disabled only for benchmarking the pruning
+    /// itself.
+    pub enable_guard_dominance: bool,
     /// Worker threads for candidate scoring in the search loops
     /// (`1` = serial). Results, final mappings and search stats are
     /// identical for every thread count: candidates are scored on
@@ -168,6 +178,7 @@ impl Default for H2hConfig {
             objective: MapObjective::Latency,
             strategy: ScoreStrategy::Adaptive,
             small_model_threshold: 80,
+            enable_guard_dominance: true,
             score_threads: 1,
             score_oversubscribe: false,
         }
@@ -184,6 +195,7 @@ mod tests {
         assert!(c.enable_weight_locality);
         assert!(c.enable_activation_fusion);
         assert!(c.enable_remapping);
+        assert!(c.enable_guard_dominance);
         assert!(c.enumeration_cap >= 1);
         assert!(c.remap_max_passes >= 1);
         assert_eq!(c.knapsack, KnapsackKind::Auto);

@@ -25,8 +25,16 @@
 //! comparison, so in general the staged rebuild must replay the fusion
 //! pass over **all** accelerators in its exact global order (with the
 //! guard answered by the incremental schedule, which is bitwise-equal
-//! to the full evaluation it replaces). Three refinements, selected
-//! per candidate by [`ScoreStrategy`]:
+//! to the full evaluation it replaces). How a candidate is scored, by
+//! [`ScoreStrategy`] and candidate shape:
+//!
+//! | Candidate shape | Path | Per-guard cost |
+//! |---|---|---|
+//! | no risky producer anywhere | prefix-exact scoped re-fusion | no guards at all |
+//! | risky, ≤ `small_model_threshold` layers | plain full evaluation | n/a (one `O(V+E)` eval) |
+//! | risky, large, guard **proven** by dominance | global replay, guard pruned | `O(1)` proof, deferred refresh |
+//! | risky, large, guard unproven, accepted | global replay, toggle kept | one cone propagation |
+//! | risky, large, guard unproven, rejected | global replay, toggle undone | one cone propagation + `O(cone)` journal restore |
 //!
 //! * **Prefix-exact fast path** — risky candidates only arise at
 //!   producers with ≥ 2 consumers at least one of which is co-located.
@@ -41,15 +49,31 @@
 //!   candidate is cheaper to score by a plain full rebuild +
 //!   evaluation than by the global replay; the adaptive strategy does
 //!   exactly that (and reseeds the delta state on accept).
-//! * **Global replay** — large models with risky candidates keep the
-//!   exact replay.
+//! * **Guard-dominance pruning** (large-model replay, on by default via
+//!   [`crate::H2hConfig::enable_guard_dominance`]) — before a risky
+//!   guard replays its toggle, [`DeltaOracle::resolve_guard`] tries to
+//!   *prove* the accept/reject outcome from local quantities: the
+//!   producer's new finish time is exactly computable, and when every
+//!   reader of it absorbs the change (their starts already clear it)
+//!   while the consumer's saving keeps its own finish bounded, the
+//!   global comparison reduces to `new_finish ≤ makespan` — decided
+//!   without touching the schedule. ResNet-like models resolve the
+//!   large majority of their guards this way
+//!   ([`SearchStats::guards_skipped`] / [`SearchStats::guards_total`]).
+//! * **`O(cone)` guard reverts** — unproven guards still toggle and
+//!   measure, but the toggle runs inside a journal savepoint
+//!   ([`h2h_system::incremental::IncrementalSchedule::savepoint`]), so
+//!   a rejected guard restores the touched set by replaying the
+//!   recorded undo entries ([`SearchStats::guard_reverts_fast`])
+//!   instead of paying a second cost-refresh + re-propagation.
 //!
 //! Accepted candidates commit the delta state directly; the only full
 //! evaluations in a search run are the seed, the finalization and any
 //! full-eval-fallback candidates, and final mappings/latencies are
 //! identical to the historical per-candidate full-re-evaluation
 //! implementations (asserted by equivalence tests over the whole zoo,
-//! over every strategy and over scoring thread counts 1–8).
+//! over every strategy, over scoring thread counts 1–8 and with
+//! dominance pruning on or off).
 //!
 //! # Parallel scoring
 //!
@@ -108,6 +132,18 @@ pub struct SearchStats {
     pub propagations: usize,
     /// Largest single propagation cone.
     pub max_propagated: usize,
+    /// Risky fusion guards reached by the delta replay (each one the
+    /// reference answers with a toggle + global makespan comparison).
+    pub guards_total: usize,
+    /// Risky guards whose outcome was *proven* by dominance, skipping
+    /// the toggle/revert replay. Capacity-refused fusions (which also
+    /// avoid the replay, trivially) are deliberately not counted, so a
+    /// non-zero value always means the dominance proof itself fired —
+    /// the CI gate relies on that.
+    pub guards_skipped: usize,
+    /// Rejected risky guards whose toggle was undone by the journal's
+    /// `O(cone)` savepoint restore instead of a second re-propagation.
+    pub guard_reverts_fast: usize,
     /// Moves attempted by the search loop.
     pub attempted_moves: usize,
     /// Moves accepted.
@@ -151,6 +187,9 @@ impl SearchStats {
         self.propagated_layers += other.propagated_layers;
         self.propagations += other.propagations;
         self.max_propagated = self.max_propagated.max(other.max_propagated);
+        self.guards_total += other.guards_total;
+        self.guards_skipped += other.guards_skipped;
+        self.guard_reverts_fast += other.guard_reverts_fast;
         self.attempted_moves += other.attempted_moves;
         self.accepted_moves += other.accepted_moves;
         self.passes += other.passes;
@@ -171,6 +210,12 @@ fn note_propagation(stats: &mut SearchStats, touched: usize) {
 /// at the end via [`DeltaOracle::flush`]), so layers stripped and
 /// re-fused within one candidate are refreshed once, with their final
 /// state.
+///
+/// Risky guards additionally go through [`FusionOracle::resolve_guard`]
+/// dominance pruning (see [`DeltaOracle::resolve_guard`] for the proof
+/// obligations) and, when the toggle replay does run, a journal
+/// savepoint turns a rejected guard's revert into an `O(cone)` restore
+/// instead of a second re-propagation.
 struct DeltaOracle<'x, 'e, 'm> {
     ev: &'e Evaluator<'m>,
     mapping: &'x Mapping,
@@ -178,27 +223,36 @@ struct DeltaOracle<'x, 'e, 'm> {
     stats: &'x mut SearchStats,
     pending: Vec<LayerId>,
     pending_seeds: Vec<LayerId>,
+    /// Dominance pruning enabled ([`H2hConfig::enable_guard_dominance`]).
+    dominance: bool,
+    /// Restore point of the risky-guard toggle currently in flight.
+    savepoint: Option<h2h_system::incremental::Savepoint>,
 }
 
 impl DeltaOracle<'_, '_, '_> {
     fn flush(&mut self, loc: &LocalityState) {
-        if self.pending.is_empty() && self.pending_seeds.is_empty() {
+        if !self.pending.is_empty() {
+            // Stripped-then-restored layers appear several times in the
+            // batch; one refresh against the flush-time locality is the
+            // same snapshot (and the same seeds), minus the repeat
+            // `layer_cost` derivations.
+            self.pending.sort_unstable();
+            self.pending.dedup();
+            self.inc.refresh_costs_into(
+                self.ev,
+                self.mapping,
+                loc,
+                self.pending.drain(..),
+                &mut self.pending_seeds,
+            );
+        }
+        // A batch whose refreshes all came back with identical durations
+        // (and no structural seeds outstanding) moves nothing: skip the
+        // zero-touch propagation round instead of counting it.
+        if self.pending_seeds.is_empty() {
             return;
         }
-        // Stripped-then-restored layers appear several times in the
-        // batch; one refresh against the flush-time locality is the
-        // same snapshot (and the same seeds), minus the repeat
-        // `layer_cost` derivations.
-        self.pending.sort_unstable();
-        self.pending.dedup();
-        self.inc.refresh_costs_into(
-            self.ev,
-            self.mapping,
-            loc,
-            self.pending.drain(..),
-            &mut self.pending_seeds,
-        );
-        self.inc.propagate(self.ev.model(), &self.pending_seeds);
+        self.inc.propagate(&self.pending_seeds);
         self.pending_seeds.clear();
         note_propagation(self.stats, self.inc.touched());
     }
@@ -222,7 +276,7 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
             [from, to],
             &mut self.pending_seeds,
         );
-        self.inc.propagate(self.ev.model(), &self.pending_seeds);
+        self.inc.propagate(&self.pending_seeds);
         self.pending_seeds.clear();
         note_propagation(self.stats, self.inc.touched());
     }
@@ -230,6 +284,111 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
     fn makespan(&mut self, loc: &LocalityState) -> Seconds {
         self.flush(loc);
         self.inc.makespan()
+    }
+
+    /// Dominance pruning for a risky guard. The reference semantics it
+    /// must reproduce: accept the fusion iff the toggled schedule's
+    /// makespan does not exceed the pre-toggle makespan.
+    ///
+    /// Toggling the `from → to` fusion changes exactly two durations —
+    /// `from`'s (it gains a DRAM write; call its new duration `ndf` and
+    /// its new finish `nf = start[from] + ndf`, both exactly computable
+    /// because nothing upstream of `from` changes) and `to`'s (its IFM
+    /// download becomes a DRAM read, `ndt`). The schedule recurrence
+    /// `start = max(inputs); finish = start + dur` is monotone in every
+    /// input *bitwise* (IEEE round-to-nearest `max`/`+` are monotone),
+    /// so one induction over the recurrence order settles the guard
+    /// when two local conditions hold:
+    ///
+    /// 1. **Absorption** — every reader of `from`'s finish other than
+    ///    `to` (graph successors + the queue successor) already starts
+    ///    at or after `nf`, so no start time outside `to`'s cone can
+    ///    increase.
+    /// 2. **Consumer slack** — `max(start[to], nf) + ndt ≤ finish[to]`:
+    ///    an exact upper bound on `to`'s new finish (its other inputs
+    ///    cannot increase, by 1.), so `to`'s cone only moves earlier.
+    ///
+    /// Under 1+2 every finish except `from`'s is bounded by its current
+    /// value ≤ the current makespan, and `from`'s is exactly `nf`;
+    /// hence the toggled makespan is `≤ before` iff `nf ≤ before` —
+    /// accept — and `> before` (it *is* `nf`) otherwise — reject. Both
+    /// outcomes are proven, not estimated, so the search decisions stay
+    /// bit-identical to the full replay (asserted over the zoo by the
+    /// equivalence suites). If either condition fails, `None` sends the
+    /// pass down the full toggle/measure path.
+    fn resolve_guard(
+        &mut self,
+        loc: &mut LocalityState,
+        from: LayerId,
+        to: LayerId,
+        acc: AccId,
+    ) -> Option<bool> {
+        self.stats.guards_total += 1;
+        if !self.dominance {
+            return None;
+        }
+        // The proof reads exact start/finish times, so the deferred
+        // batches must land first — the same flush the reference pays
+        // at this guard's `before` makespan read. Must happen before
+        // the tentative fuse: pending layers refresh against the
+        // pre-toggle locality.
+        self.flush(loc);
+        let model = self.ev.model();
+        if !loc.try_fuse(model, self.ev.system(), from, to, acc) {
+            // Capacity-refused: the reference would measure `before`,
+            // fail the same try_fuse and move on. No state changed;
+            // only the makespan scan is saved. Not counted in
+            // `guards_skipped` — that counter certifies the dominance
+            // proof fired, and this branch never ran it.
+            return Some(false);
+        }
+        let ndf = self.ev.layer_cost(self.mapping, loc, from).duration().as_f64();
+        let ndt = self.ev.layer_cost(self.mapping, loc, to).duration().as_f64();
+        let nf = self.inc.start_of(from).as_f64() + ndf;
+        let start_of = |l: LayerId| self.inc.start_of(l).as_f64();
+        let absorbed = model.successors(from).all(|s| s == to || nf <= start_of(s))
+            && self
+                .inc
+                .queue_successor(from)
+                .is_none_or(|q| q == to || nf <= start_of(q));
+        if absorbed {
+            let new_finish_to_bound = start_of(to).max(nf) + ndt;
+            if new_finish_to_bound <= self.inc.finish_of(to).as_f64() {
+                let accept = nf <= self.inc.makespan().as_f64();
+                if accept {
+                    // Exactly like a non-risky accept: the endpoints'
+                    // refreshes defer to the next flush.
+                    self.pending.push(from);
+                    self.pending.push(to);
+                } else {
+                    loc.unfuse(model, from, to, acc);
+                }
+                self.stats.guards_skipped += 1;
+                return Some(accept);
+            }
+        }
+        // Unproven: hand the untouched state back to the full guard.
+        loc.unfuse(model, from, to, acc);
+        None
+    }
+
+    fn guard_begin(&mut self) {
+        debug_assert!(self.savepoint.is_none(), "risky guards never nest");
+        self.savepoint = Some(self.inc.savepoint());
+    }
+
+    fn guard_revert(&mut self, _loc: &LocalityState, _from: LayerId, _to: LayerId) {
+        // The savepoint journal recorded the toggle's touched set
+        // (costs, durations, start/finish times, aggregates); restoring
+        // it is O(touched), replacing the reference's second refresh +
+        // re-propagation — which would recompute exactly these values.
+        let sp = self.savepoint.take().expect("guard_begin marks the restore point");
+        self.inc.rollback_to(&sp);
+        self.stats.guard_reverts_fast += 1;
+    }
+
+    fn guard_commit(&mut self) {
+        self.savepoint = None;
     }
 }
 
@@ -621,6 +780,8 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
                 stats: &mut self.stats,
                 pending: pending_costs,
                 pending_seeds,
+                dominance: self.cfg.enable_guard_dominance,
+                savepoint: None,
             };
             fusion_pass(self.ev, mapping, &mut loc, &candidates, &mut oracle);
             oracle.flush(&loc);
@@ -640,7 +801,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
                 pending_costs.drain(..),
                 &mut pending_seeds,
             );
-            self.inc.propagate(model, &pending_seeds);
+            self.inc.propagate(&pending_seeds);
             note_propagation(&mut self.stats, self.inc.touched());
             self.scratch_costs = pending_costs;
             self.scratch_seeds = pending_seeds;
@@ -734,3 +895,4 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         }
     }
 }
+

@@ -48,7 +48,11 @@ use crate::delta::{DeltaEngine, SearchStats};
 /// One scored candidate: its objective score, exact makespan, and the
 /// search-stat delta its scoring produced (with `attempted_moves = 1`),
 /// ready to be absorbed by the main engine if the serial loop would
-/// have scored it.
+/// have scored it. The delta carries every [`SearchStats`] counter —
+/// including the risky-guard columns (`guards_total`/`guards_skipped`/
+/// `guard_reverts_fast`) — so absorbing exactly the serially-visited
+/// candidates keeps the merged stats bit-identical to the serial walk
+/// for every thread count.
 #[derive(Debug, Clone, Copy)]
 pub struct CandidateOutcome {
     /// Objective score of the staged candidate (bitwise-equal to the

@@ -13,12 +13,13 @@
 //! propagation (paper §4.2's "update … without traversing the entire
 //! graph"), through the strategy selected per candidate by
 //! [`crate::config::ScoreStrategy`] (prefix-exact fast path, global
-//! fusion replay, or plain full evaluation — all bitwise-identical
-//! scores). Accepted moves commit the delta state directly, producing
-//! final mappings identical to the historical per-candidate
-//! full-re-evaluation loop (kept below as
-//! [`data_locality_remapping_reference`] and asserted equivalent by
-//! tests on every zoo model).
+//! fusion replay — with risky guards dominance-pruned and rejected
+//! toggles restored from the journal savepoint, see [`crate::delta`] —
+//! or plain full evaluation; all bitwise-identical scores). Accepted
+//! moves commit the delta state directly, producing final mappings
+//! identical to the historical per-candidate full-re-evaluation loop
+//! (kept below as [`data_locality_remapping_reference`] and asserted
+//! equivalent by tests on every zoo model).
 //!
 //! With `score_threads > 1` the per-layer candidate batch is fanned
 //! out across a scoped [`ScoringPool`] (one [`DeltaEngine::fork`] per

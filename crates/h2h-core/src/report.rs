@@ -12,6 +12,8 @@ use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
 use h2h_system::schedule::{Evaluator, Schedule};
 
+use crate::delta::SearchStats;
+
 /// Per-accelerator summary row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccRow {
@@ -106,6 +108,54 @@ pub fn mapping_report(
     MappingReport { rows, transfers, host_ingress, makespan: schedule.makespan() }
 }
 
+/// Human-readable summary of one search run's [`SearchStats`]: the
+/// evaluation mix (delta / prefix / full), the propagation locality,
+/// and the risky-guard columns (how many guards the fusion replay
+/// reached, how many were resolved by dominance pruning, how many
+/// rejected toggles used the `O(cone)` fast revert).
+pub fn search_stats_report(stats: &SearchStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "search stats — {} attempted / {} accepted moves over {} passes",
+        stats.attempted_moves, stats.accepted_moves, stats.passes
+    );
+    let _ = writeln!(
+        out,
+        "  evals: {} delta ({} prefix-exact) + {} full ({:.1}x saved)",
+        stats.delta_evals,
+        stats.prefix_evals,
+        stats.full_evals,
+        stats.full_evals_saved_ratio()
+    );
+    let _ = writeln!(
+        out,
+        "  rebuilds: {} scoped / {} full",
+        stats.scoped_rebuilds, stats.full_rebuilds
+    );
+    let _ = writeln!(
+        out,
+        "  propagation: {} rounds, mean cone {:.1}, max cone {}",
+        stats.propagations,
+        stats.mean_propagated(),
+        stats.max_propagated
+    );
+    let _ = writeln!(
+        out,
+        "  risky guards: {} reached, {} skipped by dominance ({:.0}%), {} fast reverts",
+        stats.guards_total,
+        stats.guards_skipped,
+        if stats.guards_total > 0 {
+            100.0 * stats.guards_skipped as f64 / stats.guards_total as f64
+        } else {
+            0.0
+        },
+        stats.guard_reverts_fast
+    );
+    out
+}
+
 impl fmt::Display for MappingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "mapping report — makespan {}", self.makespan)?;
@@ -176,6 +226,28 @@ mod tests {
             sum(&h2h_rep),
             sum(&base_rep)
         );
+    }
+
+    #[test]
+    fn search_stats_report_names_the_guard_counters() {
+        use h2h_system::system::{BandwidthClass, SystemSpec};
+        // A large ResNet-like model under the default (adaptive +
+        // dominance) configuration must report reached guards, a
+        // non-zero skip count, and the fast-revert column.
+        let model = h2h_model::zoo::casia_surf();
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let out = H2hMapper::new(&model, &system).run().unwrap();
+        let rep = search_stats_report(&out.remap_stats);
+        assert!(rep.contains("risky guards"), "{rep}");
+        assert!(rep.contains("skipped by dominance"), "{rep}");
+        assert!(rep.contains("fast reverts"), "{rep}");
+        assert!(
+            out.remap_stats.guards_total > 0 && out.remap_stats.guards_skipped > 0,
+            "CASIA-SURF should reach and skip guards: {rep}"
+        );
+        // Zero-guard runs must render without dividing by zero.
+        let empty = search_stats_report(&crate::delta::SearchStats::default());
+        assert!(empty.contains("0 reached"), "{empty}");
     }
 
     #[test]

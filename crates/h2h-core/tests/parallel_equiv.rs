@@ -67,46 +67,165 @@ fn remap_is_thread_count_invariant_and_matches_the_reference() {
 
 #[test]
 fn every_scoring_strategy_makes_identical_search_decisions() {
+    // Every (strategy × thread count) combination must reproduce the
+    // per-candidate full-re-evaluation reference mapping bit-exactly —
+    // this is the acceptance contract of the dominance-pruned guard
+    // replay: pruning may only skip work whose outcome it proved.
     let system = SystemSpec::standard(BandwidthClass::LowMinus);
     for model in [
         h2h_model::zoo::mocap(),
         h2h_model::zoo::cnn_lstm(),
         h2h_model::zoo::vfs(),
         h2h_model::zoo::casia_surf(),
+        h2h_model::zoo::facebag(),
     ] {
         let ev = Evaluator::new(&model, &system);
         let cfg0 = H2hConfig::default();
         let (seed, _) = computation_prioritized(&ev, &cfg0, &PinPreset::new()).unwrap();
+        let mut map_ref = seed.clone();
+        let reference =
+            data_locality_remapping_reference(&ev, &cfg0, &PinPreset::new(), &mut map_ref);
         let mut outcomes = Vec::new();
         for strategy in [ScoreStrategy::Adaptive, ScoreStrategy::Replay, ScoreStrategy::FullEval]
         {
-            let cfg = H2hConfig { strategy, ..H2hConfig::default() };
-            let mut mapping = seed.clone();
-            let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
-            outcomes.push((strategy, mapping, out));
+            for threads in [1usize, 4] {
+                let cfg = H2hConfig {
+                    strategy,
+                    score_threads: threads,
+                    score_oversubscribe: true,
+                    ..H2hConfig::default()
+                };
+                let mut mapping = seed.clone();
+                let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+                assert_eq!(
+                    mapping,
+                    map_ref,
+                    "{} under {strategy:?} x{threads}: diverged from the reference mapping",
+                    model.name()
+                );
+                let mk = out.schedule.makespan().as_f64();
+                let mk_ref = reference.schedule.makespan().as_f64();
+                assert!(
+                    (mk - mk_ref).abs() <= mk_ref * 1e-12,
+                    "{} under {strategy:?} x{threads}: latency {mk} vs reference {mk_ref}",
+                    model.name()
+                );
+                outcomes.push((strategy, threads, mapping, out));
+            }
         }
-        let (_, first_map, first_out) = &outcomes[0];
-        for (strategy, mapping, out) in &outcomes[1..] {
+        let (_, _, first_map, first_out) = &outcomes[0];
+        for (strategy, threads, mapping, out) in &outcomes[1..] {
             assert_eq!(
                 mapping,
                 first_map,
-                "{} under {strategy:?}: mapping diverged",
+                "{} under {strategy:?} x{threads}: mapping diverged",
                 model.name()
             );
             assert_eq!(
                 out.schedule.makespan(),
                 first_out.schedule.makespan(),
-                "{} under {strategy:?}: latency diverged",
+                "{} under {strategy:?} x{threads}: latency diverged",
                 model.name()
             );
             assert_eq!(
                 out.stats.attempted_moves, first_out.stats.attempted_moves,
-                "{} under {strategy:?}: attempt counts diverged",
+                "{} under {strategy:?} x{threads}: attempt counts diverged",
                 model.name()
             );
             assert_eq!(
                 out.stats.accepted_moves, first_out.stats.accepted_moves,
-                "{} under {strategy:?}: accept counts diverged",
+                "{} under {strategy:?} x{threads}: accept counts diverged",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn guard_dominance_changes_no_search_decision() {
+    // Pruning on vs off: identical final mappings, latencies, attempt /
+    // accept counts and guard totals — only the skip counters (and the
+    // propagation volume they save) may differ. The risky large models
+    // (ResNet-like: CASIA-SURF, FaceBag, VLocNet) must actually resolve
+    // a healthy share of their guards by dominance.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in [h2h_model::zoo::casia_surf(), h2h_model::zoo::facebag()] {
+        let ev = Evaluator::new(&model, &system);
+        let run = |dominance: bool| {
+            let cfg = H2hConfig {
+                enable_guard_dominance: dominance,
+                ..H2hConfig::default()
+            };
+            let (mut mapping, _) =
+                computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+            let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+            (mapping, out)
+        };
+        let (map_on, out_on) = run(true);
+        let (map_off, out_off) = run(false);
+        assert_eq!(map_on, map_off, "{}: dominance flipped a decision", model.name());
+        assert_eq!(
+            out_on.schedule.makespan(),
+            out_off.schedule.makespan(),
+            "{}: dominance changed the final latency",
+            model.name()
+        );
+        assert_eq!(out_on.stats.attempted_moves, out_off.stats.attempted_moves);
+        assert_eq!(out_on.stats.accepted_moves, out_off.stats.accepted_moves);
+        assert_eq!(
+            out_on.stats.guards_total, out_off.stats.guards_total,
+            "{}: pruning must not change which guards are reached",
+            model.name()
+        );
+        assert_eq!(out_off.stats.guards_skipped, 0, "{}: pruning was off", model.name());
+        assert!(
+            out_on.stats.guards_skipped * 2 > out_on.stats.guards_total,
+            "{}: dominance should resolve most guards, got {}/{}",
+            model.name(),
+            out_on.stats.guards_skipped,
+            out_on.stats.guards_total
+        );
+        assert!(
+            out_on.stats.propagations < out_off.stats.propagations,
+            "{}: resolved guards must save propagation rounds ({} vs {})",
+            model.name(),
+            out_on.stats.propagations,
+            out_off.stats.propagations
+        );
+    }
+}
+
+#[test]
+fn guard_counters_are_coherent() {
+    // Skip/revert counters must stay within the guard population, and
+    // fast reverts can only come from guards the pruning did *not*
+    // resolve (a dominance-rejected guard never toggles, so it has
+    // nothing to revert).
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in h2h_model::zoo::all_models() {
+        let ev = Evaluator::new(&model, &system);
+        let cfg = H2hConfig::default();
+        let (mut mapping, _) = computation_prioritized(&ev, &cfg, &PinPreset::new()).unwrap();
+        let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+        let stats = out.stats;
+        assert!(
+            stats.guards_skipped <= stats.guards_total,
+            "{}: skipped {} > total {}",
+            model.name(),
+            stats.guards_skipped,
+            stats.guards_total
+        );
+        assert!(
+            stats.guard_reverts_fast <= stats.guards_total - stats.guards_skipped,
+            "{}: {} fast reverts exceed the {} unresolved guards",
+            model.name(),
+            stats.guard_reverts_fast,
+            stats.guards_total - stats.guards_skipped
+        );
+        if model.num_layers() > cfg.small_model_threshold && stats.guards_total > 0 {
+            assert!(
+                stats.guards_skipped > 0,
+                "{}: large risky model resolved no guard by dominance",
                 model.name()
             );
         }

@@ -43,16 +43,22 @@
 //!    [`IncrementalSchedule::rollback`] every mutation is journaled
 //!    (first-touch undo log for times/costs, move list, aggregate
 //!    snapshot); rollback restores the pre-transaction state exactly, so
-//!    a rejected candidate move costs only its cone size.
+//!    a rejected candidate move costs only its cone size. Within an open
+//!    transaction, [`IncrementalSchedule::savepoint`] marks a nested
+//!    restore point: the journal keeps recording (first touch *per
+//!    savepoint region*), and [`IncrementalSchedule::rollback_to`]
+//!    undoes just the suffix — an `O(touched)` memcpy-style restore of
+//!    the recorded set, no re-propagation. The fusion pass uses this to
+//!    revert a rejected risky-guard toggle at the cost of the cone it
+//!    touched instead of a second propagation round.
 //!
 //! Equivalence with full re-evaluation is asserted by unit tests here,
 //! by `prop_schedule.rs`/`prop_incremental.rs` property suites, and
 //! measured by the `incremental` criterion bench.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
-use h2h_model::graph::{LayerId, ModelGraph};
+use h2h_model::graph::LayerId;
 use h2h_model::units::Seconds;
 
 use crate::locality::LocalityState;
@@ -77,15 +83,39 @@ pub struct ScheduleProxy {
 }
 
 /// Undo log of one open transaction.
+///
+/// Entries are first-touch *per savepoint region*: a layer touched
+/// before and after a [`IncrementalSchedule::savepoint`] appears once
+/// per region, with the region-entry value. Rollback therefore applies
+/// entries in **reverse** order so the earliest (pre-transaction) value
+/// wins.
 #[derive(Debug, Clone, Default)]
 struct Journal {
-    /// `(layer, old_start, old_finish)`, first touch only.
+    /// `(layer, old_start, old_finish)`, first touch per region.
     times: Vec<(usize, f64, f64)>,
-    /// `(layer, old_cost, old_dur)`, first touch only.
+    /// `(layer, old_cost, old_dur)`, first touch per region.
     costs: Vec<(usize, LayerCost, f64)>,
     /// `(layer, from_acc)` in application order.
     moves: Vec<(LayerId, usize)>,
     /// Aggregate snapshot taken at `begin`.
+    eth_busy: f64,
+    comp_busy: f64,
+    dram_busy: f64,
+    dram_bytes: f64,
+    compute_energy: f64,
+    per_acc_busy: Vec<f64>,
+}
+
+/// A nested restore point inside an open transaction (see
+/// [`IncrementalSchedule::savepoint`]): the journal lengths at creation
+/// time plus an aggregate snapshot. [`IncrementalSchedule::rollback_to`]
+/// undoes exactly the journal suffix recorded since — the touched set of
+/// whatever ran in between — without re-propagating anything.
+#[derive(Debug, Clone)]
+pub struct Savepoint {
+    times_len: usize,
+    costs_len: usize,
+    moves_len: usize,
     eth_busy: f64,
     comp_busy: f64,
     dram_busy: f64,
@@ -106,6 +136,17 @@ struct IncShared {
     /// The global topological priority itself (the evaluator's
     /// iteration order, used by exact aggregate resummation).
     order: Vec<LayerId>,
+    /// CSR-flattened adjacency (by raw layer index): predecessor ids of
+    /// layer `i` live in `preds[pred_off[i]..pred_off[i + 1]]`, and
+    /// likewise for successors. The propagate hot loop re-times a
+    /// million-plus layer visits per large-model search run; reading
+    /// neighbours from these flat arrays instead of the graph's
+    /// indirect edge storage is what keeps a visit to a handful of
+    /// cache lines.
+    pred_off: Vec<u32>,
+    preds: Vec<u32>,
+    succ_off: Vec<u32>,
+    succs: Vec<u32>,
     // Energy-model constants captured at seed time.
     eth_power_w: f64,
     dram_pj_per_byte: f64,
@@ -143,10 +184,9 @@ pub struct IncrementalSchedule {
     time_stamp: Vec<u64>,
     cost_stamp: Vec<u64>,
     epoch: u64,
-    /// Worklist membership / visit stamps for `propagate` (persistent,
-    /// so the hot path allocates nothing per call).
+    /// Rank-indexed pending stamps for the `propagate` wavefront
+    /// (persistent, so the hot path allocates nothing per call).
     queued_stamp: Vec<u64>,
-    visited_stamp: Vec<u64>,
     prop_epoch: u64,
     /// Set once the duration-only legacy path (`set_duration`) is used;
     /// the aggregate-backed proxy is then meaningless.
@@ -179,6 +219,27 @@ impl IncrementalSchedule {
         for (rank, id) in order.iter().enumerate() {
             topo_pos[id.index()] = rank;
         }
+        let mut pred_off = vec![0u32; bound + 1];
+        let mut succ_off = vec![0u32; bound + 1];
+        for id in model.layer_ids() {
+            pred_off[id.index() + 1] = model.predecessors(id).count() as u32;
+            succ_off[id.index() + 1] = model.successors(id).count() as u32;
+        }
+        for i in 0..bound {
+            pred_off[i + 1] += pred_off[i];
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut preds = vec![0u32; pred_off[bound] as usize];
+        let mut succs = vec![0u32; succ_off[bound] as usize];
+        for id in model.layer_ids() {
+            let i = id.index();
+            for (k, p) in model.predecessors(id).enumerate() {
+                preds[pred_off[i] as usize + k] = p.index() as u32;
+            }
+            for (k, s) in model.successors(id).enumerate() {
+                succs[succ_off[i] as usize + k] = s.index() as u32;
+            }
+        }
         let mut inc = IncrementalSchedule {
             dur: vec![0.0; bound],
             costs: vec![LayerCost::default(); bound],
@@ -190,6 +251,10 @@ impl IncrementalSchedule {
             shared: Arc::new(IncShared {
                 topo_pos,
                 order,
+                pred_off,
+                preds,
+                succ_off,
+                succs,
                 eth_power_w: emodel.eth_link_power_w,
                 dram_pj_per_byte: emodel.dram_pj_per_byte,
             }),
@@ -204,7 +269,6 @@ impl IncrementalSchedule {
             cost_stamp: vec![0; bound],
             epoch: 0,
             queued_stamp: vec![0; bound],
-            visited_stamp: vec![0; bound],
             prop_epoch: 0,
             duration_only: false,
             journal: None,
@@ -248,6 +312,21 @@ impl IncrementalSchedule {
     /// Finish time of one layer.
     pub fn finish_of(&self, layer: LayerId) -> Seconds {
         Seconds::new(self.finish[layer.index()])
+    }
+
+    /// Start time of one layer.
+    pub fn start_of(&self, layer: LayerId) -> Seconds {
+        Seconds::new(self.start[layer.index()])
+    }
+
+    /// The layer scheduled immediately after `layer` on its accelerator
+    /// queue (`None` if it runs last). Together with the graph
+    /// successors, this is exactly the set of layers whose start times
+    /// read `layer`'s finish — the guard-dominance check of the fusion
+    /// pass walks it to prove a duration change is absorbed locally.
+    pub fn queue_successor(&self, layer: LayerId) -> Option<LayerId> {
+        let i = layer.index();
+        self.acc_queue[self.acc_of[i]].get(self.queue_pos[i] + 1).copied()
     }
 
     /// Duration currently assumed for one layer.
@@ -359,15 +438,18 @@ impl IncrementalSchedule {
     pub fn rollback(&mut self) {
         let journal = self.journal.take().expect("no open transaction");
         // Undo queue surgery in reverse order; the canonical sorted
-        // insertion restores exact positions.
+        // insertion restores exact positions. Costs/times also apply in
+        // reverse: savepoint regions may have journaled a layer more
+        // than once, and the earliest entry (the pre-transaction value)
+        // must win.
         for (layer, from_acc) in journal.moves.iter().rev() {
             self.requeue(*layer, *from_acc);
         }
-        for (i, cost, dur) in &journal.costs {
+        for (i, cost, dur) in journal.costs.iter().rev() {
             self.costs[*i] = *cost;
             self.dur[*i] = *dur;
         }
-        for (i, s, f) in &journal.times {
+        for (i, s, f) in journal.times.iter().rev() {
             self.start[*i] = *s;
             self.finish[*i] = *f;
         }
@@ -378,6 +460,87 @@ impl IncrementalSchedule {
         self.compute_energy = journal.compute_energy;
         self.per_acc_busy.clone_from(&journal.per_acc_busy);
         self.spare_journal = Some(journal);
+    }
+
+    /// Marks a nested restore point inside the open transaction. Every
+    /// mutation after this call is journaled with its at-savepoint value
+    /// (even for layers already touched earlier in the transaction), so
+    /// [`IncrementalSchedule::rollback_to`] can restore exactly the
+    /// state as of this call by replaying the recorded suffix — an
+    /// `O(touched)` operation, no re-propagation.
+    ///
+    /// Savepoints nest implicitly: a later savepoint's suffix is a
+    /// prefix-stable extension of an earlier one's, so rolling back to
+    /// an earlier savepoint after a later one also restores correctly
+    /// (later-region entries sit above the earlier marks). A savepoint
+    /// that is *not* rolled back needs no explicit release — its extra
+    /// journal entries are harmless because full
+    /// [`IncrementalSchedule::rollback`] applies in reverse order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn savepoint(&mut self) -> Savepoint {
+        let j = self.journal.as_ref().expect("savepoint requires an open transaction");
+        // New epoch: layers first-touched before this savepoint must be
+        // re-journaled (with their current, i.e. at-savepoint, values)
+        // when touched inside the region.
+        self.epoch += 1;
+        Savepoint {
+            times_len: j.times.len(),
+            costs_len: j.costs.len(),
+            moves_len: j.moves.len(),
+            eth_busy: self.eth_busy,
+            comp_busy: self.comp_busy,
+            dram_busy: self.dram_busy,
+            dram_bytes: self.dram_bytes,
+            compute_energy: self.compute_energy,
+            per_acc_busy: self.per_acc_busy.clone(),
+        }
+    }
+
+    /// Restores the exact state as of `sp`'s [`IncrementalSchedule::savepoint`]
+    /// call by undoing the journal suffix recorded since (reverse
+    /// order) and reinstating the aggregate snapshot. Costs, durations,
+    /// start/finish times, queues and aggregates all come back bitwise;
+    /// the transaction stays open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open. `sp` must come from this
+    /// instance's current transaction (debug-asserted via the journal
+    /// marks).
+    pub fn rollback_to(&mut self, sp: &Savepoint) {
+        // Take the journal out so `requeue` can borrow `self` freely.
+        let mut journal = self.journal.take().expect("rollback_to requires an open transaction");
+        debug_assert!(
+            sp.times_len <= journal.times.len()
+                && sp.costs_len <= journal.costs.len()
+                && sp.moves_len <= journal.moves.len(),
+            "savepoint does not belong to this transaction"
+        );
+        while journal.moves.len() > sp.moves_len {
+            let (layer, from_acc) = journal.moves.pop().expect("length checked");
+            self.requeue(layer, from_acc);
+        }
+        for (i, cost, dur) in journal.costs.drain(sp.costs_len..).rev() {
+            self.costs[i] = cost;
+            self.dur[i] = dur;
+        }
+        for (i, s, f) in journal.times.drain(sp.times_len..).rev() {
+            self.start[i] = s;
+            self.finish[i] = f;
+        }
+        self.eth_busy = sp.eth_busy;
+        self.comp_busy = sp.comp_busy;
+        self.dram_busy = sp.dram_busy;
+        self.dram_bytes = sp.dram_bytes;
+        self.compute_energy = sp.compute_energy;
+        self.per_acc_busy.clone_from(&sp.per_acc_busy);
+        self.journal = Some(journal);
+        // New epoch: the popped entries' layers carry region stamps, so
+        // later touches must journal their (just restored) values anew.
+        self.epoch += 1;
     }
 
     fn journal_time(&mut self, i: usize) {
@@ -526,60 +689,75 @@ impl IncrementalSchedule {
     }
 
     /// Recomputes start/finish times along the affected cone of `seeds`
-    /// (the layers whose durations or queue predecessors changed).
-    /// Returns the new makespan.
-    pub fn propagate(&mut self, model: &ModelGraph, seeds: &[LayerId]) -> Seconds {
-        let mut work: VecDeque<LayerId> = seeds.iter().copied().collect();
+    /// (the layers whose durations or queue predecessors changed). This
+    /// is the hottest loop of the search core (a large-model run visits
+    /// millions of layers here), so it runs as a *monotone wavefront*:
+    /// pending layers are marked in a rank-indexed stamp array and
+    /// processed in global topological order — every dependency (graph
+    /// edges and same-accelerator queue edges both point forward in
+    /// that order) is final before its reader is visited, so each layer
+    /// in the cone is recomputed **exactly once**, with neighbours read
+    /// from the CSR adjacency in [`IncShared`]. Read
+    /// [`IncrementalSchedule::makespan`] afterwards when the new value
+    /// is needed (most propagations — deferred-batch flushes — never
+    /// look at it).
+    pub fn propagate(&mut self, seeds: &[LayerId]) {
+        let shared = self.shared.clone();
         self.prop_epoch += 1;
         let epoch = self.prop_epoch;
+        let n = shared.order.len();
+        let mut lo = n;
+        let mut hi = 0usize;
         for s in seeds {
-            self.queued_stamp[s.index()] = epoch;
+            let r = shared.topo_pos[s.index()];
+            self.queued_stamp[r] = epoch;
+            lo = lo.min(r);
+            hi = hi.max(r);
         }
         self.touched = 0;
-        while let Some(id) = work.pop_front() {
-            self.queued_stamp[id.index()] = 0;
-            if self.visited_stamp[id.index()] != epoch {
-                self.visited_stamp[id.index()] = epoch;
-                self.touched += 1;
+        let mut r = lo;
+        while r <= hi {
+            if self.queued_stamp[r] != epoch {
+                r += 1;
+                continue;
             }
-            let deps = model
-                .predecessors(id)
-                .map(|p| self.finish[p.index()])
-                .fold(0.0f64, f64::max);
-            let a = self.acc_of[id.index()];
-            let qp = self.queue_pos[id.index()];
+            let i = shared.order[r].index();
+            self.touched += 1;
+            let mut deps = 0.0f64;
+            for p in &shared.preds[shared.pred_off[i] as usize..shared.pred_off[i + 1] as usize]
+            {
+                deps = deps.max(self.finish[*p as usize]);
+            }
+            let a = self.acc_of[i];
+            let qp = self.queue_pos[i];
             let avail = if qp == 0 {
                 0.0
             } else {
                 self.finish[self.acc_queue[a][qp - 1].index()]
             };
             let new_start = deps.max(avail);
-            let new_finish = new_start + self.dur[id.index()];
-            let changed = new_finish != self.finish[id.index()]
-                || new_start != self.start[id.index()];
-            if changed {
-                self.journal_time(id.index());
-                self.start[id.index()] = new_start;
-                self.finish[id.index()] = new_finish;
-            } else {
-                continue;
-            }
-            // Direct graph successors…
-            for s in model.successors(id) {
-                if self.queued_stamp[s.index()] != epoch {
-                    self.queued_stamp[s.index()] = epoch;
-                    work.push_back(s);
+            let new_finish = new_start + self.dur[i];
+            if new_finish != self.finish[i] || new_start != self.start[i] {
+                self.journal_time(i);
+                self.start[i] = new_start;
+                self.finish[i] = new_finish;
+                // Direct graph successors…
+                for s in &shared.succs
+                    [shared.succ_off[i] as usize..shared.succ_off[i + 1] as usize]
+                {
+                    let sr = shared.topo_pos[*s as usize];
+                    self.queued_stamp[sr] = epoch;
+                    hi = hi.max(sr);
+                }
+                // …and the next layer in this accelerator's queue.
+                if let Some(next) = self.acc_queue[a].get(qp + 1) {
+                    let nr = shared.topo_pos[next.index()];
+                    self.queued_stamp[nr] = epoch;
+                    hi = hi.max(nr);
                 }
             }
-            // …and the next layer in this accelerator's queue.
-            if let Some(next) = self.acc_queue[a].get(qp + 1) {
-                if self.queued_stamp[next.index()] != epoch {
-                    self.queued_stamp[next.index()] = epoch;
-                    work.push_back(*next);
-                }
-            }
+            r += 1;
         }
-        self.makespan()
     }
 
     /// Convenience: seed, apply a batch of duration changes, propagate.
@@ -594,8 +772,8 @@ impl IncrementalSchedule {
             inc.set_duration(*l, *d);
         }
         let seeds: Vec<LayerId> = changes.iter().map(|(l, _)| *l).collect();
-        let model = ev.model();
-        let mk = inc.propagate(model, &seeds);
+        inc.propagate(&seeds);
+        let mk = inc.makespan();
         (inc, mk)
     }
 
@@ -626,6 +804,7 @@ mod tests {
     use super::*;
     use crate::system::{AccId, BandwidthClass};
     use crate::testutil::{const_system, ConstAccel};
+    use h2h_model::graph::ModelGraph;
     use h2h_model::builder::ModelBuilder;
     use h2h_model::tensor::TensorShape;
 
@@ -718,13 +897,13 @@ mod tests {
         let mut inc = IncrementalSchedule::new(&ev, &map, &loc);
         let last = *m.topo_order().last().unwrap();
         inc.set_duration(last, Seconds::new(5e-3));
-        inc.propagate(&m, &[last]);
+        inc.propagate(&[last]);
         assert_eq!(inc.touched(), 1, "tail change must touch one layer");
 
         // Changing the head touches everything downstream.
         let head = m.topo_order()[0];
         inc.set_duration(head, Seconds::new(2e-3));
-        inc.propagate(&m, &[head]);
+        inc.propagate(&[head]);
         assert_eq!(inc.touched(), m.num_layers());
     }
 
@@ -782,7 +961,8 @@ mod tests {
         map.set(ids[2], AccId::new(1));
         let mut seeds = inc.move_layer(ids[2], AccId::new(1));
         seeds.extend(inc.refresh_costs(&ev, &map, &loc, m.layer_ids()));
-        let mk = inc.propagate(&m, &seeds);
+        inc.propagate(&seeds);
+        let mk = inc.makespan();
         let full = ev.evaluate(&map, &loc);
         assert_eq!(mk.as_f64(), full.makespan().as_f64(), "bitwise equality expected");
         inc.assert_matches_full(&ev, &map, &loc);
@@ -821,7 +1001,7 @@ mod tests {
             all_seeds.extend(inc.move_layer(*id, target));
         }
         all_seeds.extend(inc.refresh_costs(&ev, &map, &loc, m.layer_ids()));
-        inc.propagate(&m, &all_seeds);
+        inc.propagate(&all_seeds);
         inc.rollback();
 
         assert_eq!(inc.makespan(), reference.makespan());

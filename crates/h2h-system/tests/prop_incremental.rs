@@ -48,7 +48,7 @@ fn apply_move(
         .copied()
         .collect();
     seeds.extend(inc.refresh_costs(ev, mapping, loc, dirty));
-    inc.propagate(ev.model(), &seeds);
+    inc.propagate(&seeds);
 }
 
 proptest! {
@@ -117,6 +117,90 @@ proptest! {
                         <= full.bottleneck_busy().as_f64() * 1e-9
                 );
             }
+        }
+    }
+
+    #[test]
+    fn savepoint_toggle_then_fast_revert_equals_never_toggled(
+        picks in proptest::collection::vec((any::<usize>(), any::<usize>()), 5),
+        toggles in proptest::collection::vec(any::<usize>(), 4),
+    ) {
+        // The O(cone) guard-revert contract: after random moves inside a
+        // transaction, mark a savepoint, apply toggle-like mutations
+        // (cost refreshes against a perturbed locality + propagation),
+        // and roll back to the savepoint — timings, durations, queues,
+        // aggregates and makespan must all equal the never-toggled state
+        // bitwise. A full rollback afterwards must still restore the
+        // pre-transaction state exactly (savepoint entries must not
+        // corrupt the outer undo log).
+        for model in h2h_model::zoo::all_models() {
+            let system = SystemSpec::standard(BandwidthClass::LowMinus);
+            let ev = Evaluator::new(&model, &system);
+            let mut mapping = base_mapping(&model, &system);
+            let loc = LocalityState::new(&system);
+            let mut inc = IncrementalSchedule::new(&ev, &mapping, &loc);
+            let reference = inc.clone();
+            let layers = model.topo_order();
+
+            inc.begin();
+            for (layer_pick, acc_pick) in &picks {
+                let layer = layers[layer_pick % layers.len()];
+                let capable: Vec<AccId> = system
+                    .acc_ids()
+                    .filter(|a| system.acc(*a).supports(model.layer(layer)))
+                    .collect();
+                let to = capable[acc_pick % capable.len()];
+                if to == mapping.acc_of(layer) {
+                    continue;
+                }
+                apply_move(&mut inc, &ev, &mut mapping, &loc, layer, to);
+            }
+            let at_savepoint = inc.clone();
+            let sp = inc.savepoint();
+
+            // Toggle-like mutations: pin-perturbed cost refreshes plus
+            // propagation, exactly the shape of a risky-guard toggle.
+            let mut toggled_loc = loc.clone();
+            for layer_pick in &toggles {
+                let layer = layers[layer_pick % layers.len()];
+                if model.layer(layer).has_weights() {
+                    let _ = toggled_loc.try_pin(&model, &system, layer, mapping.acc_of(layer));
+                }
+            }
+            let seeds = inc.refresh_costs(&ev, &mapping, &toggled_loc, model.layer_ids());
+            inc.propagate(&seeds);
+
+            inc.rollback_to(&sp);
+            prop_assert!(inc.makespan() == at_savepoint.makespan());
+            for id in model.layer_ids() {
+                prop_assert!(inc.start_of(id) == at_savepoint.start_of(id));
+                prop_assert!(inc.finish_of(id) == at_savepoint.finish_of(id));
+                prop_assert!(inc.duration_of(id) == at_savepoint.duration_of(id));
+            }
+            for acc in system.acc_ids() {
+                prop_assert!(inc.queue(acc) == at_savepoint.queue(acc));
+            }
+            prop_assert!(inc.proxy() == at_savepoint.proxy());
+
+            // Touches after the savepoint revert must journal correctly,
+            // including through a savepoint that is *committed* (never
+            // rolled back — its duplicate journal entries exercise the
+            // reverse-order outer rollback): mutate again under a fresh
+            // savepoint, keep it, then fully roll back to the
+            // pre-transaction state.
+            let _committed = inc.savepoint();
+            let seeds = inc.refresh_costs(&ev, &mapping, &toggled_loc, model.layer_ids());
+            inc.propagate(&seeds);
+            inc.rollback();
+            prop_assert!(inc.makespan() == reference.makespan());
+            for id in model.layer_ids() {
+                prop_assert!(inc.finish_of(id) == reference.finish_of(id));
+                prop_assert!(inc.duration_of(id) == reference.duration_of(id));
+            }
+            for acc in system.acc_ids() {
+                prop_assert!(inc.queue(acc) == reference.queue(acc));
+            }
+            prop_assert!(inc.proxy() == reference.proxy());
         }
     }
 
