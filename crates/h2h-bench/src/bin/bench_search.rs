@@ -129,13 +129,15 @@ fn main() {
     // A typo'd filter must not let the divergence check pass vacuously
     // (CI smoke-tests rely on this binary's exit code).
     if let Some(filter) = &models_filter {
-        let zoo: Vec<String> =
-            h2h_model::zoo::all_models().iter().map(|m| m.name().to_owned()).collect();
         for name in filter {
             assert!(
-                zoo.iter().any(|z| z.eq_ignore_ascii_case(name)),
+                h2h_model::zoo::by_name(name).is_some(),
                 "--models entry `{name}` matches no zoo model (have: {})",
-                zoo.join(", ")
+                h2h_model::zoo::all_models()
+                    .iter()
+                    .map(|m| m.name().to_owned())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
         }
     }
@@ -143,9 +145,7 @@ fn main() {
     let bandwidths: Vec<BandwidthClass> = bandwidths
         .iter()
         .map(|label| {
-            BandwidthClass::ALL
-                .into_iter()
-                .find(|b| b.label().eq_ignore_ascii_case(label))
+            BandwidthClass::by_label(label)
                 .unwrap_or_else(|| panic!("unknown bandwidth class `{label}`"))
         })
         .collect();

@@ -163,6 +163,32 @@ pub struct H2hConfig {
     /// overhead, never changes results — the equivalence tests set this
     /// to exercise the worker protocol on any machine).
     pub score_oversubscribe: bool,
+    /// Largest number of queued requests one tenant may serve in a
+    /// single slice of a multi-tenant serving round (see
+    /// [`crate::serve`]). Weights are fetched once per slice
+    /// ([`h2h_system::schedule::Evaluator::with_batch`] semantics), so a
+    /// larger cap amortizes weight traffic further but holds the system
+    /// longer per slice, raising the queueing delay of the *other*
+    /// tenants — 8 balances the two on the zoo workloads. Must be ≥ 1.
+    pub serve_max_batch: u32,
+    /// Fraction of each accelerator's DRAM capacity that the serving
+    /// layer may commit to resident tenant state (pinned weights +
+    /// fusion buffers), in `(0, 1]` — values outside that range are
+    /// rejected when the tenant registry is constructed. Admission
+    /// trims a tenant's pin set
+    /// (knapsack on saved transfer time) to fit this budget
+    /// individually; the online batch former additionally keeps every
+    /// *round's co-resident* footprint under it. `1.0` (default) hands
+    /// serving the full board — single-tenant serving is then
+    /// bit-identical to the offline pipeline because nothing is ever
+    /// trimmed.
+    pub serve_dram_budget_frac: f64,
+    /// Cross-check every freshly evaluated serving slice against a full
+    /// [`h2h_system::schedule::Evaluator::evaluate`] of the same state
+    /// (the incremental rebatch path must match it bitwise) and count
+    /// mismatches in the serve counters. Off by default — it doubles
+    /// slice-evaluation cost; benches and CI smoke turn it on.
+    pub serve_verify: bool,
 }
 
 impl Default for H2hConfig {
@@ -181,6 +207,9 @@ impl Default for H2hConfig {
             enable_guard_dominance: true,
             score_threads: 1,
             score_oversubscribe: false,
+            serve_max_batch: 8,
+            serve_dram_budget_frac: 1.0,
+            serve_verify: false,
         }
     }
 }
@@ -200,6 +229,9 @@ mod tests {
         assert!(c.remap_max_passes >= 1);
         assert_eq!(c.knapsack, KnapsackKind::Auto);
         assert_eq!(c.objective, MapObjective::Latency);
+        assert!(c.serve_max_batch >= 1);
+        assert!(c.serve_dram_budget_frac > 0.0 && c.serve_dram_budget_frac <= 1.0);
+        assert!(!c.serve_verify, "slice cross-checking is a bench/CI knob");
     }
 
     #[test]

@@ -26,8 +26,9 @@
 //!
 //! The per-step passes are public — [`compute_map`], [`weight_locality`]
 //! (with its [`knapsack`] solvers), [`activation_fusion`] and [`remap`] —
-//! as are the comparison mappers in [`baseline`] and the
-//! dynamic-modality extension in [`dynamic`] (paper §4.5).
+//! as are the comparison mappers in [`baseline`], the dynamic-modality
+//! extension in [`dynamic`] (paper §4.5), and the multi-tenant batched
+//! serving subsystem in [`serve`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -45,6 +46,7 @@ pub mod pipeline;
 pub mod preset;
 pub mod remap;
 pub mod report;
+pub mod serve;
 pub mod weight_locality;
 
 pub use config::{H2hConfig, KnapsackKind, MapObjective, ScoreStrategy};
@@ -53,3 +55,7 @@ pub use parallel::ScoringPool;
 pub use dynamic::{DynamicOutcome, DynamicSession};
 pub use pipeline::{H2hError, H2hMapper, H2hOutcome, Step, StepSnapshot};
 pub use preset::PinPreset;
+pub use serve::{
+    ServeCounters, ServeError, ServeOutcome, TenantId, TenantRegistry, TenantServeStats,
+    TenantSpec,
+};

@@ -156,6 +156,64 @@ pub fn search_stats_report(stats: &SearchStats) -> String {
     out
 }
 
+/// Human-readable summary of one multi-tenant serving window
+/// ([`crate::serve::TenantRegistry::serve`]): the per-tenant SLO ledger
+/// (attained vs target latency, violations, batching), the shared DRAM
+/// budget headroom, and the slice-evaluator counters. Everything
+/// rendered is *modeled* time, so the report is deterministic — the
+/// golden-snapshot suite diffs it verbatim.
+pub fn serve_report(outcome: &crate::serve::ServeOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve report — {} tenants, {} rounds, drain {}",
+        outcome.tenants.len(),
+        outcome.counters.rounds,
+        outcome.makespan
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>5} {:>7} {:>5} {:>12} {:>12} {:>12} {:>12} {:>5} {:>12} {:>5} {:>12}",
+        "tenant", "req", "batches", "maxb", "ideal", "mean", "max", "slo", "viol", "amortized",
+        "swaps", "reload"
+    );
+    for t in &outcome.tenants {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>5} {:>7} {:>5} {:>12} {:>12} {:>12} {:>12} {:>5} {:>12} {:>5} {:>12}",
+            t.name,
+            t.served,
+            t.batches,
+            t.max_batch,
+            format!("{}", t.ideal),
+            format!("{}", t.attained_mean()),
+            format!("{}", t.attained_max),
+            format!("{}", t.slo),
+            t.violations,
+            format!("{}", t.amortized_weight_time),
+            t.weight_reloads,
+            format!("{}", t.reload_time),
+        );
+    }
+    let _ = writeln!(out, "  shared DRAM budget (peak co-resident / budget):");
+    for (i, name) in outcome.acc_names.iter().enumerate() {
+        let peak = outcome.peak_resident[i];
+        let budget = outcome.budgets[i];
+        if peak == h2h_model::units::Bytes::ZERO {
+            continue;
+        }
+        let _ = writeln!(out, "    {:<5} {:>12} / {:>12}", name, format!("{peak}"), format!("{budget}"));
+    }
+    let c = &outcome.counters;
+    let _ = writeln!(
+        out,
+        "  slices: {} evaluated + {} memoized; crosschecks {} ({} mismatched)",
+        c.slice_evals, c.slice_cache_hits, c.crosschecks, c.crosscheck_mismatches
+    );
+    out
+}
+
 impl fmt::Display for MappingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "mapping report — makespan {}", self.makespan)?;

@@ -1,0 +1,89 @@
+//! Golden-snapshot tests of the human-readable reports: render
+//! `report::search_stats_report` on two fixed zoo models and
+//! `report::serve_report` on a fixed two-tenant registry, and diff the
+//! output against checked-in expected text. Every quantity rendered is
+//! *modeled* (no wall-clock), so the reports are deterministic and a
+//! textual diff is a real regression signal — a changed counter, a
+//! changed latency, or a reformatted column all fail loudly here
+//! instead of silently drifting.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDEN=1 cargo test -p h2h-core --test golden_reports`.
+
+use std::path::PathBuf;
+
+use h2h_core::report::{search_stats_report, serve_report};
+use h2h_core::serve::{TenantRegistry, TenantSpec};
+use h2h_core::{H2hConfig, H2hMapper};
+use h2h_model::units::Seconds;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "report drifted from tests/golden/{name}.txt — if intentional, regenerate with \
+         UPDATE_GOLDEN=1\n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn search_stats_report_snapshot_mocap() {
+    // A chain model: every candidate on the prefix fast path, zero
+    // risky guards.
+    let model = h2h_model::zoo::mocap();
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let out = H2hMapper::new(&model, &system).run().unwrap();
+    check_golden("search_stats_mocap_lowminus", &search_stats_report(&out.remap_stats));
+}
+
+#[test]
+fn search_stats_report_snapshot_casia_surf() {
+    // A ResNet-like model: risky guards reached, most resolved by
+    // dominance pruning — the full counter surface.
+    let model = h2h_model::zoo::casia_surf();
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let out = H2hMapper::new(&model, &system).run().unwrap();
+    check_golden("search_stats_casia_surf_lowminus", &search_stats_report(&out.remap_stats));
+}
+
+#[test]
+fn serve_report_snapshot_two_tenants() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig { serve_verify: true, ..H2hConfig::default() };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    reg.admit(TenantSpec::new(
+        "mocap",
+        h2h_model::zoo::mocap(),
+        30.0,
+        Seconds::new(8.0),
+        16,
+    ))
+    .unwrap();
+    reg.admit(TenantSpec::new(
+        "cnn-lstm",
+        h2h_model::zoo::cnn_lstm(),
+        30.0,
+        Seconds::new(8.0),
+        16,
+    ))
+    .unwrap();
+    let out = reg.serve();
+    out.check_coherence().unwrap();
+    check_golden("serve_report_two_tenants_lowminus", &serve_report(&out));
+}

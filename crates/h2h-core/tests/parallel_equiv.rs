@@ -67,18 +67,16 @@ fn remap_is_thread_count_invariant_and_matches_the_reference() {
 
 #[test]
 fn every_scoring_strategy_makes_identical_search_decisions() {
-    // Every (strategy × thread count) combination must reproduce the
-    // per-candidate full-re-evaluation reference mapping bit-exactly —
-    // this is the acceptance contract of the dominance-pruned guard
-    // replay: pruning may only skip work whose outcome it proved.
+    // Zoo-wide sweep guard: every zoo model × every (strategy × thread
+    // count) combination must reproduce the per-candidate
+    // full-re-evaluation reference mapping bit-exactly — this is the
+    // acceptance contract of the dominance-pruned guard replay: pruning
+    // may only skip work whose outcome it proved. Each swept
+    // configuration must additionally keep its guard counters coherent
+    // (skips within the guard population, fast reverts only from
+    // unresolved guards).
     let system = SystemSpec::standard(BandwidthClass::LowMinus);
-    for model in [
-        h2h_model::zoo::mocap(),
-        h2h_model::zoo::cnn_lstm(),
-        h2h_model::zoo::vfs(),
-        h2h_model::zoo::casia_surf(),
-        h2h_model::zoo::facebag(),
-    ] {
+    for model in h2h_model::zoo::all_models() {
         let ev = Evaluator::new(&model, &system);
         let cfg0 = H2hConfig::default();
         let (seed, _) = computation_prioritized(&ev, &cfg0, &PinPreset::new()).unwrap();
@@ -109,6 +107,21 @@ fn every_scoring_strategy_makes_identical_search_decisions() {
                     (mk - mk_ref).abs() <= mk_ref * 1e-12,
                     "{} under {strategy:?} x{threads}: latency {mk} vs reference {mk_ref}",
                     model.name()
+                );
+                assert!(
+                    out.stats.guards_skipped <= out.stats.guards_total,
+                    "{} under {strategy:?} x{threads}: skipped {} > total {}",
+                    model.name(),
+                    out.stats.guards_skipped,
+                    out.stats.guards_total
+                );
+                assert!(
+                    out.stats.guard_reverts_fast
+                        <= out.stats.guards_total - out.stats.guards_skipped,
+                    "{} under {strategy:?} x{threads}: {} fast reverts exceed the {} unresolved guards",
+                    model.name(),
+                    out.stats.guard_reverts_fast,
+                    out.stats.guards_total - out.stats.guards_skipped
                 );
                 outcomes.push((strategy, threads, mapping, out));
             }

@@ -1,0 +1,118 @@
+//! Property suite of the multi-tenant serving subsystem: over random
+//! tenant mixes, rates, SLOs, batch caps and DRAM budget fractions,
+//! batch formation never exceeds the shared budget and the SLO
+//! accounting stays coherent (all requests served, violations within
+//! the population, attained latency at or above the zero-queueing
+//! ideal, zero incremental-vs-full slice mismatches).
+
+use proptest::prelude::*;
+
+use h2h_core::serve::{ServeError, TenantRegistry, TenantSpec};
+use h2h_core::H2hConfig;
+use h2h_model::units::Seconds;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+/// The fast zoo entries (the suite runs whole pipelines per case).
+fn model_pool() -> Vec<h2h_model::ModelGraph> {
+    vec![h2h_model::zoo::mocap(), h2h_model::zoo::cnn_lstm()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serving_respects_budget_and_slo_coherence(
+        picks in proptest::collection::vec(
+            (0usize..2, 1.0f64..400.0, 0.2f64..20.0, 4usize..=20),
+            2,
+        ),
+        max_batch in 1u32..=12,
+        budget_frac in 0.02f64..1.0,
+        bw_pick in 0usize..2,
+    ) {
+        let bw = [BandwidthClass::LowMinus, BandwidthClass::Mid][bw_pick];
+        let system = SystemSpec::standard(bw);
+        let cfg = H2hConfig {
+            serve_max_batch: max_batch,
+            serve_dram_budget_frac: budget_frac,
+            serve_verify: true,
+            ..H2hConfig::default()
+        };
+        let pool = model_pool();
+        let mut reg = TenantRegistry::new(&system, cfg);
+        let mut admitted = 0usize;
+        for (i, (model_pick, rate, slo, requests)) in picks.iter().enumerate() {
+            let model = pool[*model_pick].clone();
+            let spec = TenantSpec::new(
+                format!("t{i}-{}", model.name()),
+                model,
+                *rate,
+                Seconds::new(*slo),
+                *requests,
+            );
+            match reg.admit(spec) {
+                Ok(_) => admitted += 1,
+                // A tiny budget fraction may be unservable for this
+                // model (fusion buffers alone exceed it) — that is a
+                // legal refusal, not a failure.
+                Err(ServeError::DramBudget { .. }) => {}
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        // `admitted == 0` (every tenant refused under a tiny budget)
+        // legally leaves nothing to serve; the body below is guarded
+        // rather than early-returned so it also compiles under the
+        // real proptest crate, whose macro wraps the case in a closure.
+        if admitted > 0 {
+            // Admission alone must already respect the per-board budget.
+            for t in reg.tenants() {
+                for acc in system.acc_ids() {
+                    prop_assert!(
+                        t.resident_bytes(acc) <= reg.budget_bytes(acc),
+                        "{}: admitted tenant oversubscribes {}",
+                        t.spec().name,
+                        system.acc(acc).meta().id
+                    );
+                }
+            }
+
+            let out = reg.serve();
+            if let Err(e) = out.check_coherence() {
+                panic!("incoherent serve outcome: {e}");
+            }
+
+            // Re-assert the key invariants directly (check_coherence is
+            // itself under test here).
+            let mut total = 0usize;
+            for t in &out.tenants {
+                prop_assert_eq!(t.served, t.requests);
+                prop_assert!(t.violations <= t.served);
+                prop_assert!(t.attained_mean() >= t.ideal * (1.0 - 1e-12));
+                prop_assert!(t.attained_max >= t.attained_mean());
+                prop_assert!(t.max_batch <= max_batch);
+                total += t.served;
+            }
+            prop_assert_eq!(total, out.total_served());
+            for (i, peak) in out.peak_resident.iter().enumerate() {
+                prop_assert!(
+                    *peak <= out.budgets[i],
+                    "round footprint {} exceeds budget {} on {}",
+                    peak,
+                    out.budgets[i],
+                    out.acc_names[i]
+                );
+            }
+            prop_assert_eq!(out.counters.crosscheck_mismatches, 0);
+            // The naive reference shares every coherence invariant. (Drain
+            // *dominance* is deliberately not asserted here: with open-loop
+            // arrivals a long batched slice can delay another tenant's tail
+            // request past what per-request slices would — the strict-win
+            // claim belongs to the backlog-heavy bench workloads, where
+            // serve_equiv.rs and bench_serve gate it.)
+            let naive = reg.serve_naive();
+            if let Err(e) = naive.check_coherence() {
+                panic!("incoherent naive outcome: {e}");
+            }
+        }
+    }
+}

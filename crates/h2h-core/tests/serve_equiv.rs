@@ -1,0 +1,127 @@
+//! Equivalence contract of the multi-tenant serving subsystem:
+//!
+//! * a single-tenant serve run is **bit-identical** to the standalone
+//!   single-model pipeline — same mapping, same locality, same latency;
+//! * every slice makespan the incremental rebatch path produces equals
+//!   a full `Evaluator::with_batch(k)` evaluation bitwise;
+//! * batched serving beats the naive per-request reference on total
+//!   drain makespan whenever weights matter, without ever exceeding
+//!   the shared DRAM budget.
+
+use h2h_core::serve::{TenantRegistry, TenantSpec};
+use h2h_core::{H2hConfig, H2hMapper};
+use h2h_model::units::Seconds;
+use h2h_system::schedule::Evaluator;
+use h2h_system::system::{BandwidthClass, SystemSpec};
+
+fn spec(name: &str, model: h2h_model::ModelGraph, rate: f64, slo_s: f64, n: usize) -> TenantSpec {
+    TenantSpec::new(name, model, rate, Seconds::new(slo_s), n)
+}
+
+#[test]
+fn single_tenant_admission_is_bit_identical_to_the_pipeline() {
+    // The acceptance contract: admitting one tenant under the default
+    // (full) budget must reproduce the standalone H2hMapper run bit for
+    // bit — mapping, locality, and final latency.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in [h2h_model::zoo::mocap(), h2h_model::zoo::cnn_lstm(), h2h_model::zoo::casia_surf()]
+    {
+        let offline = H2hMapper::new(&model, &system).run().unwrap();
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        let id = reg.admit(spec(model.name(), model.clone(), 4.0, 10.0, 4)).unwrap();
+        let t = reg.tenant(id);
+        assert_eq!(t.mapping(), &offline.mapping, "{}: mapping diverged", model.name());
+        assert_eq!(t.locality(), &offline.locality, "{}: locality diverged", model.name());
+        assert_eq!(
+            t.ideal_latency(),
+            offline.final_latency(),
+            "{}: latency diverged",
+            model.name()
+        );
+        assert_eq!(t.trimmed_pins(), 0, "{}: the full budget must trim nothing", model.name());
+    }
+}
+
+#[test]
+fn slice_makespans_match_the_batched_full_evaluator_bitwise() {
+    // Serve with verification on: every fresh slice evaluation is
+    // cross-checked against Evaluator::with_batch(k).evaluate of the
+    // same (mapping, locality). Zero mismatches allowed.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig { serve_verify: true, ..H2hConfig::default() };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    let ids = [
+        reg.admit(spec("cnn", h2h_model::zoo::cnn_lstm(), 300.0, 8.0, 20)).unwrap(),
+        reg.admit(spec("mocap", h2h_model::zoo::mocap(), 300.0, 8.0, 20)).unwrap(),
+    ];
+    let out = reg.serve();
+    out.check_coherence().unwrap();
+    assert!(out.counters.crosschecks > 0, "verification must actually run");
+    assert_eq!(out.counters.crosscheck_mismatches, 0);
+
+    // And explicitly, outside the serve loop: the registry's slice
+    // semantics equal a hand-built batched evaluation of the admitted
+    // placement for a spread of batch sizes.
+    for id in ids {
+        let t = reg.tenant(id);
+        for k in [1u32, 2, 8] {
+            let full = Evaluator::new(&t.spec().model, &system)
+                .with_batch(k)
+                .evaluate(t.mapping(), t.locality())
+                .makespan();
+            if k == 1 {
+                assert_eq!(t.ideal_latency(), full);
+            }
+            assert!(full >= t.ideal_latency());
+        }
+    }
+}
+
+#[test]
+fn three_tenant_batched_serving_beats_naive_within_budget() {
+    // The headline acceptance: three co-resident tenants, batched
+    // serving strictly faster than per-request serving, DRAM budget
+    // respected throughout.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig { serve_verify: true, ..H2hConfig::default() };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    reg.admit(spec("mocap", h2h_model::zoo::mocap(), 40.0, 30.0, 16)).unwrap();
+    reg.admit(spec("cnn", h2h_model::zoo::cnn_lstm(), 40.0, 30.0, 16)).unwrap();
+    reg.admit(spec("casia", h2h_model::zoo::casia_surf(), 40.0, 30.0, 16)).unwrap();
+    let batched = reg.serve();
+    batched.check_coherence().unwrap();
+    let naive = reg.serve_naive();
+    naive.check_coherence().unwrap();
+    assert!(
+        batched.makespan < naive.makespan,
+        "batched drain {} must beat naive {}",
+        batched.makespan,
+        naive.makespan
+    );
+    // Amortization is the mechanism: every tenant must have saved
+    // weight-fetch time through batching.
+    for t in &batched.tenants {
+        assert!(t.max_batch > 1, "{}: backlog must batch", t.name);
+        assert!(t.amortized_weight_time > Seconds::ZERO, "{}: no amortization", t.name);
+    }
+    for t in &naive.tenants {
+        assert_eq!(t.max_batch, 1);
+        assert_eq!(t.amortized_weight_time, Seconds::ZERO);
+    }
+}
+
+#[test]
+fn serve_runs_are_deterministic() {
+    // Two registries built the same way must produce bitwise-equal
+    // outcomes (the scheduling loop has no RNG and no wall-clock).
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let build = || {
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        reg.admit(spec("a", h2h_model::zoo::mocap(), 25.0, 5.0, 12)).unwrap();
+        reg.admit(spec("b", h2h_model::zoo::cnn_lstm(), 25.0, 5.0, 12)).unwrap();
+        reg.serve()
+    };
+    let first = build();
+    let second = build();
+    assert_eq!(first, second);
+}

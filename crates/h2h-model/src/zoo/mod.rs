@@ -36,6 +36,14 @@ pub fn all_models() -> Vec<ModelGraph> {
     vec![vlocnet(), casia_surf(), vfs(), facebag(), cnn_lstm(), mocap()]
 }
 
+/// Resolves a zoo model from its Table-2 name, case-insensitively
+/// (`"VLocNet"`, `"casia-surf"`, …) — the one lookup every bench/CLI
+/// front end shares. (The `h2h` CLI additionally accepts its own short
+/// aliases like `casia`; those stay CLI-local.)
+pub fn by_name(name: &str) -> Option<ModelGraph> {
+    all_models().into_iter().find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -671,6 +671,36 @@ impl IncrementalSchedule {
         }
     }
 
+    /// Re-derives **every** layer's cost under `ev` and propagates the
+    /// affected cone — the slice-resize primitive of the multi-tenant
+    /// serving loop, where `ev` is the tenant's evaluator at a new
+    /// serving batch size (same mapping, same locality, different
+    /// per-request repetition factor).
+    ///
+    /// Compared to a fresh [`Evaluator::evaluate`] this reuses the queue
+    /// structure, the CSR adjacency and every scratch buffer, and a
+    /// no-op rebatch (costs unchanged, e.g. the batch size the schedule
+    /// already reflects) propagates nothing. Aggregates are re-summed in
+    /// the evaluator's exact iteration order afterwards, so the
+    /// [`IncrementalSchedule::proxy`] quantities — and every
+    /// start/finish time, by invariant 1 — are **bitwise-equal** to a
+    /// full evaluation under `ev`. Returns the number of layers whose
+    /// duration changed.
+    pub fn rebatch(
+        &mut self,
+        ev: &Evaluator<'_>,
+        mapping: &Mapping,
+        locality: &LocalityState,
+    ) -> usize {
+        let seeds = self.refresh_costs(ev, mapping, locality, ev.model().layer_ids());
+        let changed = seeds.len();
+        if changed > 0 {
+            self.propagate(&seeds);
+            self.resum_aggregates();
+        }
+        changed
+    }
+
     /// Overrides one layer's duration (e.g. after pinning its weights or
     /// fusing one of its edges) **without** propagating; call
     /// [`IncrementalSchedule::propagate`] once after a batch of changes.
@@ -1013,5 +1043,53 @@ mod tests {
             assert_eq!(inc.queue(acc), reference.queue(acc));
         }
         assert_eq!(inc.proxy(), reference.proxy());
+    }
+
+    #[test]
+    fn rebatch_matches_full_evaluation_at_every_batch_size() {
+        // The serving loop's slice-resize primitive: walking the batch
+        // size up and down through one incremental schedule must land on
+        // the full evaluator's makespan (and proxy) bitwise, every time.
+        let m = h2h_model::zoo::cnn_lstm();
+        let sys = crate::system::SystemSpec::standard(BandwidthClass::LowMinus);
+        let mut map = Mapping::new(&m);
+        for (id, layer) in m.layers() {
+            let acc = sys
+                .acc_ids()
+                .find(|a| sys.acc(*a).supports(layer))
+                .expect("standard system supports every zoo layer");
+            map.set(id, acc);
+        }
+        let mut loc = LocalityState::new(&sys);
+        for (k, id) in m.topo_order().into_iter().enumerate() {
+            if k % 2 == 0 && m.layer(id).has_weights() {
+                let _ = loc.try_pin(&m, &sys, id, map.acc_of(id));
+            }
+        }
+        let base = Evaluator::new(&m, &sys);
+        let mut inc = IncrementalSchedule::new(&base, &map, &loc);
+        for batch in [4u32, 1, 16, 16, 2] {
+            let ev = Evaluator::from_cache(&m, &sys, base.cache().clone()).with_batch(batch);
+            let changed = inc.rebatch(&ev, &map, &loc);
+            let full = ev.evaluate(&map, &loc);
+            assert_eq!(
+                inc.makespan(),
+                full.makespan(),
+                "batch {batch}: rebatch diverged from the full evaluation"
+            );
+            let proxy = inc.proxy();
+            assert_eq!(proxy.makespan, full.makespan());
+            assert_eq!(proxy.bottleneck_busy, full.bottleneck_busy());
+            assert!(
+                (proxy.energy_total - full.energy().total().as_f64()).abs()
+                    <= full.energy().total().as_f64() * 1e-12,
+                "batch {batch}: energy diverged"
+            );
+            inc.assert_matches_full(&ev, &map, &loc);
+            let _ = changed;
+        }
+        // Same-batch rebatch is a no-op: no duration can change.
+        let ev = Evaluator::from_cache(&m, &sys, base.cache().clone()).with_batch(2);
+        assert_eq!(inc.rebatch(&ev, &map, &loc), 0, "2 -> 2 must change nothing");
     }
 }

@@ -251,6 +251,19 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Rebuilds an evaluator around an already-memoized cost cache.
+    /// [`CostCache::new`] runs the analytic accelerator models for every
+    /// (layer, accelerator) pair — by far the most expensive part of
+    /// evaluator construction — so callers that repeatedly need fresh
+    /// evaluators for the *same* (model, system) pair at different batch
+    /// sizes (the multi-tenant serving loop re-batches one tenant's
+    /// evaluator per scheduling round) clone the cache once and rebuild
+    /// from it. `cache` must come from this exact (model, system) pair;
+    /// a mismatched cache produces wrong (or panicking) schedules.
+    pub fn from_cache(model: &'a ModelGraph, system: &'a SystemSpec, cache: CostCache) -> Self {
+        Evaluator { model, system, cache, order: model.topo_order(), batch: 1 }
+    }
+
     /// Sets the serving batch size (≥ 1).
     ///
     /// # Panics
@@ -779,5 +792,29 @@ mod tests {
         let s = ev.evaluate(&map, &LocalityState::new(&sys));
         assert!(s.makespan() > Seconds::ZERO);
         assert!(s.compute_ratio() > 0.0 && s.compute_ratio() < 1.0);
+    }
+
+    #[test]
+    fn from_cache_reproduces_a_fresh_evaluator_bitwise() {
+        let m = h2h_model::zoo::cnn_lstm();
+        let sys = SystemSpec::standard(BandwidthClass::LowMinus);
+        let fresh = Evaluator::new(&m, &sys);
+        let mut map = Mapping::new(&m);
+        for (id, layer) in m.layers() {
+            let acc = sys
+                .acc_ids()
+                .find(|a| sys.acc(*a).supports(layer))
+                .expect("some accelerator supports every layer");
+            map.set(id, acc);
+        }
+        let loc = LocalityState::new(&sys);
+        for batch in [1u32, 4, 16] {
+            let a = Evaluator::new(&m, &sys).with_batch(batch).evaluate(&map, &loc);
+            let b = Evaluator::from_cache(&m, &sys, fresh.cache().clone())
+                .with_batch(batch)
+                .evaluate(&map, &loc);
+            assert_eq!(a.makespan(), b.makespan(), "batch {batch}");
+            assert_eq!(a.energy().total(), b.energy().total(), "batch {batch}");
+        }
     }
 }

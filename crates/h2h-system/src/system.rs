@@ -82,6 +82,13 @@ impl BandwidthClass {
             BandwidthClass::High => "High",
         }
     }
+
+    /// Resolves a class from its paper label, case-insensitively
+    /// (`"Low-"`, `"mid"`, …) — the one parser every bench/CLI front
+    /// end shares.
+    pub fn by_label(label: &str) -> Option<BandwidthClass> {
+        BandwidthClass::ALL.into_iter().find(|b| b.label().eq_ignore_ascii_case(label))
+    }
 }
 
 impl fmt::Display for BandwidthClass {

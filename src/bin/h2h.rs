@@ -5,6 +5,7 @@
 //! h2h accels                      # the Table-3 accelerator datasheet
 //! h2h map <model> [bw]            # run the 4-step pipeline, show placement
 //! h2h sweep <model>               # Fig.4-style bandwidth sweep for one model
+//! h2h serve <m1,m2,..> [bw]       # multi-tenant batched serving window
 //! h2h parse <file.h2h> [bw]       # ingest a text-format model and map it
 //! h2h trace <model> [bw] <out>    # export a chrome://tracing JSON
 //! ```
@@ -24,7 +25,7 @@ use h2h::system::{BandwidthClass, Evaluator, SystemSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | parse <file> [bw] | trace <model> [bw] <out.json>>\n\
+        "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | serve <m1,m2,..> [bw] | parse <file> [bw] | trace <model> [bw] <out.json>>\n\
          models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high"
     );
     ExitCode::from(2)
@@ -126,6 +127,52 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let text = std::fs::read_to_string(path)?;
             let model = parse_model(&text)?;
             map_and_report(&model, bw)?;
+        }
+        "serve" => {
+            let Some(names) = args.get(1) else { return Ok(usage()) };
+            let models: Option<Vec<ModelGraph>> =
+                names.split(',').map(model_by_name).collect();
+            let Some(models) = models else { return Ok(usage()) };
+            if models.is_empty() {
+                return Ok(usage());
+            }
+            let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
+                return Ok(usage());
+            };
+            let system = SystemSpec::standard(bw);
+            let cfg = h2h::core::H2hConfig { serve_verify: true, ..Default::default() };
+            let mut reg = h2h::core::serve::TenantRegistry::new(&system, cfg);
+            for model in models {
+                // Admit (one pipeline run), then scale the contract to
+                // the tenant's own pace: a backlog-forming arrival
+                // rate (4 requests per ideal latency) and a generous
+                // 16x SLO over 32 requests.
+                let name = model.name().to_owned();
+                let id = reg.admit(h2h::core::serve::TenantSpec::new(
+                    name,
+                    model,
+                    1.0,
+                    h2h::model::units::Seconds::new(1.0),
+                    32,
+                ))?;
+                let ideal = reg.tenant(id).ideal_latency().as_f64();
+                reg.set_contract(
+                    id,
+                    4.0 / ideal,
+                    h2h::model::units::Seconds::new(16.0 * ideal),
+                    32,
+                )?;
+            }
+            let batched = reg.serve();
+            batched.check_coherence().map_err(std::io::Error::other)?;
+            let naive = reg.serve_naive();
+            print!("{}", h2h::core::report::serve_report(&batched));
+            println!(
+                "  naive per-request drain {} -> batched {} ({:.2}x)",
+                naive.makespan,
+                batched.makespan,
+                naive.makespan.as_f64() / batched.makespan.as_f64().max(1e-12),
+            );
         }
         "trace" => {
             let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {

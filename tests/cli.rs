@@ -76,6 +76,19 @@ fn trace_writes_valid_chrome_json() {
 }
 
 #[test]
+fn serve_prints_the_tenant_ledger() {
+    let out = h2h(&["serve", "mocap,cnnlstm", "high"]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("serve report — 2 tenants"));
+    assert!(text.contains("MoCap"));
+    assert!(text.contains("CNN-LSTM"));
+    assert!(text.contains("shared DRAM budget"));
+    assert!(text.contains("0 mismatched"), "slice verification must hold: {text}");
+    assert!(text.contains("naive per-request drain"));
+}
+
+#[test]
 fn bad_arguments_exit_with_usage() {
     for args in [
         &[][..],
@@ -83,6 +96,7 @@ fn bad_arguments_exit_with_usage() {
         &["map", "nonexistent-model"][..],
         &["map", "mocap", "warp-speed"][..],
         &["trace", "mocap", "high"][..], // missing output path
+        &["serve", "mocap,unknown-model"][..],
     ] {
         let out = h2h(args);
         assert!(!out.status.success(), "args {args:?} should fail");

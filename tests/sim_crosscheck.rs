@@ -1,6 +1,12 @@
 //! Cross-validation of the analytical scheduler against the
 //! discrete-event simulator on the real zoo mappings, plus contention
 //! sanity: the shared-NIC fluid model may only add latency.
+//!
+//! Seed-debt audit (PR 4): this suite shipped with the seed, which did
+//! not build (ROADMAP "seed tests failing"); PR 1's workspace repair
+//! made it runnable and it has passed unmodified since. Nothing here is
+//! `#[ignore]`d or quarantined — if a case ever needs quarantining,
+//! mark it `#[ignore = "tracking: <issue>"]` so this header stays true.
 
 use h2h::core::H2hMapper;
 use h2h::model::zoo;
@@ -79,4 +85,39 @@ fn shared_nic_contention_is_monotone_in_capacity() {
     // A 12x NIC equals fully dedicated links (12 accelerators).
     let ded = simulate(&model, &system, &out.mapping, &out.locality, SimConfig::dedicated());
     assert!((last - ded.makespan().as_f64()).abs() / last < 1e-9);
+}
+
+#[test]
+fn event_sim_matches_analytic_on_admitted_serve_tenants() {
+    // The serving registry pins each tenant to the offline pipeline's
+    // (mapping, locality); the event simulator must agree with the
+    // tenant's zero-queueing ideal latency exactly like it does with
+    // the standalone pipeline — the serve path introduces no state the
+    // simulator cannot reproduce.
+    use h2h::core::serve::{TenantRegistry, TenantSpec};
+    use h2h::core::H2hConfig;
+    use h2h::model::units::Seconds;
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+    let ids = [
+        reg.admit(TenantSpec::new("mocap", zoo::mocap(), 4.0, Seconds::new(4.0), 4)).unwrap(),
+        reg.admit(TenantSpec::new("cnn", zoo::cnn_lstm(), 4.0, Seconds::new(4.0), 4)).unwrap(),
+    ];
+    for id in ids {
+        let t = reg.tenant(id);
+        let sim = simulate(
+            &t.spec().model,
+            &system,
+            t.mapping(),
+            t.locality(),
+            SimConfig::dedicated(),
+        );
+        let a = t.ideal_latency().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!(
+            (a - s).abs() / a < 1e-6,
+            "{}: serve ideal {a} vs simulated {s}",
+            t.spec().name
+        );
+    }
 }
