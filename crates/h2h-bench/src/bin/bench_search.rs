@@ -11,7 +11,20 @@
 //!     [--models VFS,MoCap] [--bandwidths Low-,Mid] [--threads 1,2,4,8]
 //!     [--strategy adaptive,replay,full-eval] [--reps 3]
 //!     [--min-large-speedup 1.1]
+//!     [--topology uniform,skewed,switched] [--min-topology-gain 1.1]
 //! ```
+//!
+//! `--topology` sweeps interconnect fabrics (specs as accepted by
+//! `h2h_system::topology::Topology::parse`). The `uniform` rows run
+//! the full strategy × thread matrix (and must stay bit-identical to
+//! the scalar model); non-uniform rows run the adaptive strategy, are
+//! still checked bit-exactly against the per-candidate
+//! full-re-evaluation reference *on that fabric*, and additionally
+//! record the **topology-blind** latency — the mapping a scalar-model
+//! mapper would pick, its locality rebuilt and evaluated on the true
+//! fabric — so `topology_gain = blind / aware` measures what seeing
+//! the links is worth. With `--min-topology-gain G`, every non-uniform
+//! fabric must show at least one large-model row with gain ≥ G.
 //!
 //! Timings are best-of-`reps` (each configuration re-runs from the same
 //! seed mapping), which keeps sub-millisecond rows out of scheduler
@@ -28,6 +41,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 
+use h2h_core::activation_fusion::rebuild_locality;
 use h2h_core::compute_map::computation_prioritized;
 use h2h_core::remap::{data_locality_remapping, data_locality_remapping_reference, RemapOutcome};
 use h2h_core::{H2hConfig, PinPreset, ScoreStrategy};
@@ -35,11 +49,14 @@ use h2h_system::mapping::Mapping;
 use h2h_system::schedule::Evaluator;
 use h2h_system::system::{BandwidthClass, SystemSpec};
 
-/// One (model, bandwidth, threads) delta-vs-reference search record.
+/// One (model, bandwidth, topology, threads) delta-vs-reference search
+/// record.
 #[derive(Debug, Serialize)]
 struct SearchRecord {
     model: String,
     bandwidth: String,
+    /// Interconnect fabric spec (`uniform` = the scalar star).
+    topology: String,
     layers: usize,
     /// Requested scoring threads (effective parallelism is additionally
     /// capped at the machine's cores; results are identical either way).
@@ -69,6 +86,11 @@ struct SearchRecord {
     reference_seconds: f64,
     wall_clock_speedup: f64,
     final_latency_s: f64,
+    /// Non-uniform fabrics only: the true-fabric latency of the
+    /// topology-blind mapping (scalar-model search, locality rebuilt on
+    /// the real links), and the aware/blind improvement factor.
+    topology_blind_latency_s: Option<f64>,
+    topology_gain: Option<f64>,
     matches_reference: bool,
 }
 
@@ -85,6 +107,8 @@ fn main() {
         vec![ScoreStrategy::Adaptive, ScoreStrategy::Replay, ScoreStrategy::FullEval];
     let mut reps = 3usize;
     let mut min_large_speedup: Option<f64> = None;
+    let mut topologies = vec!["uniform".to_owned(), "skewed".to_owned(), "switched".to_owned()];
+    let mut min_topology_gain: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -112,6 +136,14 @@ fn main() {
                     .collect();
             }
             "--reps" => reps = value("--reps").parse().expect("--reps takes an integer"),
+            "--topology" => topologies = parse_list(&value("--topology")),
+            "--min-topology-gain" => {
+                min_topology_gain = Some(
+                    value("--min-topology-gain")
+                        .parse()
+                        .expect("--min-topology-gain takes a float"),
+                );
+            }
             "--min-large-speedup" => {
                 min_large_speedup = Some(
                     value("--min-large-speedup")
@@ -153,12 +185,29 @@ fn main() {
     let mut records = Vec::new();
     let mut gate_failures = 0usize;
     println!(
-        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
-        "model", "bw", "strategy", "threads", "layers", "attempts", "reduction", "prefix",
-        "g-skip", "speedup", "match"
+        "{:<10} {:>5} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "model", "bw", "topology", "strategy", "threads", "layers", "attempts", "reduction",
+        "prefix", "g-skip", "speedup", "match"
     );
     for bw in &bandwidths {
-        let system = SystemSpec::standard(*bw);
+        let uniform_system = SystemSpec::standard(*bw);
+        // Topology-blind mappings depend only on (model, bandwidth);
+        // memoized across the topology sweep so the skewed and switched
+        // fabrics of one bandwidth do not each repeat the full
+        // scalar-model search.
+        let mut blind_maps: std::collections::HashMap<String, Mapping> =
+            std::collections::HashMap::new();
+        for topo_spec in &topologies {
+        let system = SystemSpec::standard_with_topology(*bw, Some(topo_spec))
+            .unwrap_or_else(|e| panic!("--topology `{topo_spec}`: {e}"));
+        let fabric_uniform = system.topology().is_uniform();
+        // Non-uniform fabrics sweep the adaptive strategy only (the
+        // uniform rows already pin down strategy equivalence; these
+        // rows measure what topology awareness is worth).
+        let row_strategies: Vec<ScoreStrategy> =
+            if fabric_uniform { strategies.clone() } else { vec![ScoreStrategy::Adaptive] };
+        let mut best_large_gain = f64::NEG_INFINITY;
+        let mut any_large = false;
         for model in h2h_model::zoo::all_models() {
             if let Some(filter) = &models_filter {
                 if !filter.iter().any(|m| m.eq_ignore_ascii_case(model.name())) {
@@ -169,6 +218,29 @@ fn main() {
             let base_cfg = H2hConfig::default();
             let (seed, _) = computation_prioritized(&ev, &base_cfg, &PinPreset::new())
                 .expect("standard system maps every zoo model");
+            // The topology-blind yardstick: map with the scalar model,
+            // rebuild the locality (a deployment still pins/fuses
+            // against real capacities), evaluate on the true fabric.
+            let blind_latency: Option<f64> = if fabric_uniform {
+                None
+            } else {
+                let blind_map =
+                    blind_maps.entry(model.name().to_owned()).or_insert_with(|| {
+                        let blind_ev = Evaluator::new(&model, &uniform_system);
+                        let (mut blind_map, _) =
+                            computation_prioritized(&blind_ev, &base_cfg, &PinPreset::new())
+                                .expect("uniform system maps every zoo model");
+                        let _ = data_locality_remapping(
+                            &blind_ev,
+                            &base_cfg,
+                            &PinPreset::new(),
+                            &mut blind_map,
+                        );
+                        blind_map
+                    });
+                let loc = rebuild_locality(&ev, blind_map, &base_cfg, &PinPreset::new());
+                Some(ev.evaluate(blind_map, &loc).makespan().as_f64())
+            };
             // "Large risky" = more layers than the adaptive fallback
             // threshold AND at least one multi-consumer producer (a
             // risky fusion candidate can actually arise) — the
@@ -221,13 +293,22 @@ fn main() {
                 data_locality_remapping_reference(&ev, &base_cfg, &PinPreset::new(), m)
             });
 
-            for &strategy in &strategies {
+            for &strategy in &row_strategies {
                 for &threads in &threads_sweep {
                     let cfg =
                         H2hConfig { strategy, score_threads: threads, ..base_cfg };
                     let (delta_seconds, map_delta, delta) = time_best(&mut |m| {
                         data_locality_remapping(&ev, &cfg, &PinPreset::new(), m)
                     });
+                    let aware_latency = delta.schedule.makespan().as_f64();
+                    let topology_gain =
+                        blind_latency.map(|b| b / aware_latency.max(1e-15));
+                    if let Some(g) = topology_gain {
+                        if model.num_layers() > base_cfg.small_model_threshold {
+                            any_large = true;
+                            best_large_gain = best_large_gain.max(g);
+                        }
+                    }
 
                     let matches_reference = map_delta == map_ref
                         && (delta.schedule.makespan().as_f64()
@@ -253,9 +334,10 @@ fn main() {
                         || !large_risky
                         || min_large_speedup.is_none_or(|min| speedup >= min);
                     println!(
-                        "{:<10} {:>5} {:>9} {:>7} {:>7} {:>9} {:>8.1}x {:>9} {:>9} {:>8.1}x {:>8}",
+                        "{:<10} {:>5} {:>9} {:>9} {:>7} {:>7} {:>9} {:>8.1}x {:>9} {:>9} {:>8.1}x {:>8}{}",
                         model.name(),
                         bw.label(),
+                        topo_spec,
                         strategy.label(),
                         threads,
                         model.num_layers(),
@@ -265,6 +347,9 @@ fn main() {
                         delta.stats.guards_skipped,
                         speedup,
                         matches_reference,
+                        topology_gain
+                            .map(|g| format!(" gain {g:.2}x"))
+                            .unwrap_or_default(),
                     );
                     if !guards_ok {
                         eprintln!(
@@ -289,6 +374,7 @@ fn main() {
                     records.push(SearchRecord {
                         model: model.name().to_owned(),
                         bandwidth: bw.label().to_owned(),
+                        topology: topo_spec.clone(),
                         layers: model.num_layers(),
                         threads,
                         strategy: strategy.label().to_owned(),
@@ -309,7 +395,9 @@ fn main() {
                         delta_seconds,
                         reference_seconds,
                         wall_clock_speedup: speedup,
-                        final_latency_s: delta.schedule.makespan().as_f64(),
+                        final_latency_s: aware_latency,
+                        topology_blind_latency_s: blind_latency,
+                        topology_gain,
                         matches_reference,
                     });
                     if !guards_ok || !speedup_ok {
@@ -317,6 +405,30 @@ fn main() {
                     }
                 }
             }
+        }
+        if let Some(min) = min_topology_gain {
+            if !fabric_uniform && !any_large {
+                // A filter with no large model must not read as "gate
+                // passed" — the gain only means anything where the
+                // search has room to move layers.
+                eprintln!(
+                    "FAIL: topology `{topo_spec}` @ {}: --min-topology-gain set but the \
+                     model filter contains no large model — gate not evaluated",
+                    bw.label()
+                );
+                gate_failures += 1;
+            } else if !fabric_uniform && best_large_gain < min {
+                eprintln!(
+                    "FAIL: topology `{topo_spec}` @ {}: best large-model gain {:.2}x below \
+                     the {:.2}x gate — the topology-aware search is not beating the \
+                     topology-blind mapping",
+                    bw.label(),
+                    best_large_gain,
+                    min
+                );
+                gate_failures += 1;
+            }
+        }
         }
     }
 

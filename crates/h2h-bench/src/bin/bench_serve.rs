@@ -9,8 +9,13 @@
 //! cargo run --release -p h2h-bench --bin bench_serve -- [out.json]
 //!     [--tenants CASIA-SURF:24,FaceBag:24,VFS:24]
 //!     [--bandwidths Low-] [--max-batch 8] [--budget-frac 1.0,0.1]
-//!     [--min-speedup 1.05]
+//!     [--min-speedup 1.05] [--topology uniform,skewed]
 //! ```
+//!
+//! `--topology` sweeps interconnect fabrics (specs as accepted by
+//! `h2h_system::topology::Topology::parse`): tenants are admitted,
+//! trimmed and served on the chosen fabric, with eviction reloads and
+//! weight streaming charged at each board's actual link rate.
 //!
 //! Tenant entries are `name[:requests[:rate_hz[:slo_ms]]]`; omitted
 //! rate/SLO default to a backlog-heavy `8 / ideal` arrival rate and a
@@ -31,6 +36,8 @@ use h2h_system::system::{BandwidthClass, SystemSpec};
 #[derive(Debug, Serialize)]
 struct ServeRecord {
     bandwidth: String,
+    /// Interconnect fabric spec (`uniform` = the scalar star).
+    topology: String,
     tenants: usize,
     tenant: String,
     layers: usize,
@@ -91,6 +98,7 @@ fn main() {
     // amortizes the expensive fetch — the multi-tenant story).
     let mut budget_fracs = vec![1.0f64, 0.1];
     let mut min_speedup: Option<f64> = None;
+    let mut topologies = vec!["uniform".to_owned(), "skewed".to_owned()];
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -113,6 +121,7 @@ fn main() {
                 min_speedup =
                     Some(value("--min-speedup").parse().expect("--min-speedup takes a float"));
             }
+            "--topology" => topologies = parse_list(&value("--topology")),
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => out_path = path.to_owned(),
         }
@@ -130,12 +139,14 @@ fn main() {
     let mut records = Vec::new();
     let mut failures = 0usize;
     println!(
-        "{:<10} {:>5} {:>6} {:>5} {:>8} {:>10} {:>10} {:>5} {:>9} {:>8} {:>6}",
-        "tenant", "bw", "dram", "req", "maxbatch", "ideal", "mean", "viol", "speedup", "budget",
-        "match"
+        "{:<10} {:>5} {:>9} {:>6} {:>5} {:>8} {:>10} {:>10} {:>5} {:>9} {:>8} {:>6}",
+        "tenant", "bw", "topology", "dram", "req", "maxbatch", "ideal", "mean", "viol",
+        "speedup", "budget", "match"
     );
     for bw in &bandwidths {
-        let system = SystemSpec::standard(*bw);
+        for topo_spec in &topologies {
+        let system = SystemSpec::standard_with_topology(*bw, Some(topo_spec))
+            .unwrap_or_else(|e| panic!("--topology `{topo_spec}`: {e}"));
         for &budget_frac in &budget_fracs {
             let cfg = H2hConfig {
                 serve_max_batch: max_batch,
@@ -235,9 +246,10 @@ fn main() {
                 batched.budgets.iter().map(|b| b.as_u64() as f64 / (1 << 20) as f64).sum();
             for (t, tenant) in batched.tenants.iter().zip(reg.tenants()) {
                 println!(
-                    "{:<10} {:>5} {:>5.0}% {:>5} {:>8} {:>8.1}ms {:>8.1}ms {:>5} {:>8.2}x {:>8} {:>6}",
+                    "{:<10} {:>5} {:>9} {:>5.0}% {:>5} {:>8} {:>8.1}ms {:>8.1}ms {:>5} {:>8.2}x {:>8} {:>6}",
                     t.name,
                     bw.label(),
+                    topo_spec,
                     budget_frac * 100.0,
                     t.served,
                     t.max_batch,
@@ -250,6 +262,7 @@ fn main() {
                 );
                 records.push(ServeRecord {
                     bandwidth: bw.label().to_owned(),
+                    topology: topo_spec.clone(),
                     tenants: batched.tenants.len(),
                     tenant: t.name.clone(),
                     layers: tenant.spec().model.num_layers(),
@@ -281,6 +294,7 @@ fn main() {
                     coherent,
                 });
             }
+        }
         }
     }
 

@@ -1,21 +1,31 @@
-//! Deep-dive inspector: model census, final H2H placement report and an
-//! ASCII Gantt chart for one (model, bandwidth) pair.
+//! Deep-dive inspector: model census, final H2H placement report, the
+//! interconnect topology table (per-link rates + effective-bandwidth
+//! route table) and ASCII Gantt charts — accelerator rows plus one
+//! lane per interconnect link — for one (model, bandwidth[, topology])
+//! triple.
 //!
 //! ```sh
 //! cargo run --release -p h2h-bench --bin inspect -- mocap low-
+//! cargo run --release -p h2h-bench --bin inspect -- casia low- --topology skewed
 //! ```
 
 use h2h_core::pipeline::H2hMapper;
 use h2h_core::report::{mapping_report, search_stats_report};
 use h2h_model::stats::ModelStats;
 use h2h_model::zoo;
-use h2h_system::gantt::render_gantt;
+use h2h_system::gantt::{render_gantt, render_link_gantt};
 use h2h_system::schedule::Evaluator;
 use h2h_system::system::{BandwidthClass, SystemSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model_arg = std::env::args().nth(1).unwrap_or_else(|| "mocap".into());
-    let bw_arg = std::env::args().nth(2).unwrap_or_else(|| "low-".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let topology_arg = h2h_system::topology::take_topology_flag(&mut args)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let model_arg = args.first().cloned().unwrap_or_else(|| "mocap".into());
+    let bw_arg = args.get(1).cloned().unwrap_or_else(|| "low-".into());
 
     let model = match model_arg.as_str() {
         "vlocnet" => zoo::vlocnet(),
@@ -42,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     println!("{}\n", ModelStats::of(&model));
-    let system = SystemSpec::standard(bw);
+    let system = SystemSpec::standard_with_topology(bw, topology_arg.as_deref())
+        .unwrap_or_else(|e| {
+            eprintln!("--topology: {e}");
+            std::process::exit(2);
+        });
+    print!("{}", system.topology().describe());
+    println!();
     let out = H2hMapper::new(&model, &system).run()?;
     let ev = Evaluator::new(&model, &system);
 
@@ -59,5 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", search_stats_report(&out.remap_stats));
     println!();
     println!("{}", render_gantt(&model, &system, &out.mapping, &out.schedule, 100));
+    println!(
+        "{}",
+        render_link_gantt(&model, &system, &out.mapping, &out.locality, &out.schedule, 100)
+    );
     Ok(())
 }

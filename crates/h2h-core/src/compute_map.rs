@@ -22,54 +22,91 @@ use h2h_model::units::{Bytes, Seconds};
 use h2h_system::mapping::Mapping;
 use h2h_system::schedule::Evaluator;
 use h2h_system::system::AccId;
+use h2h_system::topology::Endpoint;
 
 use crate::config::H2hConfig;
 use crate::pipeline::H2hError;
 use crate::preset::PinPreset;
 
-/// Zero-locality duration of every (layer, accelerator) pair:
-/// `weights/eth + Σ ifm/eth + compute + ofm/eth`.
+/// Recomputes the zero-locality duration rows of `group` —
+/// `weights/link + Σ ifm/route + compute + ofm/link`, every transfer at
+/// its topology route's effective bandwidth — against the
+/// already-committed predecessor placements in `mapping` (unmapped
+/// predecessors charge the host route, matching
+/// [`Evaluator::layer_cost`]'s partial-mapping rule).
+/// [`computation_prioritized`] calls this once per frontier wave, so
+/// the table is filled lazily, each row exactly once, just before its
+/// first read.
+///
+/// Weights and the OFM upload are charged on the accelerator's *host*
+/// route (zero locality: weights stream from the host, results publish
+/// back to it — on a non-uniform fabric the final evaluator may charge
+/// a slower consumer route for the OFM, which remapping then corrects).
+/// IFM edges are charged at the *actual* producer→consumer route —
+/// predecessors are always placed before their consumers' frontier
+/// wave — which is what steers transfer-heavy layers away from slow
+/// links in step 1. The arithmetic shape — `weight + (ifm + comp +
+/// ofm) * b`, IFM summed in predecessor order — is exactly the
+/// historical scalar-table formula, so uniform fabrics reproduce it
+/// bitwise.
 ///
 /// With a [`PinPreset`] (dynamic modality change, §4.5), layers whose
 /// weights are already buffered on an accelerator see a zero weight-
 /// transfer term there — that is the "prioritize the layer mapping if
 /// the layer's weights are already buffered" rule.
-pub(crate) fn duration_table(
+fn refresh_wave_durations(
     ev: &Evaluator<'_>,
     preset: &PinPreset,
-) -> Vec<Vec<Option<Seconds>>> {
+    mapping: &Mapping,
+    group: &[LayerId],
+    dur: &mut [Vec<Option<Seconds>>],
+) {
     let model = ev.model();
     let system = ev.system();
-    let eth = system.ethernet();
+    let topo = system.topology();
     let b = ev.batch() as f64;
-    let mut dur = vec![vec![None; system.num_accs()]; model.id_bound()];
-    for (id, layer) in model.layers() {
+    for &id in group {
+        let layer = model.layer(id);
         let is_input = matches!(layer.op(), LayerOp::Input { .. });
         let wbytes = layer.weight_bytes(DataType::F32);
-        let ifm: Seconds = model
-            .predecessors(id)
-            .map(|p| eth.transfer_time(model.edge_bytes(p, id).expect("edge")))
-            .sum();
-        let ofm = if is_input {
-            Seconds::ZERO
-        } else {
-            eth.transfer_time(layer.ofm_bytes(DataType::F32))
-        };
+        let obytes = layer.ofm_bytes(DataType::F32);
         for acc in system.acc_ids() {
             let Some(comp) = ev.cache().time(id, acc) else {
+                dur[id.index()][acc.index()] = None;
                 continue;
+            };
+            let here = Endpoint::Acc(acc);
+            let host_bw = topo.path_bw(Endpoint::Host, here);
+            let ifm: Seconds = model
+                .predecessors(id)
+                .map(|p| {
+                    let src = if matches!(model.layer(p).op(), LayerOp::Input { .. }) {
+                        Endpoint::Host
+                    } else {
+                        match mapping.get(p) {
+                            Some(pa) => Endpoint::Acc(pa),
+                            None => Endpoint::Host,
+                        }
+                    };
+                    topo.path_bw(src, here)
+                        .transfer_time(model.edge_bytes(p, id).expect("edge"))
+                })
+                .sum();
+            let ofm = if is_input {
+                Seconds::ZERO
+            } else {
+                host_bw.transfer_time(obytes)
             };
             let weight = if wbytes == Bytes::ZERO || preset.is_buffered(id, acc) {
                 Seconds::ZERO
             } else {
-                eth.transfer_time(wbytes)
+                host_bw.transfer_time(wbytes)
             };
             // Weights amortize over the batch; activations and compute
             // repeat per request (matches Evaluator::with_batch).
             dur[id.index()][acc.index()] = Some(weight + (ifm + comp + ofm) * b);
         }
     }
-    dur
 }
 
 /// Incremental schedule state shared by enumeration and greedy modes.
@@ -156,7 +193,11 @@ pub fn computation_prioritized(
 ) -> Result<(Mapping, Seconds), H2hError> {
     let model = ev.model();
     let system = ev.system();
-    let dur = duration_table(ev, preset);
+    // Filled lazily, one frontier wave at a time (see
+    // `refresh_wave_durations`); rows are only ever read after their
+    // group's refresh.
+    let mut dur: Vec<Vec<Option<Seconds>>> =
+        vec![vec![None; system.num_accs()]; model.id_bound()];
 
     let mut mapping = Mapping::new(model);
     let mut mapped: HashSet<LayerId> = HashSet::new();
@@ -169,6 +210,10 @@ pub fn computation_prioritized(
     while mapped.len() < model.num_layers() {
         let group = model.frontier(&mapped);
         debug_assert!(!group.is_empty(), "validated DAGs always have a frontier");
+
+        // Fill the wave's duration rows against the now-committed
+        // predecessor placements (per-route bandwidths).
+        refresh_wave_durations(ev, preset, &mapping, &group, &mut dur);
 
         // Candidate accelerators per group member.
         let mut candidates: Vec<Vec<AccId>> = Vec::with_capacity(group.len());

@@ -1,4 +1,19 @@
 //! Tunables of the H2H mapping pipeline.
+//!
+//! # Topology knobs
+//!
+//! The interconnect fabric is *system* state, not pipeline
+//! configuration: build a [`h2h_system::topology::Topology`] (uniform
+//! star, per-link skewed star, or switched fabric with direct peer
+//! links — CLI spec strings parse via
+//! [`h2h_system::topology::Topology::parse`]) and attach it with
+//! [`h2h_system::system::SystemSpec::with_topology`]. Every stage this
+//! module configures — step-1 wave mapping, the weight knapsack's
+//! value densities, fusion guards, delta scoring, serving reloads —
+//! then charges transfers at the fabric's per-route effective
+//! bandwidths automatically; no `H2hConfig` field selects a topology,
+//! so one config struct serves every fabric and the uniform default
+//! stays bit-identical to the paper's scalar `BW_acc` model.
 
 use serde::{Deserialize, Serialize};
 

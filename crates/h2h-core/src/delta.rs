@@ -676,6 +676,14 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         let mut pending_costs = std::mem::take(&mut self.scratch_costs);
         pending_costs.clear();
         pending_costs.push(layer);
+        // Per-route bandwidths make a layer's transfer terms depend on
+        // its neighbours' placements: the move re-rates the IFM edges
+        // of `layer`'s successors and the OFM upload of its
+        // predecessors, so both sides join the deferred refresh. (On a
+        // uniform fabric the refreshes come back with identical
+        // durations and seed nothing.)
+        pending_costs.extend(model.predecessors(layer));
+        pending_costs.extend(model.successors(layer));
         self.scratch_pins.clear();
         self.scratch_pins.extend(
             loc.pinned_layers()

@@ -28,14 +28,25 @@ pub struct DynamicOutcome {
     pub outcome: H2hOutcome,
     /// Weight bytes reused in place (no reload needed).
     pub reused: Bytes,
+    /// Reused weight bytes per accelerator (indexed by
+    /// `AccId::index()`), for per-link reload-time accounting.
+    pub reused_by_acc: Vec<Bytes>,
     /// Weight bytes newly loaded into some accelerator's DRAM.
     pub reloaded: Bytes,
 }
 
 impl DynamicOutcome {
-    /// Reconfiguration time avoided by weight reuse at Ethernet rate.
+    /// Reconfiguration time avoided by weight reuse, with each board's
+    /// share charged at that board's host-link rate (one scalar-rate
+    /// transfer on a uniform star, bitwise).
     pub fn reload_time_saved(&self, system: &SystemSpec) -> Seconds {
-        system.ethernet().transfer_time(self.reused)
+        system.topology().host_stream_time(
+            self.reused_by_acc
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| **b > Bytes::ZERO)
+                .map(|(a, b)| (AccId::new(a), *b)),
+        )
     }
 }
 
@@ -88,6 +99,7 @@ impl<'s> DynamicSession<'s> {
 
         // Account reuse vs reload over the *new* pinned set.
         let mut reused = Bytes::ZERO;
+        let mut reused_by_acc = vec![Bytes::ZERO; self.system.num_accs()];
         let mut reloaded = Bytes::ZERO;
         let mut next: HashMap<String, (AccId, Bytes)> = HashMap::new();
         for id in outcome.locality.pinned_layers() {
@@ -96,6 +108,7 @@ impl<'s> DynamicSession<'s> {
             let bytes = layer.weight_bytes(DataType::F32);
             if preset.is_buffered(id, acc) {
                 reused += bytes;
+                reused_by_acc[acc.index()] += bytes;
             } else {
                 reloaded += bytes;
             }
@@ -103,7 +116,7 @@ impl<'s> DynamicSession<'s> {
         }
         self.buffered = next;
 
-        Ok(DynamicOutcome { outcome, reused, reloaded })
+        Ok(DynamicOutcome { outcome, reused, reused_by_acc, reloaded })
     }
 }
 

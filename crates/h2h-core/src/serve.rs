@@ -64,6 +64,7 @@ use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
 use h2h_system::schedule::{CostCache, Evaluator};
 use h2h_system::system::{AccId, SystemSpec};
+use h2h_system::topology::Endpoint;
 
 use crate::config::H2hConfig;
 use crate::knapsack::{solve_auto, Item};
@@ -214,8 +215,13 @@ pub struct Tenant {
     /// Resident DRAM bytes per accelerator (pins + fusion buffers).
     resident: Vec<u64>,
     /// Total pinned weight bytes (post-trim) — the payload an evicted
-    /// tenant must re-stream over Ethernet to become resident again.
+    /// tenant must re-stream over the interconnect to become resident
+    /// again.
     pinned_total: Bytes,
+    /// Pinned weight bytes per accelerator (post-trim): eviction
+    /// reloads charge each board's share at that board's actual
+    /// host-link rate, not one global scalar.
+    pinned_by_acc: Vec<u64>,
     /// Pins dropped at admission to fit the shared budget.
     trimmed_pins: usize,
 }
@@ -244,6 +250,12 @@ impl Tenant {
     /// Pins dropped at admission to fit the shared DRAM budget.
     pub fn trimmed_pins(&self) -> usize {
         self.trimmed_pins
+    }
+
+    /// Total pinned weight bytes (post-trim) — the payload an evicted
+    /// tenant re-streams, each board's share at its own link rate.
+    pub fn pinned_bytes(&self) -> Bytes {
+        self.pinned_total
     }
 
     /// Resident DRAM bytes on one accelerator.
@@ -511,7 +523,7 @@ impl<'s> TenantRegistry<'s> {
         // Budget trim: per board, keep the highest-value pins that fit
         // the serve budget; drop the rest and re-cost their cone.
         let mut trimmed_pins = 0usize;
-        let eth = self.system.ethernet().as_f64();
+        let topo = self.system.topology();
         for acc in self.system.acc_ids() {
             let budget = self.budget_bytes(acc).as_u64();
             let used = locality.dram_used(acc).as_u64();
@@ -541,6 +553,9 @@ impl<'s> TenantRegistry<'s> {
                 });
             }
             let dram = self.system.acc(acc).dram_bandwidth().as_f64();
+            // Saved streaming time is priced at this board's host-route
+            // rate (the scalar Ethernet rate on a uniform star).
+            let eth = topo.path_bw(Endpoint::Host, Endpoint::Acc(acc)).as_f64();
             let items: Vec<Item> = pins
                 .iter()
                 .enumerate()
@@ -615,6 +630,11 @@ impl<'s> TenantRegistry<'s> {
         let resident: Vec<u64> =
             self.system.acc_ids().map(|a| locality.dram_used(a).as_u64()).collect();
         let pinned_total = locality.total_pinned_bytes(&spec.model);
+        let mut pinned_by_acc = vec![0u64; self.system.num_accs()];
+        for l in locality.pinned_layers() {
+            pinned_by_acc[mapping.acc_of(l).index()] +=
+                spec.model.layer(l).weight_bytes(DataType::F32).as_u64();
+        }
 
         self.tenants.push(Tenant {
             spec,
@@ -627,6 +647,7 @@ impl<'s> TenantRegistry<'s> {
             weight_xfer_once,
             resident,
             pinned_total,
+            pinned_by_acc,
             trimmed_pins,
         });
         Ok(TenantId(self.tenants.len() - 1))
@@ -797,7 +818,7 @@ impl<'s> TenantRegistry<'s> {
         let total: usize = self.tenants.iter().map(|t| t.spec.requests).sum();
         let mut done = 0usize;
         let mut now = 0.0f64;
-        let eth = self.system.ethernet();
+        let topo = self.system.topology();
         let budgets_u: Vec<u64> = budgets.iter().map(|b| b.as_u64()).collect();
         // Deployment-time residency: admission-order greedy pack under
         // the shared budget. Weights loaded here are part of bring-up,
@@ -902,7 +923,17 @@ impl<'s> TenantRegistry<'s> {
                 } else {
                     counters.weight_reloads += 1;
                     stats[i].weight_reloads += 1;
-                    eth.transfer_time(self.tenants[i].pinned_total)
+                    // Each board's pinned share re-streams at that
+                    // board's actual host-link rate (collapses to one
+                    // scalar-rate transfer on a uniform star, bitwise).
+                    topo.host_stream_time(
+                        self.tenants[i]
+                            .pinned_by_acc
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, b)| **b > 0)
+                            .map(|(a, b)| (AccId::new(a), Bytes::new(*b))),
+                    )
                 };
                 stats[i].reload_time += reload;
                 let m = self.slice_makespan(i, k, &mut counters);

@@ -2,9 +2,12 @@
 //!
 //! For each accelerator, a knapsack packs layer weights into the local
 //! DRAM budget (`M_acc`); pinned layers stop streaming weights over
-//! Ethernet. Item value is the saved transfer time
-//! `bytes · (1/BW_eth − 1/BW_dram)`, so at equal density the solver
-//! maximizes pinned bytes — the paper's "as much as possible" objective.
+//! the interconnect. Item value is the saved transfer time
+//! `bytes · (1/BW_link − 1/BW_dram)` where `BW_link` is the board's
+//! host-route bandwidth (the paper's single `BW_eth` on a uniform
+//! star), so at equal density the solver maximizes pinned bytes — the
+//! paper's "as much as possible" objective — and boards behind slow
+//! links value their pins proportionally higher.
 //! A [`PinPreset`] (dynamic modality change, §4.5) force-pins carried-
 //! over weights before the knapsack packs what remains.
 
@@ -14,6 +17,7 @@ use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
 use h2h_system::schedule::Evaluator;
 use h2h_system::system::AccId;
+use h2h_system::topology::Endpoint;
 
 use crate::config::KnapsackKind;
 use crate::knapsack::{solve_auto, solve_dp, solve_greedy, Item};
@@ -50,7 +54,7 @@ pub fn weight_locality_pass(
 ) {
     let model = ev.model();
     let system = ev.system();
-    let eth = system.ethernet().as_f64();
+    let topo = system.topology();
 
     // Forced pins first: weights already resident from a previous
     // configuration keep their slot as long as the layer still maps to
@@ -68,6 +72,10 @@ pub fn weight_locality_pass(
 
     for &acc in accs {
         let dram = system.acc(acc).dram_bandwidth().as_f64();
+        // Weights stream from the host, so the saved time is priced at
+        // this board's host-route bandwidth — boards behind slow links
+        // value their pins proportionally higher.
+        let eth = topo.path_bw(Endpoint::Host, Endpoint::Acc(acc)).as_f64();
         let mut ids = Vec::new();
         let items: Vec<Item> = model
             .layers()

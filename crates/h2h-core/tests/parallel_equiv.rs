@@ -13,6 +13,7 @@ use h2h_core::remap::{data_locality_remapping, data_locality_remapping_reference
 use h2h_core::{H2hConfig, PinPreset, ScoreStrategy};
 use h2h_system::schedule::Evaluator;
 use h2h_system::system::{BandwidthClass, SystemSpec};
+use h2h_system::topology::Topology;
 
 #[test]
 fn remap_is_thread_count_invariant_and_matches_the_reference() {
@@ -150,6 +151,66 @@ fn every_scoring_strategy_makes_identical_search_decisions() {
                 "{} under {strategy:?} x{threads}: accept counts diverged",
                 model.name()
             );
+        }
+    }
+}
+
+#[test]
+fn delta_search_matches_reference_on_non_uniform_topologies() {
+    // Per-route path bandwidths make a layer's transfer terms depend on
+    // its neighbours' placements; the delta engine compensates by
+    // refreshing the moved layer's graph neighbours. This sweep is the
+    // proof: on a skewed star and a partitioned switch, every strategy
+    // × thread count must still reproduce the per-candidate
+    // full-re-evaluation reference bit-exactly, dominance on or off.
+    let bw = BandwidthClass::LowMinus;
+    for spec in ["skewed", "switched", "star:host=0.125;links=0.125,0.05,0.2"] {
+        let base = SystemSpec::standard(bw);
+        let topo = Topology::parse(spec, bw.bandwidth(), base.num_accs()).unwrap();
+        let system = base.with_topology(topo);
+        for model in [
+            h2h_model::zoo::mocap(),
+            h2h_model::zoo::cnn_lstm(),
+            h2h_model::zoo::casia_surf(),
+        ] {
+            let ev = Evaluator::new(&model, &system);
+            let cfg0 = H2hConfig::default();
+            let (seed, _) = computation_prioritized(&ev, &cfg0, &PinPreset::new()).unwrap();
+            let mut map_ref = seed.clone();
+            let reference =
+                data_locality_remapping_reference(&ev, &cfg0, &PinPreset::new(), &mut map_ref);
+            for strategy in
+                [ScoreStrategy::Adaptive, ScoreStrategy::Replay, ScoreStrategy::FullEval]
+            {
+                for threads in [1usize, 4] {
+                    for dominance in [true, false] {
+                        let cfg = H2hConfig {
+                            strategy,
+                            score_threads: threads,
+                            score_oversubscribe: true,
+                            enable_guard_dominance: dominance,
+                            ..H2hConfig::default()
+                        };
+                        let mut mapping = seed.clone();
+                        let out =
+                            data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+                        assert_eq!(
+                            mapping,
+                            map_ref,
+                            "{} on `{spec}` under {strategy:?} x{threads} dom={dominance}: \
+                             diverged from the reference mapping",
+                            model.name()
+                        );
+                        assert_eq!(
+                            out.schedule.makespan(),
+                            reference.schedule.makespan(),
+                            "{} on `{spec}` under {strategy:?} x{threads} dom={dominance}: \
+                             latency diverged",
+                            model.name()
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -1,11 +1,14 @@
 //! # h2h-system — the heterogeneous multi-FPGA system model
 //!
 //! `G_sys` of the H2H (DAC'22) formulation: a host node plus plugged-in
-//! accelerators behind configurable Ethernet (`BW_acc`), the mapping and
-//! data-locality state the H2H algorithm manipulates, the analytical
-//! list scheduler that computes `Sys_latency` / `Sys_energy`, and a
-//! discrete-event simulator that cross-validates the scheduler and
-//! models host-NIC contention the analytical abstraction ignores.
+//! accelerators behind an explicit interconnect fabric
+//! ([`topology::Topology`] — the paper's scalar `BW_acc` uniform star
+//! by default, per-link rates and direct peer links beyond it), the
+//! mapping and data-locality state the H2H algorithm manipulates, the
+//! analytical list scheduler that computes `Sys_latency` /
+//! `Sys_energy`, and a discrete-event simulator that cross-validates
+//! the scheduler and models host-NIC contention the analytical
+//! abstraction ignores.
 //!
 //! ```
 //! use h2h_system::locality::LocalityState;
@@ -40,15 +43,17 @@ pub mod mapping;
 pub mod schedule;
 pub mod sim;
 pub mod system;
+pub mod topology;
 pub mod trace;
 
 #[doc(hidden)]
 pub mod testutil;
 
-pub use gantt::render_gantt;
+pub use gantt::{render_gantt, render_link_gantt};
 pub use incremental::IncrementalSchedule;
 pub use locality::LocalityState;
 pub use mapping::{Mapping, MappingError};
 pub use schedule::{CostCache, EnergyBreakdown, Evaluator, LayerTiming, Schedule};
 pub use sim::{simulate, SimConfig, SimReport};
 pub use system::{AccId, BandwidthClass, SystemSpec};
+pub use topology::{Endpoint, Topology};

@@ -219,6 +219,26 @@ impl LocalityState {
         self.fused.binary_search(&(from, to)).is_ok()
     }
 
+    /// True when the `from → to` edge actually short-circuits through
+    /// local DRAM under `mapping`: marked fused, both endpoints mapped
+    /// and co-located, and the producer is not a model input (raw
+    /// modality data lives at the host and always crosses the
+    /// interconnect once). The single owner of this predicate — the
+    /// evaluator, the event simulator, the contention bound and the
+    /// link-lane gantt all route through it, so they can never drift.
+    pub fn edge_is_local(
+        &self,
+        model: &ModelGraph,
+        mapping: &crate::mapping::Mapping,
+        from: LayerId,
+        to: LayerId,
+    ) -> bool {
+        self.is_fused(from, to)
+            && mapping.get(from) == mapping.get(to)
+            && mapping.get(from).is_some()
+            && !matches!(model.layer(from).op(), h2h_model::layer::LayerOp::Input { .. })
+    }
+
     /// Number of fused edges.
     pub fn num_fused(&self) -> usize {
         self.fused.len()

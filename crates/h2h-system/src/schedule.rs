@@ -9,13 +9,19 @@
 //! the host; pinned weights and fused activations replace Ethernet
 //! round-trips with local-DRAM traffic.
 //!
-//! Transfer rules (star topology, DESIGN.md §6):
-//! * weights: host→acc at `BW_acc`, or local DRAM read if pinned;
-//! * IFM: one download per unfused incoming edge; fused edges read from
-//!   local DRAM; edges from `Input` layers always cross Ethernet (the
-//!   raw modality data lives at the host);
-//! * OFM: one upload if any outgoing edge is unfused **or** the layer is
-//!   a model output; one local-DRAM write if any outgoing edge is fused.
+//! Transfer rules (routed over [`crate::topology::Topology`]; the
+//! uniform-star default reproduces DESIGN.md §6's scalar `BW_acc`
+//! bitwise):
+//! * weights: host→acc at the host route's effective bandwidth, or
+//!   local DRAM read if pinned;
+//! * IFM: one download per unfused incoming edge at the
+//!   producer→consumer route's rate; fused edges read from local DRAM;
+//!   edges from `Input` layers charge the host→consumer route (the raw
+//!   modality data lives at the host);
+//! * OFM: one upload if any outgoing edge is unfused **or** the layer
+//!   is a model output, at the slowest route among the remote
+//!   consumers (host for outputs); one local-DRAM write if any
+//!   outgoing edge is fused.
 
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +33,7 @@ use h2h_model::units::{Bytes, Joules, Seconds};
 use crate::locality::LocalityState;
 use crate::mapping::Mapping;
 use crate::system::{AccId, SystemSpec};
+use crate::topology::Endpoint;
 
 /// Memoized per-(layer, accelerator) compute costs. Building one of
 /// these once per model/system pair makes repeated schedule evaluations
@@ -319,10 +326,8 @@ impl<'a> Evaluator<'a> {
         self.evaluate_filtered(mapping, locality, include)
     }
 
-    /// True when the `from → to` edge actually short-circuits through
-    /// local DRAM: marked fused, both endpoints co-located, and the
-    /// producer is not a model input (raw modality data lives at the
-    /// host and always crosses Ethernet once).
+    /// See [`LocalityState::edge_is_local`] — the one owner of the
+    /// "does this edge move through local DRAM" predicate.
     fn edge_is_local(
         &self,
         locality: &LocalityState,
@@ -330,18 +335,24 @@ impl<'a> Evaluator<'a> {
         from: LayerId,
         to: LayerId,
     ) -> bool {
-        locality.is_fused(from, to)
-            && mapping.get(from) == mapping.get(to)
-            && mapping.get(from).is_some()
-            && !matches!(self.model.layer(from).op(), LayerOp::Input { .. })
+        locality.edge_is_local(self.model, mapping, from, to)
     }
 
     /// Computes one layer's full cost decomposition under `(mapping,
-    /// locality)` — weight/IFM/compute/OFM terms, the Ethernet vs DRAM
-    /// split, byte volumes and compute energy. This is the shared
+    /// locality)` — weight/IFM/compute/OFM terms, the interconnect vs
+    /// DRAM split, byte volumes and compute energy. This is the shared
     /// primitive behind [`Evaluator::evaluate`] and the incremental
     /// delta engine; term order matches the historical evaluator so
     /// schedules agree bitwise.
+    ///
+    /// Transfer rates come from the system's
+    /// [`crate::topology::Topology`], queried per `(src placement, dst
+    /// placement)` pair: weights stream host→accelerator, each IFM edge
+    /// is charged at the producer→consumer route's effective bandwidth
+    /// (host→consumer for model inputs), and the single OFM upload runs
+    /// at the slowest route among its remote consumers (host for model
+    /// outputs). On a uniform star every route resolves to the same
+    /// rate bitwise, reproducing the paper's scalar model exactly.
     ///
     /// # Panics
     ///
@@ -353,15 +364,16 @@ impl<'a> Evaluator<'a> {
         locality: &LocalityState,
         id: LayerId,
     ) -> LayerCost {
-        let eth = self.system.ethernet();
+        let topo = self.system.topology();
         let b = self.batch as f64;
         let layer = self.model.layer(id);
         let acc = mapping.acc_of(id);
+        let here = Endpoint::Acc(acc);
         let dram_bw = self.system.acc(acc).dram_bandwidth();
         let is_input = matches!(layer.op(), LayerOp::Input { .. });
         let mut cost = LayerCost::default();
 
-        // Weight transfer (once per batch).
+        // Weight transfer (once per batch), streamed from the host.
         let wbytes = layer.weight_bytes(DataType::F32);
         if wbytes > Bytes::ZERO {
             if locality.is_pinned(id) {
@@ -369,12 +381,15 @@ impl<'a> Evaluator<'a> {
                 cost.dram_time += cost.weight_xfer;
                 cost.dram_bytes += wbytes;
             } else {
-                cost.weight_xfer = eth.transfer_time(wbytes);
+                cost.weight_xfer = topo.path_bw(Endpoint::Host, here).transfer_time(wbytes);
                 cost.eth_time += cost.weight_xfer;
             }
         }
 
-        // IFM transfers: one per incoming edge, repeated per batch item.
+        // IFM transfers: one per incoming edge, repeated per batch
+        // item, each at its route's effective bandwidth. An unmapped
+        // producer (partial evaluation of a frontier prefix) charges
+        // the host route — data not yet placed lives at the host.
         for pred in self.model.predecessors(id) {
             let bytes = self
                 .model
@@ -386,7 +401,8 @@ impl<'a> Evaluator<'a> {
                 cost.dram_time += t;
                 cost.dram_bytes += bytes * self.batch as u64;
             } else {
-                let t = eth.transfer_time(bytes) * b;
+                let src = crate::topology::edge_src(self.model, mapping, pred);
+                let t = topo.path_bw(src, here).transfer_time(bytes) * b;
                 cost.ifm_xfer += t;
                 cost.eth_time += t;
             }
@@ -405,31 +421,24 @@ impl<'a> Evaluator<'a> {
             * b;
 
         // OFM transfer: model inputs emit nothing (data already at
-        // host); otherwise one Ethernet upload serves all unfused
-        // consumers (and the final output), one DRAM write serves all
-        // fused consumers.
+        // host); otherwise one interconnect upload serves all unfused
+        // consumers (and the final output) at the slowest route among
+        // them, one DRAM write serves all fused consumers.
         if !is_input {
             let obytes = layer.ofm_bytes(DataType::F32);
-            // Single allocation-free pass over the consumers: this is the
-            // innermost primitive of the search (hundreds of calls per
-            // scored candidate).
-            let mut has_succ = false;
-            let mut any_remote = false;
-            let mut any_local = false;
-            for s in self.model.successors(id) {
-                has_succ = true;
-                if self.edge_is_local(locality, mapping, id, s) {
-                    any_local = true;
-                } else {
-                    any_remote = true;
-                }
-            }
-            let any_remote = any_remote || !has_succ;
-            if any_remote {
-                let t = eth.transfer_time(obytes) * b;
+            // The upload rate comes from the shared routing rule
+            // (slowest remote-consumer route, host for outputs); the
+            // DRAM write needs its own cheap any-local scan — consumer
+            // lists are tiny.
+            if let Some((bw, _)) = topo.ofm_route(self.model, mapping, locality, id) {
+                let t = bw.transfer_time(obytes) * b;
                 cost.ofm_xfer += t;
                 cost.eth_time += t;
             }
+            let any_local = self
+                .model
+                .successors(id)
+                .any(|s| self.edge_is_local(locality, mapping, id, s));
             if any_local {
                 let t = dram_bw.transfer_time(obytes) * b;
                 cost.ofm_xfer += t;

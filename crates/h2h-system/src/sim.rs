@@ -1,18 +1,25 @@
 //! Discrete-event simulation of the multi-FPGA cluster.
 //!
-//! The analytical scheduler ([`crate::schedule::Evaluator`]) assumes each
-//! accelerator's Ethernet path runs at the full `BW_acc` regardless of
-//! what the rest of the cluster is doing — the same abstraction the
-//! paper's modified-MAESTRO infrastructure uses. This simulator executes
-//! the mapped model event by event and can additionally model the star
-//! topology's real bottleneck: the host NIC, shared by all concurrent
-//! transfers (processor-sharing fluid model).
+//! The analytical scheduler ([`crate::schedule::Evaluator`]) assumes
+//! every route of the interconnect fabric runs at its full effective
+//! bandwidth regardless of what the rest of the cluster is doing — the
+//! same abstraction the paper's modified-MAESTRO infrastructure uses.
+//! This simulator executes the mapped model event by event over the
+//! *same* [`crate::topology::Topology`] (every transfer phase is rated
+//! by the identical `(src, dst)` route query the analytical
+//! [`crate::schedule::Evaluator::layer_cost`] charges) and can
+//! additionally model the fabric's real bottleneck: the host NIC,
+//! shared by all concurrent via-host transfers (processor-sharing
+//! fluid model). Direct peer links of a switched fabric bypass the
+//! host and never contend for it.
 //!
 //! With dedicated links (`SimConfig::dedicated`) the simulation
 //! reproduces the analytical schedule exactly — that equivalence is a
-//! cross-validation test of both implementations. With a finite host NIC
-//! it quantifies how much the paper's abstraction under-reports congested
-//! makespans (see the `ablation` experiment).
+//! cross-validation test of both implementations. With a finite host
+//! NIC it quantifies how much the contention-free abstraction
+//! under-reports congested makespans; the analytical floor on that
+//! congestion is [`crate::topology::host_contention_bound`], which the
+//! `sim_crosscheck` suite verifies the simulator never beats.
 
 use h2h_model::graph::{LayerId, ModelGraph};
 use h2h_model::layer::LayerOp;
@@ -23,6 +30,7 @@ use crate::locality::LocalityState;
 use crate::mapping::Mapping;
 use crate::schedule::CostCache;
 use crate::system::SystemSpec;
+use crate::topology::Endpoint;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,8 +95,10 @@ impl SimReport {
 
 #[derive(Debug, Clone, Copy)]
 enum Phase {
-    /// Ethernet transfer: remaining bytes (contends for the host NIC).
-    Eth(f64),
+    /// Interconnect transfer: remaining bytes, the route's effective
+    /// rate, and whether the route relays through the host NIC (only
+    /// those phases contend for `SimConfig::host_nic_capacity`).
+    Link { bytes: f64, rate: f64, via_host: bool },
     /// Fixed-duration work: compute or local-DRAM traffic (seconds).
     Timed(f64),
 }
@@ -115,7 +125,7 @@ pub fn simulate(
     config: SimConfig,
 ) -> SimReport {
     let cache = CostCache::new(model, system);
-    let eth = system.ethernet().as_f64();
+    let topo = system.topology();
     let bound = model.id_bound();
 
     // Per-acc queues in global topological priority order.
@@ -132,19 +142,26 @@ pub fn simulate(
     let mut now = 0.0f64;
     let mut events = 0usize;
 
-    let edge_is_local = |from: LayerId, to: LayerId| {
-        locality.is_fused(from, to)
-            && mapping.get(from) == mapping.get(to)
-            && !matches!(model.layer(from).op(), LayerOp::Input { .. })
-    };
+    let edge_is_local =
+        |from: LayerId, to: LayerId| locality.edge_is_local(model, mapping, from, to);
 
     let b = config.batch as f64;
+    // Every Link phase is rated by the same (src, dst) route query the
+    // analytical `Evaluator::layer_cost` charges, so dedicated-link
+    // simulation reproduces the analytical schedule exactly on any
+    // topology.
     let build_phases = |id: LayerId| -> Vec<Phase> {
         let layer = model.layer(id);
         let acc = mapping.acc_of(id);
+        let here = Endpoint::Acc(acc);
         let dram = system.acc(acc).dram_bandwidth().as_f64();
         let mut phases = Vec::new();
         let is_input = matches!(layer.op(), LayerOp::Input { .. });
+        let link = |bytes: f64, src: Endpoint, dst: Endpoint| Phase::Link {
+            bytes,
+            rate: topo.path_bw(src, dst).as_f64(),
+            via_host: topo.crosses_host(src, dst),
+        };
 
         // Weights amortize over the batch; everything below repeats per
         // request.
@@ -153,7 +170,7 @@ pub fn simulate(
             if locality.is_pinned(id) {
                 phases.push(Phase::Timed(wbytes / dram));
             } else {
-                phases.push(Phase::Eth(wbytes));
+                phases.push(link(wbytes, Endpoint::Host, here));
             }
         }
         for pred in model.predecessors(id) {
@@ -164,7 +181,7 @@ pub fn simulate(
             if edge_is_local(pred, id) {
                 phases.push(Phase::Timed(b * bytes / dram));
             } else {
-                phases.push(Phase::Eth(b * bytes));
+                phases.push(link(b * bytes, crate::topology::edge_src(model, mapping, pred), here));
             }
         }
         let comp = cache.time(id, acc).expect("supported layer").as_f64();
@@ -173,13 +190,21 @@ pub fn simulate(
         }
         if !is_input {
             let obytes = layer.ofm_bytes(DataType::F32).as_f64();
-            let succs: Vec<LayerId> = model.successors(id).collect();
-            let is_output = succs.is_empty();
-            let any_remote = is_output || succs.iter().any(|s| !edge_is_local(id, *s));
-            let any_local = succs.iter().any(|s| edge_is_local(id, *s));
-            if any_remote && obytes > 0.0 {
-                phases.push(Phase::Eth(b * obytes));
+            // One upload serves all remote consumers at the slowest
+            // route among them (host for outputs) — the shared
+            // `Topology::ofm_route` rule, so sim and evaluator cannot
+            // drift; it contends for the host NIC iff any chosen route
+            // relays through it.
+            if let Some((bw, via_host)) = topo.ofm_route(model, mapping, locality, id) {
+                if obytes > 0.0 {
+                    phases.push(Phase::Link {
+                        bytes: b * obytes,
+                        rate: bw.as_f64(),
+                        via_host,
+                    });
+                }
             }
+            let any_local = model.successors(id).any(|s| edge_is_local(id, s));
             if any_local && obytes > 0.0 {
                 phases.push(Phase::Timed(b * obytes / dram));
             }
@@ -225,22 +250,33 @@ pub fn simulate(
             break;
         }
 
-        // Current rates: Ethernet phases share the host NIC.
-        let n_eth = active
+        // Current rates: via-host transfer phases share the host NIC
+        // (fair processor sharing); direct peer links run at full rate.
+        let n_host = active
             .iter()
             .flatten()
-            .filter(|a| matches!(a.phases[a.current], Phase::Eth(_)))
+            .filter(|a| matches!(a.phases[a.current], Phase::Link { via_host: true, .. }))
             .count();
-        let eth_rate = match config.host_nic_capacity {
-            Some(cap) if n_eth > 0 => eth.min(cap.as_f64() / n_eth as f64),
-            _ => eth,
+        let host_share = match config.host_nic_capacity {
+            Some(cap) if n_host > 0 => cap.as_f64() / n_host as f64,
+            _ => f64::INFINITY,
+        };
+        let phase_rate = |p: &Phase| match *p {
+            Phase::Link { rate, via_host, .. } => {
+                if via_host {
+                    rate.min(host_share)
+                } else {
+                    rate
+                }
+            }
+            Phase::Timed(_) => f64::INFINITY,
         };
 
         // Time to the next phase completion.
         let mut dt = f64::INFINITY;
         for a in active.iter().flatten() {
             let t = match a.phases[a.current] {
-                Phase::Eth(bytes) => bytes / eth_rate,
+                Phase::Link { bytes, .. } => bytes / phase_rate(&a.phases[a.current]),
                 Phase::Timed(secs) => secs,
             };
             dt = dt.min(t);
@@ -255,9 +291,10 @@ pub fn simulate(
         // Advance all active phases by dt.
         for slot in active.iter_mut() {
             let Some(a) = slot else { continue };
+            let rate = phase_rate(&a.phases[a.current]);
             let done = match &mut a.phases[a.current] {
-                Phase::Eth(bytes) => {
-                    *bytes -= eth_rate * dt;
+                Phase::Link { bytes, .. } => {
+                    *bytes -= rate * dt;
                     *bytes <= 1e-9
                 }
                 Phase::Timed(secs) => {

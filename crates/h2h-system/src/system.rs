@@ -1,10 +1,16 @@
 //! The heterogeneous multi-FPGA system (`G_sys` scaffolding, paper §3).
 //!
-//! A system is a host node plus a set of plugged-in accelerators, each
-//! reached over Ethernet at the configurable `BW_acc` (the paper sweeps
-//! five classes from 1 GbE to 10 GbE). All accelerator↔accelerator data
-//! moves through the host (star topology), as in the Brainwave-style
-//! deployment the paper targets [2].
+//! A system is a host node plus a set of plugged-in accelerators,
+//! connected by an explicit interconnect fabric
+//! ([`crate::topology::Topology`]). The default fabric is the paper's
+//! uniform star — every board behind Ethernet at one `BW_acc` (the
+//! paper sweeps five classes from 1 GbE to 10 GbE), with
+//! accelerator↔accelerator data relayed through the host as in the
+//! Brainwave-style deployment the paper targets [2]. Non-uniform
+//! fabrics (per-link rates, direct accelerator↔accelerator peer links)
+//! plug in via [`SystemSpec::with_topology`]; transfers are then
+//! charged at each route's effective bandwidth rather than one global
+//! scalar.
 
 use std::fmt;
 
@@ -13,6 +19,8 @@ use serde::{Deserialize, Serialize};
 use h2h_accel::catalog::standard_accelerators;
 use h2h_accel::model::AccelRef;
 use h2h_model::units::BytesPerSec;
+
+use crate::topology::Topology;
 
 /// Index of an accelerator within a [`SystemSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -129,25 +137,69 @@ impl Default for SystemEnergyModel {
 #[derive(Debug, Clone)]
 pub struct SystemSpec {
     accs: Vec<AccelRef>,
-    ethernet: BytesPerSec,
+    topology: Topology,
     energy: SystemEnergyModel,
 }
 
 impl SystemSpec {
-    /// Builds a system from accelerator plug-ins and an Ethernet rate.
+    /// Builds a system from accelerator plug-ins and an Ethernet rate —
+    /// a **uniform star** fabric, bit-identical to the paper's scalar
+    /// `BW_acc` model. Use [`SystemSpec::with_topology`] for per-link
+    /// rates or switched fabrics.
     ///
     /// # Panics
     ///
     /// Panics if `accs` is empty — a system needs at least one device.
     pub fn new(accs: Vec<AccelRef>, ethernet: BytesPerSec) -> Self {
         assert!(!accs.is_empty(), "a system needs at least one accelerator");
-        SystemSpec { accs, ethernet, energy: SystemEnergyModel::default() }
+        let topology = Topology::uniform_star(ethernet, accs.len());
+        SystemSpec { accs, topology, energy: SystemEnergyModel::default() }
     }
 
     /// The paper's evaluation system: the 12-accelerator catalog at the
     /// given bandwidth class.
     pub fn standard(bw: BandwidthClass) -> Self {
         SystemSpec::new(standard_accelerators(), bw.bandwidth())
+    }
+
+    /// [`SystemSpec::standard`] with an optional topology spec string
+    /// (see [`Topology::parse`]; the class rate is the spec's base
+    /// rate). `None` — and the explicit `"uniform"` — keep the scalar
+    /// uniform star. The one front door every CLI/bench front end
+    /// shares, so spec parsing and error text stay in one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Topology::parse`]'s message for malformed specs.
+    pub fn standard_with_topology(
+        bw: BandwidthClass,
+        spec: Option<&str>,
+    ) -> Result<Self, String> {
+        let system = SystemSpec::standard(bw);
+        match spec {
+            None => Ok(system),
+            Some(spec) => {
+                let n = system.num_accs();
+                let topo = Topology::parse(spec, bw.bandwidth(), n)?;
+                Ok(system.with_topology(topo))
+            }
+        }
+    }
+
+    /// Replaces the interconnect fabric (per-link rates, peer links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology's link count does not match the number of
+    /// accelerators.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.num_accs(),
+            self.accs.len(),
+            "topology link count must match the accelerator count"
+        );
+        self.topology = topology;
+        self
     }
 
     /// Replaces the interconnect/memory energy constants.
@@ -180,9 +232,18 @@ impl SystemSpec {
         &self.accs
     }
 
-    /// The accelerator-to-host Ethernet bandwidth (`BW_acc`).
+    /// The interconnect fabric: per-link rates and the `(src, dst)`
+    /// route table every transfer is charged against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The scalar `BW_acc` of a uniform-star fabric; on a non-uniform
+    /// topology this degrades to the host NIC rate — cost-model code
+    /// must query [`SystemSpec::topology`] per route instead (display
+    /// and back-compat call sites only).
     pub fn ethernet(&self) -> BytesPerSec {
-        self.ethernet
+        self.topology.uniform_bw().unwrap_or_else(|| self.topology.host_nic())
     }
 
     /// Interconnect/memory energy constants.

@@ -145,6 +145,53 @@ proptest! {
     }
 
     #[test]
+    fn random_star_topologies_keep_incremental_and_sim_exact(
+        (model, picks, speeds) in strategy(),
+        links in proptest::collection::vec(5e5f64..5e6, 4),
+        host in 5e5f64..5e6,
+        moves in proptest::collection::vec((0usize..64, 0usize..4), 1..6),
+    ) {
+        // Per-link rates: after arbitrary move/refresh/propagate
+        // sequences the incremental schedule must still equal a fresh
+        // full evaluation, and the dedicated-link event sim must agree
+        // with the analytical makespan — the whole evaluator/delta/sim
+        // triangle stays exact on non-uniform fabrics.
+        use h2h_model::units::BytesPerSec;
+        use h2h_system::topology::Topology;
+        let (sys, mut map) = setup(&model, &picks, &speeds);
+        let n = sys.num_accs();
+        let topo = Topology::star(
+            BytesPerSec::new(host),
+            links.iter().take(n).map(|r| BytesPerSec::new(*r)).collect(),
+        );
+        let sys = sys.with_topology(topo);
+        let ev = Evaluator::new(&model, &sys);
+        let loc = LocalityState::new(&sys);
+        let mut inc = IncrementalSchedule::new(&ev, &map, &loc);
+        let order = model.topo_order();
+        for (vi, acc) in &moves {
+            let layer = order[vi % order.len()];
+            let to = AccId::new(acc % n);
+            if map.acc_of(layer) == to {
+                continue;
+            }
+            map.set(layer, to);
+            let mut seeds = inc.move_layer(layer, to);
+            seeds.extend(inc.refresh_costs(&ev, &map, &loc, model.layer_ids()));
+            inc.propagate(&seeds);
+        }
+        inc.assert_matches_full(&ev, &map, &loc);
+        let analytic = ev.evaluate(&map, &loc).makespan().as_f64();
+        let mk_inc = inc.makespan().as_f64();
+        prop_assert!((analytic - mk_inc).abs() <= analytic.max(1e-12) * 1e-12);
+        let sim = simulate(&model, &sys, &map, &loc, SimConfig::dedicated()).makespan().as_f64();
+        prop_assert!(
+            (analytic - sim).abs() <= analytic.max(1e-12) * 1e-6,
+            "analytic {analytic} vs sim {sim}"
+        );
+    }
+
+    #[test]
     fn sim_matches_analytic_with_random_locality(
         (model, picks, speeds) in strategy(),
         pin_mask in proptest::collection::vec(any::<bool>(), 40),

@@ -8,10 +8,18 @@
 //! h2h serve <m1,m2,..> [bw]       # multi-tenant batched serving window
 //! h2h parse <file.h2h> [bw]       # ingest a text-format model and map it
 //! h2h trace <model> [bw] <out>    # export a chrome://tracing JSON
+//! h2h inspect <model> [bw]        # placement + topology table + link lanes
 //! ```
 //!
 //! Models: vlocnet | casia | vfs | facebag | cnnlstm | mocap.
 //! Bandwidths: low- | low | mid- | mid | high (default low-).
+//!
+//! `map`, `serve`, `sweep` and `inspect` additionally take
+//! `--topology <spec>` — `uniform` (default) | `skewed[:factor]` |
+//! `switched[:mult]` | `star:host=G;links=g0,g1,…` |
+//! `switched:host=G;links=…;peers=i-j@G,…` — to run against a
+//! non-uniform interconnect fabric; `inspect` prints the per-link
+//! rates and the effective-bandwidth route table.
 
 use std::process::ExitCode;
 
@@ -19,14 +27,15 @@ use h2h::core::report::mapping_report;
 use h2h::core::H2hMapper;
 use h2h::model::parse::parse_model;
 use h2h::model::{ModelGraph, ModelStats};
-use h2h::system::gantt::render_gantt;
+use h2h::system::gantt::{render_gantt, render_link_gantt};
 use h2h::system::trace::to_chrome_trace;
 use h2h::system::{BandwidthClass, Evaluator, SystemSpec};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | serve <m1,m2,..> [bw] | parse <file> [bw] | trace <model> [bw] <out.json>>\n\
-         models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high"
+        "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | serve <m1,m2,..> [bw] | parse <file> [bw] | trace <model> [bw] <out.json> | inspect <model> [bw]>\n\
+         models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high\n\
+         map/serve/sweep/inspect also take --topology <uniform|skewed[:f]|switched[:m]|star:host=G;links=...|switched:...;peers=i-j@G>"
     );
     ExitCode::from(2)
 }
@@ -54,9 +63,32 @@ fn bw_by_name(name: Option<&str>) -> Option<BandwidthClass> {
     })
 }
 
-fn map_and_report(model: &ModelGraph, bw: BandwidthClass) -> Result<(), h2h::core::H2hError> {
-    let system = SystemSpec::standard(bw);
-    let out = H2hMapper::new(model, &system).run()?;
+/// Builds the evaluation system for one bandwidth class and an optional
+/// `--topology` spec (uniform star when absent).
+fn system_for(
+    bw: BandwidthClass,
+    topology: Option<&str>,
+) -> Result<SystemSpec, Box<dyn std::error::Error>> {
+    SystemSpec::standard_with_topology(bw, topology)
+        .map_err(|e| std::io::Error::other(format!("--topology: {e}")).into())
+}
+
+/// Whether [`map_and_report`] prints the topology table itself.
+#[derive(PartialEq)]
+enum ShowTopology {
+    /// Print it when the fabric is non-uniform (`map`, `parse`).
+    NonUniform,
+    /// The caller already printed it (`inspect`).
+    Never,
+}
+
+fn map_and_report(
+    model: &ModelGraph,
+    bw: BandwidthClass,
+    system: &SystemSpec,
+    show_topology: ShowTopology,
+) -> Result<(), h2h::core::H2hError> {
+    let out = H2hMapper::new(model, system).run()?;
     println!("{}\n", ModelStats::of(model));
     println!(
         "H2H @ {}: baseline {} -> {} ({:.1}% latency, {:.1}% energy reduction); search {:?}\n",
@@ -67,15 +99,33 @@ fn map_and_report(model: &ModelGraph, bw: BandwidthClass) -> Result<(), h2h::cor
         out.energy_reduction() * 100.0,
         out.search_time,
     );
-    let ev = Evaluator::new(model, &system);
+    if show_topology == ShowTopology::NonUniform && !system.topology().is_uniform() {
+        print!("{}", system.topology().describe());
+        println!();
+    }
+    let ev = Evaluator::new(model, system);
     print!("{}", mapping_report(&ev, &out.mapping, &out.locality, &out.schedule));
     println!();
-    println!("{}", render_gantt(model, &system, &out.mapping, &out.schedule, 100));
+    println!("{}", render_gantt(model, system, &out.mapping, &out.schedule, 100));
+    println!(
+        "{}",
+        render_link_gantt(model, system, &out.mapping, &out.locality, &out.schedule, 100)
+    );
     Ok(())
 }
 
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Extract `--topology <spec>` wherever it appears; only the
+    // subcommands with no system to build (zoo, accels) never read it.
+    let topology = match h2h::system::topology::take_topology_flag(&mut args) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return Ok(usage());
+        }
+    };
+    let topology = topology.as_deref();
     let cmd = match args.first() {
         Some(c) => c.as_str(),
         None => return Ok(usage()),
@@ -96,7 +146,23 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
                 return Ok(usage());
             };
-            map_and_report(&model, bw)?;
+            let system = system_for(bw, topology)?;
+            map_and_report(&model, bw, &system, ShowTopology::NonUniform)?;
+        }
+        "inspect" => {
+            let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
+                return Ok(usage());
+            };
+            let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
+                return Ok(usage());
+            };
+            let system = system_for(bw, topology)?;
+            // The topology table renders unconditionally here (that is
+            // what `inspect` is for); uniform fabrics print the
+            // scalar-equivalent one-liner.
+            print!("{}", system.topology().describe());
+            println!();
+            map_and_report(&model, bw, &system, ShowTopology::Never)?;
         }
         "sweep" => {
             let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
@@ -107,7 +173,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 "BW", "baseline", "H2H", "lat. red.", "energy red."
             );
             for bw in BandwidthClass::ALL {
-                let system = SystemSpec::standard(bw);
+                let system = system_for(bw, topology)?;
                 let out = H2hMapper::new(&model, &system).run()?;
                 println!(
                     "{:<6} {:>12} {:>12} {:>10.1}% {:>10.1}%",
@@ -126,7 +192,8 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             };
             let text = std::fs::read_to_string(path)?;
             let model = parse_model(&text)?;
-            map_and_report(&model, bw)?;
+            let system = system_for(bw, topology)?;
+            map_and_report(&model, bw, &system, ShowTopology::NonUniform)?;
         }
         "serve" => {
             let Some(names) = args.get(1) else { return Ok(usage()) };
@@ -139,7 +206,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let Some(bw) = bw_by_name(args.get(2).map(String::as_str)) else {
                 return Ok(usage());
             };
-            let system = SystemSpec::standard(bw);
+            let system = system_for(bw, topology)?;
+            if !system.topology().is_uniform() {
+                print!("{}", system.topology().describe());
+                println!();
+            }
             let cfg = h2h::core::H2hConfig { serve_verify: true, ..Default::default() };
             let mut reg = h2h::core::serve::TenantRegistry::new(&system, cfg);
             for model in models {
@@ -182,7 +253,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 return Ok(usage());
             };
             let Some(out_path) = args.get(3) else { return Ok(usage()) };
-            let system = SystemSpec::standard(bw);
+            let system = system_for(bw, topology)?;
             let out = H2hMapper::new(&model, &system).run()?;
             let json = to_chrome_trace(&model, &system, &out.mapping, &out.schedule);
             std::fs::write(out_path, json)?;

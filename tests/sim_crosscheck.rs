@@ -61,6 +61,101 @@ fn event_sim_matches_analytic_on_baseline_mappings() {
 }
 
 #[test]
+fn event_sim_matches_analytic_on_non_uniform_topologies() {
+    // The simulator rates every transfer phase by the same (src, dst)
+    // route query the analytical evaluator charges, so dedicated-link
+    // simulation must agree with the analytical schedule on skewed and
+    // switched fabrics too — sim.rs is a cross-check of the Topology,
+    // not a second owner of the routing rules.
+    use h2h::system::topology::Topology;
+    let bw = BandwidthClass::LowMinus;
+    for spec in ["skewed", "switched"] {
+        let base = SystemSpec::standard(bw);
+        let topo = Topology::parse(spec, bw.bandwidth(), base.num_accs()).unwrap();
+        let system = base.with_topology(topo);
+        for model in [zoo::mocap(), zoo::casia_surf()] {
+            let out = H2hMapper::new(&model, &system).run().unwrap();
+            let sim = simulate(
+                &model,
+                &system,
+                &out.mapping,
+                &out.locality,
+                SimConfig::dedicated(),
+            );
+            let a = out.schedule.makespan().as_f64();
+            let s = sim.makespan().as_f64();
+            assert!(
+                (a - s).abs() / a < 1e-6,
+                "{} on `{spec}`: analytic {a} vs simulated {s}",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn finite_nic_sim_respects_the_analytical_contention_bound() {
+    // The Topology's analytical bound — host-relayed bytes serialized
+    // through the NIC, maxed with the contention-free makespan — must
+    // lower-bound the fluid simulation at every NIC capacity, and the
+    // simulation must *meet* the contention-free term with dedicated
+    // links (the "equal when dedicated" half of the contract).
+    use h2h::model::units::BytesPerSec;
+    use h2h::system::topology::{host_contention_bound, Topology};
+    let bw = BandwidthClass::LowMinus;
+    let link = bw.bandwidth().as_f64();
+    for spec in ["uniform", "skewed", "switched"] {
+        let base = SystemSpec::standard(bw);
+        let topo = Topology::parse(spec, bw.bandwidth(), base.num_accs()).unwrap();
+        let system = base.with_topology(topo);
+        for model in [zoo::mocap(), zoo::casia_surf()] {
+            let out = H2hMapper::new(&model, &system).run().unwrap();
+            let analytic = out.schedule.makespan().as_f64();
+            for mult in [0.5, 1.0, 3.0] {
+                let nic = BytesPerSec::new(link * mult);
+                let serial = host_contention_bound(
+                    &model,
+                    system.topology(),
+                    &out.mapping,
+                    &out.locality,
+                    nic,
+                    1,
+                )
+                .as_f64();
+                let bound = serial.max(analytic);
+                let sim = simulate(
+                    &model,
+                    &system,
+                    &out.mapping,
+                    &out.locality,
+                    SimConfig::shared_nic(nic),
+                );
+                let s = sim.makespan().as_f64();
+                assert!(
+                    s >= bound * (1.0 - 1e-6),
+                    "{} on `{spec}` @ {mult}x NIC: simulated {s} beat the bound {bound}",
+                    model.name()
+                );
+            }
+            // Dedicated links: the bound's contention-free term is met
+            // exactly (the serialization term does not apply).
+            let ded = simulate(
+                &model,
+                &system,
+                &out.mapping,
+                &out.locality,
+                SimConfig::dedicated(),
+            );
+            assert!(
+                (ded.makespan().as_f64() - analytic).abs() / analytic < 1e-6,
+                "{} on `{spec}`: dedicated sim must equal the analytic makespan",
+                model.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn shared_nic_contention_is_monotone_in_capacity() {
     let model = zoo::casia_surf();
     let system = SystemSpec::standard(BandwidthClass::LowMinus);
