@@ -10,12 +10,24 @@
 //!     [--tenants CASIA-SURF:24,FaceBag:24,VFS:24]
 //!     [--bandwidths Low-] [--max-batch 8] [--budget-frac 1.0,0.1]
 //!     [--min-speedup 1.05] [--topology uniform,skewed]
+//!     [--faults board-down | --faults "board:3@0.5;link:1/4@0.2"]
 //! ```
 //!
 //! `--topology` sweeps interconnect fabrics (specs as accepted by
 //! `h2h_system::topology::Topology::parse`): tenants are admitted,
 //! trimmed and served on the chosen fabric, with eviction reloads and
 //! weight streaming charged at each board's actual link rate.
+//!
+//! `--faults` additionally drains every run through a degraded-fabric
+//! window twice — once with time-budgeted mapping repair at each fault
+//! transition and once evacuate-only — and gates the repaired drain
+//! and degraded-window SLO attainment against the unrepaired baseline.
+//! The `board-down` preset downs the board holding the most resident
+//! tenant weights just after the drain starts and never recovers it;
+//! anything else is parsed as a raw `h2h_system::fault::FaultPlan`.
+//! The no-fault records are unaffected (fault serving snapshots and
+//! restores the registry), which is what the CI bit-identity diff of
+//! `BENCH_serve.json` checks.
 //!
 //! Tenant entries are `name[:requests[:rate_hz[:slo_ms]]]`; omitted
 //! rate/SLO default to a backlog-heavy `8 / ideal` arrival rate and a
@@ -30,6 +42,7 @@ use serde::Serialize;
 use h2h_core::serve::{TenantRegistry, TenantSpec};
 use h2h_core::H2hConfig;
 use h2h_model::units::Seconds;
+use h2h_system::fault::FaultPlan;
 use h2h_system::system::{BandwidthClass, SystemSpec};
 
 /// One (run, tenant) record; run-level columns repeat per tenant row.
@@ -74,6 +87,33 @@ struct ServeRecord {
     /// All slice cross-checks matched the full evaluator bitwise.
     matches_reference: bool,
     coherent: bool,
+    // Fault-window columns (`--faults`); `None`/zero without it.
+    fault_spec: Option<String>,
+    fault_transitions: usize,
+    fault_repairs: usize,
+    /// Drain makespan through the fault window with budgeted repair,
+    /// and with the evacuate-only baseline.
+    drain_repaired_s: Option<f64>,
+    drain_unrepaired_s: Option<f64>,
+    /// Fraction of degraded-window requests that met their SLO, with
+    /// and without repair.
+    degraded_attainment_repaired: Option<f64>,
+    degraded_attainment_unrepaired: Option<f64>,
+}
+
+/// SLO attainment over the degraded-window requests of an outcome
+/// (1.0 when the window served nothing).
+fn degraded_attainment(out: &h2h_core::serve::ServeOutcome) -> f64 {
+    let (mut served, mut viol) = (0usize, 0usize);
+    for t in &out.tenants {
+        served += t.degraded_served;
+        viol += t.violations_degraded;
+    }
+    if served == 0 {
+        1.0
+    } else {
+        (served - viol) as f64 / served as f64
+    }
 }
 
 fn parse_list(arg: &str) -> Vec<String> {
@@ -99,6 +139,7 @@ fn main() {
     let mut budget_fracs = vec![1.0f64, 0.1];
     let mut min_speedup: Option<f64> = None;
     let mut topologies = vec!["uniform".to_owned(), "skewed".to_owned()];
+    let mut fault_arg: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +163,7 @@ fn main() {
                     Some(value("--min-speedup").parse().expect("--min-speedup takes a float"));
             }
             "--topology" => topologies = parse_list(&value("--topology")),
+            "--faults" => fault_arg = Some(value("--faults")),
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => out_path = path.to_owned(),
         }
@@ -237,6 +279,77 @@ fn main() {
                     bw.label()
                 );
             }
+            // Degraded-fabric window: serve the same drain through the
+            // fault plan with budgeted repair and evacuate-only, and
+            // gate repair's value. Runs after the no-fault serves and
+            // leaves the registry untouched (snapshot/restore), so the
+            // records above stay bit-identical with or without it.
+            let mut fault = None;
+            if let Some(spec) = &fault_arg {
+                let n_accs = system.num_accs();
+                let plan = if spec == "board-down" {
+                    // Down the board holding the most resident tenant
+                    // weights (ties to the lowest index), just after
+                    // the drain starts, with no recovery.
+                    let dead = system
+                        .acc_ids()
+                        .max_by_key(|acc| {
+                            let held: u64 =
+                                reg.tenants().map(|t| t.resident_bytes(*acc).as_u64()).sum();
+                            (held, std::cmp::Reverse(acc.index()))
+                        })
+                        .expect("system has boards");
+                    FaultPlan::board_down(dead, Seconds::new(1e-6))
+                } else {
+                    FaultPlan::parse(spec, n_accs)
+                        .unwrap_or_else(|e| panic!("--faults `{spec}`: {e}"))
+                };
+                let repaired =
+                    reg.serve_with_faults(&plan).unwrap_or_else(|e| panic!("fault serve: {e}"));
+                let unrepaired = reg
+                    .serve_with_faults_unrepaired(&plan)
+                    .unwrap_or_else(|e| panic!("fault serve (unrepaired): {e}"));
+                let fault_coherent =
+                    match repaired.check_coherence().and(unrepaired.check_coherence()) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            eprintln!("FAIL: incoherent fault-window accounting: {e}");
+                            false
+                        }
+                    };
+                let crossed = repaired.counters.fault_transitions > 0;
+                if !crossed {
+                    eprintln!("FAIL: fault plan `{spec}` was never crossed during the drain");
+                }
+                let att_rep = degraded_attainment(&repaired);
+                let att_unrep = degraded_attainment(&unrepaired);
+                let drain_ok = repaired.makespan <= unrepaired.makespan;
+                let att_ok = att_rep >= att_unrep;
+                if !drain_ok || !att_ok {
+                    eprintln!(
+                        "FAIL: repair lost to evacuate-only (drain {:.3}s vs {:.3}s, \
+                         attainment {:.1}% vs {:.1}%)",
+                        repaired.makespan.as_f64(),
+                        unrepaired.makespan.as_f64(),
+                        att_rep * 100.0,
+                        att_unrep * 100.0
+                    );
+                }
+                println!(
+                    "  faults `{spec}`: repaired drain {:.3}s / attainment {:.1}% vs \
+                     evacuate-only {:.3}s / {:.1}% ({} repairs, {} moves)",
+                    repaired.makespan.as_f64(),
+                    att_rep * 100.0,
+                    unrepaired.makespan.as_f64(),
+                    att_unrep * 100.0,
+                    repaired.counters.repairs,
+                    repaired.counters.repair_evals,
+                );
+                if !fault_coherent || !crossed || !drain_ok || !att_ok {
+                    failures += 1;
+                }
+                fault = Some((repaired, unrepaired, att_rep, att_unrep));
+            }
             if !coherent || !matches_reference || !budget_ok || !speedup_ok {
                 failures += 1;
             }
@@ -292,6 +405,15 @@ fn main() {
                     budget_ok,
                     matches_reference,
                     coherent,
+                    fault_spec: fault_arg.clone(),
+                    fault_transitions: fault
+                        .as_ref()
+                        .map_or(0, |(r, _, _, _)| r.counters.fault_transitions),
+                    fault_repairs: fault.as_ref().map_or(0, |(r, _, _, _)| r.counters.repairs),
+                    drain_repaired_s: fault.as_ref().map(|(r, _, _, _)| r.makespan.as_f64()),
+                    drain_unrepaired_s: fault.as_ref().map(|(_, u, _, _)| u.makespan.as_f64()),
+                    degraded_attainment_repaired: fault.as_ref().map(|(_, _, a, _)| *a),
+                    degraded_attainment_unrepaired: fault.as_ref().map(|(_, _, _, a)| *a),
                 });
             }
         }

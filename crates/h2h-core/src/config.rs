@@ -198,6 +198,14 @@ pub struct H2hConfig {
     /// bit-identical to the offline pipeline because nothing is ever
     /// trimmed.
     pub serve_dram_budget_frac: f64,
+    /// Evaluator-call budget for the fault-repair search
+    /// ([`crate::repair::repair_mapping`]), in *attempted delta moves*
+    /// — a deterministic unit, so repairs reproduce bit-identically
+    /// across machines. `0` (default) picks an automatic budget of
+    /// `max(16, 3 * num_layers / 2)` moves, a small fraction of a
+    /// from-scratch remap's search bill while recovering most of its
+    /// latency (asserted by the fault acceptance suite).
+    pub repair_eval_budget: usize,
     /// Cross-check every freshly evaluated serving slice against a full
     /// [`h2h_system::schedule::Evaluator::evaluate`] of the same state
     /// (the incremental rebatch path must match it bitwise) and count
@@ -224,6 +232,7 @@ impl Default for H2hConfig {
             score_oversubscribe: false,
             serve_max_batch: 8,
             serve_dram_budget_frac: 1.0,
+            repair_eval_budget: 0,
             serve_verify: false,
         }
     }

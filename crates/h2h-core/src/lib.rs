@@ -45,6 +45,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod preset;
 pub mod remap;
+pub mod repair;
 pub mod report;
 pub mod serve;
 pub mod weight_locality;
@@ -55,6 +56,7 @@ pub use parallel::ScoringPool;
 pub use dynamic::{DynamicOutcome, DynamicSession};
 pub use pipeline::{H2hError, H2hMapper, H2hOutcome, Step, StepSnapshot};
 pub use preset::PinPreset;
+pub use repair::{repair_mapping, scratch_remap, RepairOutcome, ScratchOutcome};
 pub use serve::{
     ServeCounters, ServeError, ServeOutcome, TenantId, TenantRegistry, TenantServeStats,
     TenantSpec,

@@ -211,6 +211,33 @@ pub fn serve_report(outcome: &crate::serve::ServeOutcome) -> String {
         "  slices: {} evaluated + {} memoized; crosschecks {} ({} mismatched)",
         c.slice_evals, c.slice_cache_hits, c.crosschecks, c.crosscheck_mismatches
     );
+    // The fault-window section renders only for faulted runs — no-fault
+    // reports (and their golden snapshots) stay byte-identical.
+    if c.fault_transitions > 0 {
+        let _ = writeln!(
+            out,
+            "  faults: {} transitions, {} repairs ({} attempted moves)",
+            c.fault_transitions, c.repairs, c.repair_evals
+        );
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7} {:>9} {:>9} {:>14}",
+            "tenant", "repairs", "degraded", "viol-deg", "slo-attained"
+        );
+        for t in &outcome.tenants {
+            let attained = if t.degraded_served > 0 {
+                100.0 * (t.degraded_served - t.violations_degraded) as f64
+                    / t.degraded_served as f64
+            } else {
+                100.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>7} {:>9} {:>9} {:>13.1}%",
+                t.name, t.repairs, t.degraded_served, t.violations_degraded, attained
+            );
+        }
+    }
     out
 }
 

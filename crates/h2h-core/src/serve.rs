@@ -38,6 +38,17 @@
 //!    counters, amortized weight-fetch time — rendered by
 //!    [`crate::report::serve_report`] and recorded by the `bench_serve`
 //!    bin.
+//! 5. **Degraded-fabric serving** ([`TenantRegistry::serve_with_faults`])
+//!    — the same round loop replayed through a
+//!    [`h2h_system::fault::FaultPlan`]: at every boundary that changes
+//!    the fabric (sampled at round starts; slices are atomic), each
+//!    tenant's mapping is repaired onto the degraded system by the
+//!    time-budgeted [`crate::repair::repair_mapping`], its pinned
+//!    weights are evicted (the next slice re-streams them over the
+//!    degraded routes — re-admission), and the SLO ledger records the
+//!    degraded window separately. An empty plan is bit-identical to
+//!    [`TenantRegistry::serve`], and the registry is snapshot-restored
+//!    afterwards so later no-fault calls stay bit-identical too.
 //!
 //! The contention model is deliberately conservative: slices within a
 //! round execute sequentially (the host dispatches one model at a
@@ -59,6 +70,7 @@ use std::fmt;
 use h2h_model::graph::{LayerId, ModelGraph};
 use h2h_model::tensor::DataType;
 use h2h_model::units::{Bytes, Seconds};
+use h2h_system::fault::{FaultPlan, FaultState};
 use h2h_system::incremental::IncrementalSchedule;
 use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
@@ -69,6 +81,8 @@ use h2h_system::topology::Endpoint;
 use crate::config::H2hConfig;
 use crate::knapsack::{solve_auto, Item};
 use crate::pipeline::{H2hError, H2hMapper};
+use crate::preset::PinPreset;
+use crate::repair::{repair_mapping, resolve_repair_budget};
 
 /// One tenant's admission request: a model plus its service contract.
 #[derive(Debug, Clone)]
@@ -190,6 +204,145 @@ fn validate_contract(
     Ok(())
 }
 
+/// Per-board serve-budget enforcement, shared by admission and the
+/// fault-transition repair path: on every board over budget, keep the
+/// highest-value pins that fit (knapsack on saved transfer time, the
+/// step-2 objective), unpin the rest, and re-cost the dropped layers'
+/// cones as an incremental delta. `system` is whatever fabric the
+/// tenant is currently priced on (the degraded one during a fault
+/// window — budgets depend only on DRAM capacity, which faults never
+/// change). Returns the number of pins dropped.
+#[allow(clippy::too_many_arguments)]
+fn trim_to_budget(
+    system: &SystemSpec,
+    config: &H2hConfig,
+    tenant: &str,
+    model: &ModelGraph,
+    mapping: &Mapping,
+    locality: &mut LocalityState,
+    inc: &mut IncrementalSchedule,
+    ev: &Evaluator<'_>,
+) -> Result<usize, ServeError> {
+    let budget_of = |acc: AccId| {
+        let cap = system.acc(acc).dram_capacity().as_u64() as f64;
+        (cap * config.serve_dram_budget_frac) as u64
+    };
+    let mut trimmed_pins = 0usize;
+    let topo = system.topology();
+    for acc in system.acc_ids() {
+        let budget = budget_of(acc);
+        let used = locality.dram_used(acc).as_u64();
+        if used <= budget {
+            continue;
+        }
+        let mut pins: Vec<LayerId> =
+            locality.pinned_layers().filter(|l| mapping.acc_of(*l) == acc).collect();
+        pins.sort_unstable();
+        let pinned_bytes: u64 = pins
+            .iter()
+            .map(|l| model.layer(*l).weight_bytes(DataType::F32).as_u64())
+            .sum();
+        // Everything resident that is not a pin (fusion buffers) is
+        // non-negotiable: fusions changed the *schedule structure*
+        // the offline search committed to, pins only change where
+        // weights stream from.
+        let fixed = used - pinned_bytes;
+        if fixed > budget {
+            return Err(ServeError::DramBudget {
+                tenant: tenant.to_owned(),
+                acc: system.acc(acc).meta().id.clone(),
+                needed: Bytes::new(fixed),
+                budget: Bytes::new(budget),
+            });
+        }
+        let dram = system.acc(acc).dram_bandwidth().as_f64();
+        // Saved streaming time is priced at this board's host-route
+        // rate (the scalar Ethernet rate on a uniform star).
+        let eth = topo.path_bw(Endpoint::Host, Endpoint::Acc(acc)).as_f64();
+        let items: Vec<Item> = pins
+            .iter()
+            .enumerate()
+            .map(|(idx, l)| {
+                let bytes = model.layer(*l).weight_bytes(DataType::F32).as_u64();
+                Item {
+                    id: idx,
+                    weight: bytes,
+                    value: bytes as f64 * (1.0 / eth - 1.0 / dram),
+                }
+            })
+            .collect();
+        let keep = solve_auto(&items, budget - fixed);
+        let mut keep_mask = vec![false; pins.len()];
+        for idx in keep {
+            keep_mask[idx] = true;
+        }
+        let mut dropped = Vec::new();
+        for (idx, layer) in pins.iter().enumerate() {
+            if !keep_mask[idx] {
+                let ok = locality.unpin(model, *layer, acc);
+                debug_assert!(ok, "trim targets were pinned");
+                dropped.push(*layer);
+                trimmed_pins += 1;
+            }
+        }
+        // Delta re-cost: only the unpinned layers' weight terms
+        // changed; refresh them and propagate their cone instead of
+        // rebuilding the schedule.
+        let seeds = inc.refresh_costs(ev, mapping, locality, dropped);
+        inc.propagate(&seeds);
+    }
+    if trimmed_pins > 0 {
+        // Restore bitwise-exact aggregates after the delta edits.
+        inc.resum_aggregates();
+    }
+    for acc in system.acc_ids() {
+        let used = locality.dram_used(acc);
+        let budget = Bytes::new(budget_of(acc));
+        if used > budget {
+            return Err(ServeError::DramBudget {
+                tenant: tenant.to_owned(),
+                acc: system.acc(acc).meta().id.clone(),
+                needed: used,
+                budget,
+            });
+        }
+    }
+    Ok(trimmed_pins)
+}
+
+/// Evaluates one tenant's slice makespan at batch `k` through its
+/// incremental schedule (memoized per batch size). `system` is the
+/// fabric the tenant is currently priced on — the degraded system
+/// during a fault window; the memo is reset at every fault transition,
+/// so hits never cross fabrics.
+fn slice_makespan_on(
+    system: &SystemSpec,
+    verify: bool,
+    t: &mut Tenant,
+    k: u32,
+    counters: &mut ServeCounters,
+) -> Seconds {
+    if let Some((_, m)) = t.slice_memo.iter().find(|(b, _)| *b == k) {
+        counters.slice_cache_hits += 1;
+        return *m;
+    }
+    counters.slice_evals += 1;
+    let ev = Evaluator::from_cache(&t.spec.model, system, t.cache.clone()).with_batch(k);
+    // The memo pre-empts same-size re-evaluation, so every call
+    // here rebatches to a genuinely new size.
+    t.inc.rebatch(&ev, &t.mapping, &t.locality);
+    let m = t.inc.makespan();
+    if verify {
+        counters.crosschecks += 1;
+        let full = ev.evaluate(&t.mapping, &t.locality).makespan();
+        if full.as_f64() != m.as_f64() {
+            counters.crosscheck_mismatches += 1;
+        }
+    }
+    t.slice_memo.push((k, m));
+    m
+}
+
 /// One admitted tenant: its offline-searched placement plus the
 /// long-lived incremental schedule the slice evaluator mutates.
 #[derive(Debug)]
@@ -274,6 +427,51 @@ impl Tenant {
     }
 }
 
+/// The tenant fields a fault window mutates — snapshotted at the start
+/// of a faulted serve and restored at the end, so the registry (and
+/// every later [`TenantRegistry::serve`] call) stays bit-identical to
+/// a run that never saw faults.
+#[derive(Debug)]
+struct TenantSnapshot {
+    mapping: Mapping,
+    locality: LocalityState,
+    inc: IncrementalSchedule,
+    slice_memo: Vec<(u32, Seconds)>,
+    ideal: Seconds,
+    weight_xfer_once: Seconds,
+    resident: Vec<u64>,
+    pinned_total: Bytes,
+    pinned_by_acc: Vec<u64>,
+}
+
+impl TenantSnapshot {
+    fn of(t: &Tenant) -> Self {
+        TenantSnapshot {
+            mapping: t.mapping.clone(),
+            locality: t.locality.clone(),
+            inc: t.inc.clone(),
+            slice_memo: t.slice_memo.clone(),
+            ideal: t.ideal,
+            weight_xfer_once: t.weight_xfer_once,
+            resident: t.resident.clone(),
+            pinned_total: t.pinned_total,
+            pinned_by_acc: t.pinned_by_acc.clone(),
+        }
+    }
+
+    fn restore(self, t: &mut Tenant) {
+        t.mapping = self.mapping;
+        t.locality = self.locality;
+        t.inc = self.inc;
+        t.slice_memo = self.slice_memo;
+        t.ideal = self.ideal;
+        t.weight_xfer_once = self.weight_xfer_once;
+        t.resident = self.resident;
+        t.pinned_total = self.pinned_total;
+        t.pinned_by_acc = self.pinned_by_acc;
+    }
+}
+
 /// Per-tenant serving outcome: the SLO ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantServeStats {
@@ -306,6 +504,15 @@ pub struct TenantServeStats {
     /// Total Ethernet time spent on those reloads (already included in
     /// the attained latencies and the drain makespan).
     pub reload_time: Seconds,
+    /// Mapping repairs applied to this tenant at fault transitions
+    /// ([`TenantRegistry::serve_with_faults`]); zero on no-fault runs.
+    pub repairs: usize,
+    /// Requests completed while the fabric was degraded (a fault
+    /// window was in force at their round's start).
+    pub degraded_served: usize,
+    /// SLO violations among [`TenantServeStats::degraded_served`] —
+    /// the degraded-mode slice of the violation ledger.
+    pub violations_degraded: usize,
 }
 
 impl TenantServeStats {
@@ -338,6 +545,14 @@ pub struct ServeCounters {
     /// Total swap-ins across tenants (evicted pinned weights
     /// re-streamed over Ethernet).
     pub weight_reloads: usize,
+    /// Fault-state transitions applied (boundary crossings of the
+    /// [`h2h_system::fault::FaultPlan`] that changed the fabric).
+    pub fault_transitions: usize,
+    /// Per-tenant mapping repairs run at those transitions.
+    pub repairs: usize,
+    /// Attempted delta moves spent by all repairs (the deterministic
+    /// budget currency of [`crate::repair::repair_mapping`]).
+    pub repair_evals: usize,
 }
 
 /// Result of one serving window.
@@ -386,6 +601,32 @@ impl ServeOutcome {
                     t.name, t.violations, t.served
                 ));
             }
+            if t.degraded_served > t.served {
+                return Err(format!(
+                    "{}: {} degraded-window requests exceed {} served",
+                    t.name, t.degraded_served, t.served
+                ));
+            }
+            if t.violations_degraded > t.violations {
+                return Err(format!(
+                    "{}: {} degraded violations exceed {} total violations",
+                    t.name, t.violations_degraded, t.violations
+                ));
+            }
+            if t.violations_degraded > t.degraded_served {
+                return Err(format!(
+                    "{}: {} degraded violations exceed {} degraded-window requests",
+                    t.name, t.violations_degraded, t.degraded_served
+                ));
+            }
+            if self.counters.fault_transitions == 0
+                && (t.repairs > 0 || t.degraded_served > 0 || t.violations_degraded > 0)
+            {
+                return Err(format!(
+                    "{}: degraded-mode ledger is non-zero without a fault transition",
+                    t.name
+                ));
+            }
             if t.weight_reloads == 0 && t.reload_time > Seconds::ZERO {
                 return Err(format!(
                     "{}: {} of reload time with zero swap-ins",
@@ -424,6 +665,12 @@ impl ServeOutcome {
             return Err(format!(
                 "{} slice cross-checks diverged from the full evaluation",
                 self.counters.crosscheck_mismatches
+            ));
+        }
+        if self.counters.fault_transitions == 0 && self.counters.repairs > 0 {
+            return Err(format!(
+                "{} repairs ran without a fault transition",
+                self.counters.repairs
             ));
         }
         Ok(())
@@ -521,89 +768,18 @@ impl<'s> TenantRegistry<'s> {
         let mut inc = IncrementalSchedule::new(&ev, &mapping, &locality);
 
         // Budget trim: per board, keep the highest-value pins that fit
-        // the serve budget; drop the rest and re-cost their cone.
-        let mut trimmed_pins = 0usize;
-        let topo = self.system.topology();
-        for acc in self.system.acc_ids() {
-            let budget = self.budget_bytes(acc).as_u64();
-            let used = locality.dram_used(acc).as_u64();
-            if used <= budget {
-                continue;
-            }
-            let mut pins: Vec<LayerId> = locality
-                .pinned_layers()
-                .filter(|l| mapping.acc_of(*l) == acc)
-                .collect();
-            pins.sort_unstable();
-            let pinned_bytes: u64 = pins
-                .iter()
-                .map(|l| spec.model.layer(*l).weight_bytes(DataType::F32).as_u64())
-                .sum();
-            // Everything resident that is not a pin (fusion buffers) is
-            // non-negotiable: fusions changed the *schedule structure*
-            // the offline search committed to, pins only change where
-            // weights stream from.
-            let fixed = used - pinned_bytes;
-            if fixed > budget {
-                return Err(ServeError::DramBudget {
-                    tenant: spec.name.clone(),
-                    acc: self.system.acc(acc).meta().id.clone(),
-                    needed: Bytes::new(fixed),
-                    budget: Bytes::new(budget),
-                });
-            }
-            let dram = self.system.acc(acc).dram_bandwidth().as_f64();
-            // Saved streaming time is priced at this board's host-route
-            // rate (the scalar Ethernet rate on a uniform star).
-            let eth = topo.path_bw(Endpoint::Host, Endpoint::Acc(acc)).as_f64();
-            let items: Vec<Item> = pins
-                .iter()
-                .enumerate()
-                .map(|(idx, l)| {
-                    let bytes = spec.model.layer(*l).weight_bytes(DataType::F32).as_u64();
-                    Item {
-                        id: idx,
-                        weight: bytes,
-                        value: bytes as f64 * (1.0 / eth - 1.0 / dram),
-                    }
-                })
-                .collect();
-            let keep = solve_auto(&items, budget - fixed);
-            let mut keep_mask = vec![false; pins.len()];
-            for idx in keep {
-                keep_mask[idx] = true;
-            }
-            let mut dropped = Vec::new();
-            for (idx, layer) in pins.iter().enumerate() {
-                if !keep_mask[idx] {
-                    let ok = locality.unpin(&spec.model, *layer, acc);
-                    debug_assert!(ok, "trim targets were pinned");
-                    dropped.push(*layer);
-                    trimmed_pins += 1;
-                }
-            }
-            // Delta re-cost: only the unpinned layers' weight terms
-            // changed; refresh them and propagate their cone instead of
-            // rebuilding the schedule.
-            let seeds = inc.refresh_costs(&ev, &mapping, &locality, dropped);
-            inc.propagate(&seeds);
-        }
-        if trimmed_pins > 0 {
-            // Restore bitwise-exact aggregates after the delta edits.
-            inc.resum_aggregates();
-        }
-        for acc in self.system.acc_ids() {
-            let used = locality.dram_used(acc);
-            let budget = self.budget_bytes(acc);
-            if used > budget {
-                return Err(ServeError::DramBudget {
-                    tenant: spec.name.clone(),
-                    acc: self.system.acc(acc).meta().id.clone(),
-                    needed: used,
-                    budget,
-                });
-            }
-        }
+        // the serve budget; drop the rest and re-cost their cone. The
+        // same enforcement re-runs after every fault-transition repair.
+        let trimmed_pins = trim_to_budget(
+            self.system,
+            &self.config,
+            &spec.name,
+            &spec.model,
+            &mapping,
+            &mut locality,
+            &mut inc,
+            &ev,
+        )?;
 
         let ideal = inc.makespan();
         if self.config.serve_verify {
@@ -687,7 +863,8 @@ impl<'s> TenantRegistry<'s> {
     ///
     /// Panics if the registry is empty.
     pub fn serve(&mut self) -> ServeOutcome {
-        self.serve_impl(self.config.serve_max_batch)
+        self.serve_impl(self.config.serve_max_batch, &FaultPlan::empty(), true)
+            .expect("no-fault serving cannot fail")
     }
 
     /// The naive per-tenant reference: identical arrivals and round
@@ -695,34 +872,53 @@ impl<'s> TenantRegistry<'s> {
     /// 1), so weight traffic is paid per request. `serve()` must beat
     /// this whenever weights matter — the `bench_serve` gate.
     pub fn serve_naive(&mut self) -> ServeOutcome {
-        self.serve_impl(1)
+        self.serve_impl(1, &FaultPlan::empty(), true)
+            .expect("no-fault serving cannot fail")
     }
 
-    /// Evaluates one tenant's slice makespan at batch `k` through its
-    /// incremental schedule (memoized per batch size).
-    fn slice_makespan(&mut self, idx: usize, k: u32, counters: &mut ServeCounters) -> Seconds {
-        let verify = self.config.serve_verify;
-        let system = self.system;
-        let t = &mut self.tenants[idx];
-        if let Some((_, m)) = t.slice_memo.iter().find(|(b, _)| *b == k) {
-            counters.slice_cache_hits += 1;
-            return *m;
-        }
-        counters.slice_evals += 1;
-        let ev = Evaluator::from_cache(&t.spec.model, system, t.cache.clone()).with_batch(k);
-        // The memo pre-empts same-size re-evaluation, so every call
-        // here rebatches to a genuinely new size.
-        t.inc.rebatch(&ev, &t.mapping, &t.locality);
-        let m = t.inc.makespan();
-        if verify {
-            counters.crosschecks += 1;
-            let full = ev.evaluate(&t.mapping, &t.locality).makespan();
-            if full.as_f64() != m.as_f64() {
-                counters.crosscheck_mismatches += 1;
-            }
-        }
-        t.slice_memo.push((k, m));
-        m
+    /// Serves the full request window through a fault timeline: at
+    /// every [`FaultPlan`] boundary that changes the fabric (sampled
+    /// at round starts; slices are atomic), each tenant's mapping is
+    /// repaired onto the degraded system by the time-budgeted
+    /// [`crate::repair::repair_mapping`]
+    /// ([`H2hConfig::repair_eval_budget`] attempted moves per tenant),
+    /// its pinned weights are evicted — the next slice re-streams them
+    /// over the degraded routes (re-admission) — and the SLO ledger
+    /// records the degraded window
+    /// ([`TenantServeStats::degraded_served`] /
+    /// [`TenantServeStats::violations_degraded`]).
+    ///
+    /// The registry is snapshot-restored afterwards, so later calls
+    /// are unaffected. With an empty plan this is exactly
+    /// [`TenantRegistry::serve`], bit for bit — the no-fault identity
+    /// contract of the fault subsystem.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Mapping`] when a fault strands a layer class with
+    /// no live supporting board, [`ServeError::DramBudget`] when a
+    /// repaired placement cannot be trimmed to the serve budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is empty.
+    pub fn serve_with_faults(&mut self, plan: &FaultPlan) -> Result<ServeOutcome, ServeError> {
+        self.serve_impl(self.config.serve_max_batch, plan, true)
+    }
+
+    /// The no-repair baseline: the identical fault timeline, but every
+    /// transition only *evacuates* dead boards (repair budget 0) — the
+    /// incumbent-on-degraded serving the budgeted repair is measured
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TenantRegistry::serve_with_faults`].
+    pub fn serve_with_faults_unrepaired(
+        &mut self,
+        plan: &FaultPlan,
+    ) -> Result<ServeOutcome, ServeError> {
+        self.serve_impl(self.config.serve_max_batch, plan, false)
     }
 
     /// Packs this round's co-resident tenant set: all backlogged
@@ -785,7 +981,107 @@ impl<'s> TenantRegistry<'s> {
         chosen
     }
 
-    fn serve_impl(&mut self, max_batch: u32) -> ServeOutcome {
+    /// Snapshot/serve/restore wrapper: a faulted run mutates tenant
+    /// state (repaired mappings, reset memos, new residents); the
+    /// snapshot puts everything back so the registry stays reusable
+    /// and bit-identical for later calls. The no-fault path takes no
+    /// snapshot and runs the historical loop unchanged.
+    fn serve_impl(
+        &mut self,
+        max_batch: u32,
+        plan: &FaultPlan,
+        budgeted: bool,
+    ) -> Result<ServeOutcome, ServeError> {
+        let snapshot: Option<Vec<TenantSnapshot>> =
+            (!plan.is_empty()).then(|| self.tenants.iter().map(TenantSnapshot::of).collect());
+        let result = self.serve_inner(max_batch, plan, budgeted);
+        if let Some(snap) = snapshot {
+            for (t, s) in self.tenants.iter_mut().zip(snap) {
+                s.restore(t);
+            }
+        }
+        result
+    }
+
+    /// Applies one fault-state change mid-serve: rebuild the degraded
+    /// system, repair every tenant's mapping onto it (budget per
+    /// [`H2hConfig::repair_eval_budget`], or evacuation-only when
+    /// `budgeted` is false), re-enforce the serve budget, rebuild the
+    /// tenant's incremental schedule and memo on the new fabric, and
+    /// evict its residency — the next slice re-streams the repaired
+    /// placement's pinned weights. Returns the degraded system the
+    /// following rounds are priced on (`None` once healthy again).
+    fn apply_fault_transition(
+        &mut self,
+        state: &FaultState,
+        budgeted: bool,
+        stats: &mut [TenantServeStats],
+        counters: &mut ServeCounters,
+        resident: &mut [bool],
+    ) -> Result<Option<SystemSpec>, ServeError> {
+        counters.fault_transitions += 1;
+        let degraded = (!state.is_healthy()).then(|| self.system.degrade(state));
+        let cfg = self.config;
+        let preset = PinPreset::new();
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            let sys: &SystemSpec = degraded.as_ref().unwrap_or(self.system);
+            // The compute-cost cache is bandwidth-independent, so it
+            // stays valid on any degraded fabric.
+            let ev = Evaluator::from_cache(&t.spec.model, sys, t.cache.clone());
+            let budget =
+                if budgeted { resolve_repair_budget(&cfg, &t.spec.model) } else { 0 };
+            let rep = repair_mapping(&ev, &cfg, &preset, &t.mapping, state, budget)
+                .map_err(ServeError::Mapping)?;
+            counters.repairs += 1;
+            counters.repair_evals += rep.stats.attempted_moves;
+            stats[i].repairs += 1;
+            t.mapping = rep.mapping;
+            t.locality = rep.locality;
+            t.inc = IncrementalSchedule::new(&ev, &t.mapping, &t.locality);
+            // The repair re-ran pin selection against DRAM capacity;
+            // re-enforce the serve fraction exactly like admission.
+            trim_to_budget(
+                sys,
+                &cfg,
+                &t.spec.name,
+                &t.spec.model,
+                &t.mapping,
+                &mut t.locality,
+                &mut t.inc,
+                &ev,
+            )?;
+            let ideal = t.inc.makespan();
+            t.ideal = ideal;
+            t.slice_memo = vec![(1, ideal)];
+            // The ledger's ideal floor must hold for requests served on
+            // either fabric; keep the smaller of the two.
+            stats[i].ideal = stats[i].ideal.min(ideal);
+            t.weight_xfer_once = t
+                .spec
+                .model
+                .layer_ids()
+                .map(|id| ev.layer_cost(&t.mapping, &t.locality, id).weight_xfer)
+                .sum();
+            t.resident = sys.acc_ids().map(|a| t.locality.dram_used(a).as_u64()).collect();
+            t.pinned_total = t.locality.total_pinned_bytes(&t.spec.model);
+            t.pinned_by_acc = vec![0u64; sys.num_accs()];
+            for l in t.locality.pinned_layers() {
+                t.pinned_by_acc[t.mapping.acc_of(l).index()] +=
+                    t.spec.model.layer(l).weight_bytes(DataType::F32).as_u64();
+            }
+            // Eviction: the repaired placement's weights are not on the
+            // boards yet — its next slice pays the re-stream.
+            resident[i] = false;
+        }
+        Ok(degraded)
+    }
+
+    fn serve_inner(
+        &mut self,
+        max_batch: u32,
+        plan: &FaultPlan,
+        budgeted: bool,
+    ) -> Result<ServeOutcome, ServeError> {
         assert!(!self.tenants.is_empty(), "serve() needs at least one admitted tenant");
         let n = self.tenants.len();
         let n_accs = self.system.num_accs();
@@ -810,6 +1106,9 @@ impl<'s> TenantRegistry<'s> {
                 amortized_weight_time: Seconds::ZERO,
                 weight_reloads: 0,
                 reload_time: Seconds::ZERO,
+                repairs: 0,
+                degraded_served: 0,
+                violations_degraded: 0,
             })
             .collect();
         let mut counters = ServeCounters::default();
@@ -818,8 +1117,17 @@ impl<'s> TenantRegistry<'s> {
         let total: usize = self.tenants.iter().map(|t| t.spec.requests).sum();
         let mut done = 0usize;
         let mut now = 0.0f64;
-        let topo = self.system.topology();
         let budgets_u: Vec<u64> = budgets.iter().map(|b| b.as_u64()).collect();
+        // Fault timeline state: boundaries still ahead, the condition
+        // in force, and the degraded system rounds are priced on
+        // (`None` while healthy). Empty plan → all of this is inert
+        // and the loop below is the historical no-fault arithmetic.
+        let boundaries = plan.boundaries();
+        let mut next_boundary = 0usize;
+        let mut fault_state = FaultState::healthy(n_accs);
+        let mut fault_active = false;
+        let mut degraded_sys: Option<SystemSpec> = None;
+        let verify = self.config.serve_verify;
         // Deployment-time residency: admission-order greedy pack under
         // the shared budget. Weights loaded here are part of bring-up,
         // not the serving window (a single tenant is therefore always
@@ -838,6 +1146,31 @@ impl<'s> TenantRegistry<'s> {
         }
 
         while done < total {
+            // Fault boundaries crossed since the last round change the
+            // fabric; the *latest* crossed boundary defines the state
+            // (transitions that cancel out inside an idle gap — e.g. a
+            // fully recovered outage nobody was serving through — are
+            // skipped as the no-ops they are).
+            let mut last_crossed = None;
+            while next_boundary < boundaries.len() && now >= boundaries[next_boundary] - 1e-12 {
+                last_crossed = Some(boundaries[next_boundary]);
+                next_boundary += 1;
+            }
+            if let Some(t_b) = last_crossed {
+                let new_state = plan.state_at(Seconds::new(t_b), n_accs);
+                if new_state != fault_state {
+                    fault_state = new_state;
+                    fault_active = !fault_state.is_healthy();
+                    degraded_sys = self.apply_fault_transition(
+                        &fault_state,
+                        budgeted,
+                        &mut stats,
+                        &mut counters,
+                        &mut resident,
+                    )?;
+                }
+            }
+            let active_sys: &SystemSpec = degraded_sys.as_ref().unwrap_or(self.system);
             // Backlog at round start: arrivals up to `now`, not yet
             // served. Arrival j lands at j / rate; the floor gives a
             // fast first guess and the comparison loops make the count
@@ -925,8 +1258,9 @@ impl<'s> TenantRegistry<'s> {
                     stats[i].weight_reloads += 1;
                     // Each board's pinned share re-streams at that
                     // board's actual host-link rate (collapses to one
-                    // scalar-rate transfer on a uniform star, bitwise).
-                    topo.host_stream_time(
+                    // scalar-rate transfer on a uniform star, bitwise;
+                    // degraded routes during a fault window).
+                    active_sys.topology().host_stream_time(
                         self.tenants[i]
                             .pinned_by_acc
                             .iter()
@@ -936,7 +1270,8 @@ impl<'s> TenantRegistry<'s> {
                     )
                 };
                 stats[i].reload_time += reload;
-                let m = self.slice_makespan(i, k, &mut counters);
+                let m =
+                    slice_makespan_on(active_sys, verify, &mut self.tenants[i], k, &mut counters);
                 let end = now + reload.as_f64() + m.as_f64();
                 for _ in 0..k {
                     let j = served[i];
@@ -947,6 +1282,12 @@ impl<'s> TenantRegistry<'s> {
                     s.attained_max = s.attained_max.max(Seconds::new(latency));
                     if latency > s.slo.as_f64() {
                         s.violations += 1;
+                        if fault_active {
+                            s.violations_degraded += 1;
+                        }
+                    }
+                    if fault_active {
+                        s.degraded_served += 1;
                     }
                     served[i] += 1;
                     done += 1;
@@ -960,14 +1301,14 @@ impl<'s> TenantRegistry<'s> {
             }
         }
 
-        ServeOutcome {
+        Ok(ServeOutcome {
             tenants: stats,
             makespan: Seconds::new(now),
             counters,
             peak_resident: peak.into_iter().map(Bytes::new).collect(),
             budgets,
             acc_names,
-        }
+        })
     }
 }
 

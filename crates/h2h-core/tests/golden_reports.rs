@@ -16,7 +16,8 @@ use h2h_core::report::{search_stats_report, serve_report};
 use h2h_core::serve::{TenantRegistry, TenantSpec};
 use h2h_core::{H2hConfig, H2hMapper};
 use h2h_model::units::Seconds;
-use h2h_system::system::{BandwidthClass, SystemSpec};
+use h2h_system::fault::FaultPlan;
+use h2h_system::system::{AccId, BandwidthClass, SystemSpec};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"))
@@ -86,4 +87,48 @@ fn serve_report_snapshot_two_tenants() {
     let out = reg.serve();
     out.check_coherence().unwrap();
     check_golden("serve_report_two_tenants_lowminus", &serve_report(&out));
+}
+
+#[test]
+fn serve_report_snapshot_fault_window() {
+    // Same two-tenant registry as above, but a board goes down just
+    // after the drain starts (an onset inside the first round is
+    // crossed at the second round's top) and never recovers: the
+    // report grows the fault section — transitions, repairs, and the
+    // per-tenant degraded-mode SLO ledger.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig { serve_verify: true, ..H2hConfig::default() };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    reg.admit(TenantSpec::new(
+        "mocap",
+        h2h_model::zoo::mocap(),
+        30.0,
+        Seconds::new(8.0),
+        16,
+    ))
+    .unwrap();
+    reg.admit(TenantSpec::new(
+        "cnn-lstm",
+        h2h_model::zoo::cnn_lstm(),
+        30.0,
+        Seconds::new(8.0),
+        16,
+    ))
+    .unwrap();
+    // Down the board carrying the most layers of the first tenant's
+    // mapping — chosen from the mapping itself so the snapshot stays
+    // meaningful if admission placement ever changes.
+    let dead = {
+        let t = reg.tenants().next().unwrap();
+        let mut load = vec![0usize; system.num_accs()];
+        for id in t.spec().model.layer_ids() {
+            load[t.mapping().acc_of(id).index()] += 1;
+        }
+        load.iter().enumerate().max_by_key(|(_, l)| **l).unwrap().0
+    };
+    let plan = FaultPlan::board_down(AccId::new(dead), Seconds::new(1e-6));
+    let out = reg.serve_with_faults(&plan).unwrap();
+    out.check_coherence().unwrap();
+    assert!(out.counters.fault_transitions > 0, "the outage must be crossed");
+    check_golden("serve_report_fault_window_lowminus", &serve_report(&out));
 }

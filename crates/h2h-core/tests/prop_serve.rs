@@ -17,6 +17,77 @@ fn model_pool() -> Vec<h2h_model::ModelGraph> {
     vec![h2h_model::zoo::mocap(), h2h_model::zoo::cnn_lstm()]
 }
 
+/// Zero-headroom eviction: a DRAM budget fraction chosen so one
+/// tenant's pinned footprint *exactly* fills the binding board leaves
+/// no headroom for a second identical tenant to co-reside. The batch
+/// former must then serve by swapping — evicting and re-streaming
+/// pinned weights — while never exceeding the (tight) budget and
+/// never trimming either tenant's pins (each fits alone).
+#[test]
+fn zero_headroom_budget_serves_by_eviction_not_trimming() {
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let model = h2h_model::zoo::mocap();
+    let mk_spec = |name: &str| {
+        TenantSpec::new(name, model.clone(), 200.0, Seconds::new(5.0), 6)
+    };
+
+    // Probe at the full budget to learn the admitted footprint, then
+    // compute the fraction that makes the most-subscribed board exact:
+    // frac = (resident + 0.5) / capacity floors back to `resident`
+    // when multiplied out, so the budget equals the footprint bitwise.
+    let probe_cfg = H2hConfig { serve_verify: true, ..H2hConfig::default() };
+    let mut probe = TenantRegistry::new(&system, probe_cfg);
+    probe.admit(mk_spec("probe")).unwrap();
+    let (binding, res, cap, frac) = {
+        let t = probe.tenants().next().unwrap();
+        system
+            .acc_ids()
+            .map(|acc| {
+                let res = t.resident_bytes(acc).as_u64();
+                let cap = probe.budget_bytes(acc).as_u64();
+                (acc, res, cap, (res as f64 + 0.5) / cap as f64)
+            })
+            .max_by(|a, b| a.3.partial_cmp(&b.3).unwrap())
+            .unwrap()
+    };
+    assert!(res > 0, "mocap must pin something for the test to bite");
+    assert_eq!(
+        (cap as f64 * frac) as u64,
+        res,
+        "the zero-headroom fraction must reproduce the footprint exactly"
+    );
+
+    let cfg = H2hConfig {
+        serve_dram_budget_frac: frac,
+        serve_verify: true,
+        ..H2hConfig::default()
+    };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    reg.admit(mk_spec("a")).unwrap();
+    reg.admit(mk_spec("b")).unwrap();
+    for t in reg.tenants() {
+        assert_eq!(t.trimmed_pins(), 0, "{}: each tenant fits alone, nothing may trim", t.spec().name);
+        assert_eq!(t.resident_bytes(binding).as_u64(), res, "{}: same model, same footprint", t.spec().name);
+    }
+
+    let out = reg.serve();
+    out.check_coherence().unwrap();
+    assert!(out.counters.rounds >= 2, "two tenants cannot drain in one round");
+    assert!(
+        out.counters.weight_reloads > 0,
+        "zero headroom forces at least one eviction/re-stream cycle"
+    );
+    assert_eq!(out.counters.crosscheck_mismatches, 0);
+    let b = binding.index();
+    assert_eq!(
+        out.peak_resident[b], out.budgets[b],
+        "the binding board must run exactly full, not over"
+    );
+    for (peak, budget) in out.peak_resident.iter().zip(&out.budgets) {
+        assert!(peak <= budget, "round footprint exceeds the zero-headroom budget");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 

@@ -1,0 +1,377 @@
+//! Fault model: timed board/link fault events and the degraded-fabric
+//! view the repair pipeline searches against.
+//!
+//! Production fabrics are not the fabric the mapping was searched on:
+//! boards die and links degrade mid-serve. This module gives those
+//! events a first-class, deterministic representation:
+//!
+//! * [`FaultEvent`] — one board goes down, or one board's host link
+//!   degrades to `1/factor` of its healthy rate, at an absolute time
+//!   `at`, with an optional recovery time.
+//! * [`FaultPlan`] — an ordered set of events plus a parser
+//!   ([`FaultPlan::parse`]) shared by the CLI/bench front ends.
+//! * [`FaultState`] — the instantaneous condition of every board at one
+//!   time ([`FaultPlan::state_at`]): a down mask plus per-board link
+//!   slowdown factors. Applying a state to a fabric
+//!   ([`crate::topology::Topology::degrade`] /
+//!   [`crate::system::SystemSpec::degrade`]) rebuilds the route table
+//!   with the degraded link rates and with peer links of dead boards
+//!   severed — cheap (O(n²) on a handful of boards) and exact: a
+//!   healthy state returns a bitwise-identical fabric.
+//!
+//! The event simulator replays a timeline through the fault window
+//! ([`crate::sim::simulate_with_faults`]); the mapping-repair path in
+//! `h2h-core` uses [`FaultState`] to evacuate dead boards and re-price
+//! every route-crossing edge on the degraded fabric. An empty plan is
+//! the no-fault fast path everywhere — bit-identical to the historical
+//! code paths, asserted zoo-wide.
+
+use h2h_model::units::Seconds;
+
+use crate::system::AccId;
+
+/// What went wrong with one board's attachment to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The board is offline: it computes nothing and its pinned weights
+    /// are stranded. Its peer links are severed; host-relayed data
+    /// already produced remains reachable (the host keeps the copies it
+    /// relayed).
+    BoardDown,
+    /// The board's host link runs at `1/factor` of its healthy rate
+    /// (`factor > 1`). Direct peer links are unaffected.
+    LinkDegraded {
+        /// Slowdown divisor applied to the host link rate.
+        factor: f64,
+    },
+}
+
+/// One timed fault event, optionally recovering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// The affected board.
+    pub acc: AccId,
+    /// What happens to it.
+    pub kind: FaultKind,
+    /// Absolute onset time (seconds on the serve/sim clock).
+    pub at: Seconds,
+    /// Absolute recovery time; `None` means the fault persists.
+    pub recover_at: Option<Seconds>,
+}
+
+impl FaultEvent {
+    /// Whether this event is in force at time `t` (`at <= t`, and
+    /// before recovery when one is scheduled).
+    pub fn active_at(&self, t: Seconds) -> bool {
+        self.at <= t && self.recover_at.is_none_or(|r| t < r)
+    }
+}
+
+/// A deterministic fault schedule: the full set of timed events one
+/// serve window (or one simulation) replays through.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan — the no-fault fast path.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A single permanent board outage at `at`.
+    pub fn board_down(acc: AccId, at: Seconds) -> Self {
+        FaultPlan {
+            events: vec![FaultEvent { acc, kind: FaultKind::BoardDown, at, recover_at: None }],
+        }
+    }
+
+    /// Appends an event (builder style).
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True when no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Every time at which the fault state can change (onsets and
+    /// recoveries), sorted ascending and deduplicated.
+    pub fn boundaries(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .events
+            .iter()
+            .flat_map(|e| [Some(e.at), e.recover_at])
+            .flatten()
+            .map(Seconds::as_f64)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("fault times are finite"));
+        times.dedup();
+        times
+    }
+
+    /// The instantaneous fabric condition at time `t` over `n_accs`
+    /// boards: each active event contributes its down bit / slowdown
+    /// factor (factors of stacked events on one board multiply).
+    pub fn state_at(&self, t: Seconds, n_accs: usize) -> FaultState {
+        let mut state = FaultState::healthy(n_accs);
+        for e in self.events.iter().filter(|e| e.active_at(t)) {
+            let i = e.acc.index();
+            match e.kind {
+                FaultKind::BoardDown => state.down[i] = true,
+                FaultKind::LinkDegraded { factor } => state.link_factor[i] *= factor,
+            }
+        }
+        state
+    }
+
+    /// Parses a fault spec string against the board count. Events are
+    /// `;`-separated; accepted forms:
+    ///
+    /// * `board:IDX@T` / `board:IDX@T-T2` — board `IDX` down from `T`
+    ///   seconds, optionally recovering at `T2`;
+    /// * `link:IDX/F@T` / `link:IDX/F@T-T2` — board `IDX`'s host link
+    ///   degraded to `1/F` of its rate (`F > 1`) from `T`, optionally
+    ///   recovering at `T2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs: unknown
+    /// event kinds, out-of-range board indices, factors not above 1,
+    /// negative or non-finite times, recoveries not after onsets.
+    pub fn parse(spec: &str, n_accs: usize) -> Result<FaultPlan, String> {
+        let secs = |s: &str| -> Result<Seconds, String> {
+            let v: f64 =
+                s.trim().parse().map_err(|_| format!("bad time `{s}` (seconds expected)"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("time `{s}` must be non-negative and finite"));
+            }
+            Ok(Seconds::new(v))
+        };
+        let window = |s: &str| -> Result<(Seconds, Option<Seconds>), String> {
+            let (at, recover_at) = match s.split_once('-') {
+                Some((a, r)) => (secs(a)?, Some(secs(r)?)),
+                None => (secs(s)?, None),
+            };
+            if let Some(r) = recover_at {
+                if r <= at {
+                    return Err(format!("recovery `{}` must be after onset `{}`", r, at));
+                }
+            }
+            Ok((at, recover_at))
+        };
+        let board = |s: &str| -> Result<AccId, String> {
+            let idx: usize =
+                s.trim().parse().map_err(|_| format!("bad board index `{s}`"))?;
+            if idx >= n_accs {
+                return Err(format!("board {idx} out of range for {n_accs} accelerators"));
+            }
+            Ok(AccId::new(idx))
+        };
+        let mut plan = FaultPlan::empty();
+        for event in spec.split(';').filter(|e| !e.is_empty()) {
+            let (kind, rest) = event
+                .split_once(':')
+                .ok_or_else(|| format!("event `{event}` is not kind:…"))?;
+            match kind {
+                "board" => {
+                    let (idx, times) = rest
+                        .split_once('@')
+                        .ok_or_else(|| format!("board event `{rest}` is not IDX@T[-T2]"))?;
+                    let acc = board(idx)?;
+                    let (at, recover_at) = window(times)?;
+                    plan.events.push(FaultEvent {
+                        acc,
+                        kind: FaultKind::BoardDown,
+                        at,
+                        recover_at,
+                    });
+                }
+                "link" => {
+                    let (target, times) = rest
+                        .split_once('@')
+                        .ok_or_else(|| format!("link event `{rest}` is not IDX/F@T[-T2]"))?;
+                    let (idx, factor) = target
+                        .split_once('/')
+                        .ok_or_else(|| format!("link target `{target}` is not IDX/F"))?;
+                    let acc = board(idx)?;
+                    let f: f64 = factor
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad slowdown factor `{factor}`"))?;
+                    if !f.is_finite() || f <= 1.0 {
+                        return Err("slowdown factor must be finite and exceed 1".into());
+                    }
+                    let (at, recover_at) = window(times)?;
+                    plan.events.push(FaultEvent {
+                        acc,
+                        kind: FaultKind::LinkDegraded { factor: f },
+                        at,
+                        recover_at,
+                    });
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault kind `{other}` (board:IDX@T[-T2] | link:IDX/F@T[-T2])"
+                    ))
+                }
+            }
+        }
+        if plan.is_empty() {
+            return Err("fault spec contains no events".into());
+        }
+        Ok(plan)
+    }
+}
+
+/// The instantaneous condition of every board: a down mask plus
+/// per-board host-link slowdown factors (`1.0` = healthy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultState {
+    down: Vec<bool>,
+    link_factor: Vec<f64>,
+}
+
+impl FaultState {
+    /// All boards up, all links at full rate.
+    pub fn healthy(n_accs: usize) -> Self {
+        FaultState { down: vec![false; n_accs], link_factor: vec![1.0; n_accs] }
+    }
+
+    /// Number of boards this state describes.
+    pub fn num_accs(&self) -> usize {
+        self.down.len()
+    }
+
+    /// True when nothing is down and nothing is degraded.
+    pub fn is_healthy(&self) -> bool {
+        !self.down.iter().any(|d| *d) && self.link_factor.iter().all(|f| *f == 1.0)
+    }
+
+    /// Whether a board is up (alive, possibly with a degraded link).
+    pub fn acc_is_up(&self, acc: AccId) -> bool {
+        !self.down[acc.index()]
+    }
+
+    /// The host-link slowdown divisor of one board (`1.0` = healthy).
+    pub fn link_factor(&self, acc: AccId) -> f64 {
+        self.link_factor[acc.index()]
+    }
+
+    /// Marks a board down (test/constructor convenience).
+    pub fn set_down(&mut self, acc: AccId) {
+        self.down[acc.index()] = true;
+    }
+
+    /// Sets a board's link slowdown divisor.
+    pub fn set_link_factor(&mut self, acc: AccId, factor: f64) {
+        assert!(factor.is_finite() && factor >= 1.0, "slowdown factor must be >= 1");
+        self.link_factor[acc.index()] = factor;
+    }
+
+    /// Boards currently down, ascending.
+    pub fn down_accs(&self) -> impl Iterator<Item = AccId> + '_ {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d)
+            .map(|(i, _)| AccId::new(i))
+    }
+}
+
+/// Strips a `--faults <spec>` flag (and its value) out of a raw
+/// argv-style list, shared by the CLI front ends (mirrors
+/// [`crate::topology::take_topology_flag`]).
+///
+/// # Errors
+///
+/// Errors when the flag is present without a value.
+pub fn take_faults_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--faults") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--faults needs a value".into());
+    }
+    let spec = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_board_and_link_events() {
+        let plan = FaultPlan::parse("board:3@2.5;link:1/4@0.5-2", 12).unwrap();
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.events()[0].acc, AccId::new(3));
+        assert!(matches!(plan.events()[0].kind, FaultKind::BoardDown));
+        assert_eq!(plan.events()[0].at, Seconds::new(2.5));
+        assert_eq!(plan.events()[0].recover_at, None);
+        assert!(
+            matches!(plan.events()[1].kind, FaultKind::LinkDegraded { factor } if factor == 4.0)
+        );
+        assert_eq!(plan.events()[1].recover_at, Some(Seconds::new(2.0)));
+        assert_eq!(plan.boundaries(), vec![0.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        let cases: &[(&str, &str)] = &[
+            ("", "no events"),
+            ("pause:1@2", "unknown fault kind"),
+            ("board:12@1", "out of range"),
+            ("board:x@1", "bad board index"),
+            ("board:1", "not IDX@T"),
+            ("board:1@-2", "bad time"),
+            ("board:1@nan", "non-negative and finite"),
+            ("board:1@3-2", "must be after onset"),
+            ("board:1@3-3", "must be after onset"),
+            ("link:1@2", "not IDX/F"),
+            ("link:1/1@2", "exceed 1"),
+            ("link:1/0.5@2", "exceed 1"),
+            ("link:1/inf@2", "finite"),
+            ("link:1/x@2", "bad slowdown factor"),
+        ];
+        for (spec, needle) in cases {
+            let err = FaultPlan::parse(spec, 12).unwrap_err();
+            assert!(err.contains(needle), "`{spec}`: `{err}` lacks `{needle}`");
+        }
+    }
+
+    #[test]
+    fn state_at_tracks_windows_and_stacks_factors() {
+        let plan = FaultPlan::parse("board:0@1-3;link:2/2@0;link:2/3@2-4", 4).unwrap();
+        let at = |t: f64| plan.state_at(Seconds::new(t), 4);
+        assert!(at(0.5).acc_is_up(AccId::new(0)));
+        assert!(!at(1.0).acc_is_up(AccId::new(0)), "onset is inclusive");
+        assert!(at(3.0).acc_is_up(AccId::new(0)), "recovery is exclusive");
+        assert_eq!(at(0.0).link_factor(AccId::new(2)), 2.0);
+        assert_eq!(at(2.5).link_factor(AccId::new(2)), 6.0, "stacked factors multiply");
+        assert_eq!(at(4.0).link_factor(AccId::new(2)), 2.0);
+        assert!(!at(2.0).is_healthy());
+        assert!(FaultPlan::empty().state_at(Seconds::new(9.0), 4).is_healthy());
+    }
+
+    #[test]
+    fn take_faults_flag_strips_the_pair() {
+        let mut args: Vec<String> =
+            ["serve", "--faults", "board:1@2", "mocap"].map(String::from).to_vec();
+        assert_eq!(take_faults_flag(&mut args).unwrap().as_deref(), Some("board:1@2"));
+        assert_eq!(args, ["serve", "mocap"]);
+        let mut dangling: Vec<String> = ["serve", "--faults"].map(String::from).to_vec();
+        assert!(take_faults_flag(&mut dangling).is_err());
+        let mut none: Vec<String> = ["serve"].map(String::from).to_vec();
+        assert_eq!(take_faults_flag(&mut none).unwrap(), None);
+    }
+}

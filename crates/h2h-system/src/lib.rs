@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fault;
 pub mod gantt;
 pub mod incremental;
 pub mod locality;
@@ -49,11 +50,12 @@ pub mod trace;
 #[doc(hidden)]
 pub mod testutil;
 
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState};
 pub use gantt::{render_gantt, render_link_gantt};
 pub use incremental::IncrementalSchedule;
 pub use locality::LocalityState;
 pub use mapping::{Mapping, MappingError};
 pub use schedule::{CostCache, EnergyBreakdown, Evaluator, LayerTiming, Schedule};
-pub use sim::{simulate, SimConfig, SimReport};
+pub use sim::{simulate, simulate_with_faults, SimConfig, SimReport};
 pub use system::{AccId, BandwidthClass, SystemSpec};
 pub use topology::{Endpoint, Topology};

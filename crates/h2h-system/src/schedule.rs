@@ -243,6 +243,7 @@ pub struct Evaluator<'a> {
     cache: CostCache,
     order: Vec<LayerId>,
     batch: u32,
+    evals: std::sync::atomic::AtomicUsize,
 }
 
 impl<'a> Evaluator<'a> {
@@ -255,6 +256,7 @@ impl<'a> Evaluator<'a> {
             cache: CostCache::new(model, system),
             order: model.topo_order(),
             batch: 1,
+            evals: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -268,7 +270,14 @@ impl<'a> Evaluator<'a> {
     /// from it. `cache` must come from this exact (model, system) pair;
     /// a mismatched cache produces wrong (or panicking) schedules.
     pub fn from_cache(model: &'a ModelGraph, system: &'a SystemSpec, cache: CostCache) -> Self {
-        Evaluator { model, system, cache, order: model.topo_order(), batch: 1 }
+        Evaluator {
+            model,
+            system,
+            cache,
+            order: model.topo_order(),
+            batch: 1,
+            evals: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// Sets the serving batch size (≥ 1).
@@ -310,7 +319,16 @@ impl<'a> Evaluator<'a> {
     /// Panics if any layer is unmapped or mapped to an accelerator that
     /// cannot execute it (callers validate with [`Mapping::validate`]).
     pub fn evaluate(&self, mapping: &Mapping, locality: &LocalityState) -> Schedule {
+        self.evals.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.evaluate_filtered(mapping, locality, |_| true)
+    }
+
+    /// Full [`Evaluator::evaluate`] calls made through this evaluator
+    /// since construction — the currency search budgets are billed in.
+    /// Partial (prefix) evaluations are not counted: they price a
+    /// fragment of the model, not a schedule.
+    pub fn evals_performed(&self) -> usize {
+        self.evals.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Evaluates the sub-schedule of layers for which `include` returns

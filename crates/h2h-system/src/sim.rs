@@ -1,47 +1,84 @@
 //! Discrete-event simulation of the multi-FPGA cluster.
 //!
-//! The analytical scheduler ([`crate::schedule::Evaluator`]) assumes
-//! every route of the interconnect fabric runs at its full effective
-//! bandwidth regardless of what the rest of the cluster is doing — the
-//! same abstraction the paper's modified-MAESTRO infrastructure uses.
-//! This simulator executes the mapped model event by event over the
-//! *same* [`crate::topology::Topology`] (every transfer phase is rated
-//! by the identical `(src, dst)` route query the analytical
-//! [`crate::schedule::Evaluator::layer_cost`] charges) and can
-//! additionally model the fabric's real bottleneck: the host NIC,
-//! shared by all concurrent via-host transfers (processor-sharing
-//! fluid model). Direct peer links of a switched fabric bypass the
-//! host and never contend for it.
+//! ## The phase model
 //!
-//! With dedicated links (`SimConfig::dedicated`) the simulation
-//! reproduces the analytical schedule exactly — that equivalence is a
-//! cross-validation test of both implementations. With a finite host
-//! NIC it quantifies how much the contention-free abstraction
-//! under-reports congested makespans; the analytical floor on that
-//! congestion is [`crate::topology::host_contention_bound`], which the
+//! Each mapped layer executes as a pipeline of *phases* on its board,
+//! in order:
+//!
+//! 1. **Weight fetch** — a local-DRAM [`Phase::Timed`] when the layer
+//!    is pinned, a host→board [`Phase::Link`] stream otherwise;
+//! 2. **IFM ingest** — one phase per incoming activation edge: a
+//!    local-DRAM `Timed` read when the edge is fused, a `Link` phase
+//!    from [`crate::topology::edge_src`] otherwise;
+//! 3. **Compute** — a `Timed` phase from the shared
+//!    [`crate::schedule::CostCache`];
+//! 4. **OFM upload** — the *single* `Link` phase of the shared
+//!    [`crate::topology::Topology::ofm_route`] rule (one upload serves
+//!    every remote consumer at the slowest route among them; model
+//!    outputs land at the host), plus a local-DRAM `Timed` write when
+//!    some consumer is fused.
+//!
+//! A `Link` phase carries its remaining bytes, the effective rate of
+//! its `(src, dst)` route, and a `via_host` bit — the identical route
+//! query the analytical [`crate::schedule::Evaluator::layer_cost`]
+//! charges, so with dedicated links (`SimConfig::dedicated`) the
+//! simulation reproduces the analytical schedule exactly on any
+//! topology (a cross-validation test of both implementations). Only
+//! via-host phases contend for the optional shared host NIC
+//! (`SimConfig::shared_nic`, fair processor-sharing fluid model);
+//! direct peer links of a switched fabric bypass the host and never
+//! pay that contention. The analytical floor on the congestion is
+//! [`crate::topology::host_contention_bound`], which the
 //! `sim_crosscheck` suite verifies the simulator never beats.
+//!
+//! ## Batch semantics ([`SimConfig::with_batch`])
+//!
+//! A batch of `k` requests streams through the mapping the way a
+//! multi-tenant serve *slice* does ([`crate::schedule::Evaluator::with_batch`]):
+//! weights are fetched **once** per slice, while IFM transfers,
+//! compute and OFM uploads repeat per request — their phase sizes
+//! scale by `k`. Dedicated-link simulation of a batch-`k` slice
+//! therefore reproduces the analytic batched makespan the serve loop's
+//! `IncrementalSchedule::rebatch` maintains incrementally.
+//!
+//! ## Fault timelines ([`simulate_with_faults`])
+//!
+//! The same execution can replay through a [`FaultPlan`]: fault
+//! boundaries clamp the event-loop time step, and at each boundary the
+//! degraded fabric ([`crate::topology::Topology::degrade`]) re-rates
+//! every in-flight and queued `Link` phase — transfers keep their
+//! remaining bytes and continue at the new route rate (fluid model).
+//! A down board freezes: it starts no layers, its phases make no
+//! progress until recovery, and its frozen via-host transfers release
+//! the shared NIC. An always-degraded plan therefore matches the
+//! analytical evaluator on the degraded system exactly, and a
+//! recoverable outage on an otherwise-idle dependency chain delays the
+//! makespan by exactly the outage overlap — the fault-window
+//! cross-checks of the analytical degraded-route costs. With an empty
+//! plan the code path is bit-identical to [`simulate`].
 
 use h2h_model::graph::{LayerId, ModelGraph};
 use h2h_model::layer::LayerOp;
 use h2h_model::tensor::DataType;
 use h2h_model::units::{BytesPerSec, Seconds};
 
+use crate::fault::FaultPlan;
 use crate::locality::LocalityState;
 use crate::mapping::Mapping;
 use crate::schedule::CostCache;
-use crate::system::SystemSpec;
-use crate::topology::Endpoint;
+use crate::system::{AccId, SystemSpec};
+use crate::topology::{Endpoint, Topology};
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
-    /// Aggregate host-NIC capacity shared by all in-flight Ethernet
-    /// transfers; `None` models dedicated full-rate links (the paper's
-    /// abstraction).
+    /// Aggregate host-NIC capacity shared by all in-flight via-host
+    /// transfer phases; `None` models dedicated full-rate links (the
+    /// paper's abstraction).
     pub host_nic_capacity: Option<BytesPerSec>,
     /// Serving batch size: weights are fetched once per batch,
     /// activations and compute repeat per request (matches
-    /// `Evaluator::with_batch`).
+    /// `Evaluator::with_batch` — see the module docs).
     pub batch: u32,
 }
 
@@ -93,12 +130,24 @@ impl SimReport {
     }
 }
 
+/// How a [`Phase::Link`]'s rate is looked up when the fabric changes
+/// at a fault boundary.
+#[derive(Debug, Clone, Copy)]
+enum Route {
+    /// A fixed `(src, dst)` pair, re-priced via `Topology::path_bw`.
+    Pair(Endpoint, Endpoint),
+    /// The multi-consumer OFM upload of a layer, re-priced via the
+    /// shared `Topology::ofm_route` rule.
+    Ofm(LayerId),
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Phase {
     /// Interconnect transfer: remaining bytes, the route's effective
-    /// rate, and whether the route relays through the host NIC (only
-    /// those phases contend for `SimConfig::host_nic_capacity`).
-    Link { bytes: f64, rate: f64, via_host: bool },
+    /// rate, whether the route relays through the host NIC (only those
+    /// phases contend for `SimConfig::host_nic_capacity`), and the
+    /// route itself (for re-rating at fault boundaries).
+    Link { bytes: f64, rate: f64, via_host: bool, route: Route },
     /// Fixed-duration work: compute or local-DRAM traffic (seconds).
     Timed(f64),
 }
@@ -124,17 +173,55 @@ pub fn simulate(
     locality: &LocalityState,
     config: SimConfig,
 ) -> SimReport {
+    simulate_with_faults(model, system, mapping, locality, config, &FaultPlan::empty())
+}
+
+/// [`simulate`] through a fault timeline: board outages and link
+/// degradations of `plan` hit (and recover) at their scheduled times
+/// while the model executes — see the module docs for the fluid
+/// re-rating and freeze semantics. With an empty plan this is
+/// bit-identical to [`simulate`].
+///
+/// # Panics
+///
+/// Panics like [`simulate`], and additionally when an unrecovered
+/// board outage strands mapped work forever (the simulation would
+/// deadlock) — permanent outages are the *repair* path's business, the
+/// simulator replays timelines on fixed mappings.
+pub fn simulate_with_faults(
+    model: &ModelGraph,
+    system: &SystemSpec,
+    mapping: &Mapping,
+    locality: &LocalityState,
+    config: SimConfig,
+    plan: &FaultPlan,
+) -> SimReport {
     let cache = CostCache::new(model, system);
-    let topo = system.topology();
+    let base_topo = system.topology();
+    let n_accs = system.num_accs();
     let bound = model.id_bound();
 
+    // Fault timeline state: the boundaries still ahead, the condition
+    // in force, and the degraded fabric (None while healthy). Faults
+    // already active at t=0 apply before anything starts.
+    let boundaries = plan.boundaries();
+    let mut next_boundary = 0usize;
+    let mut state = plan.state_at(Seconds::new(0.0), n_accs);
+    while next_boundary < boundaries.len() && boundaries[next_boundary] <= 0.0 {
+        next_boundary += 1;
+    }
+    let mut degraded: Option<Topology> =
+        (!state.is_healthy()).then(|| base_topo.degrade(&state));
+    let mut board_up: Vec<bool> =
+        (0..n_accs).map(|i| state.acc_is_up(AccId::new(i))).collect();
+
     // Per-acc queues in global topological priority order.
-    let mut queues: Vec<Vec<LayerId>> = vec![Vec::new(); system.num_accs()];
+    let mut queues: Vec<Vec<LayerId>> = vec![Vec::new(); n_accs];
     for id in model.topo_order() {
         queues[mapping.acc_of(id).index()].push(id);
     }
-    let mut next_in_queue = vec![0usize; system.num_accs()];
-    let mut active: Vec<Option<ActiveLayer>> = (0..system.num_accs()).map(|_| None).collect();
+    let mut next_in_queue = vec![0usize; n_accs];
+    let mut active: Vec<Option<ActiveLayer>> = (0..n_accs).map(|_| None).collect();
 
     let mut finished = vec![false; bound];
     let mut finish_time: Vec<Option<Seconds>> = vec![None; bound];
@@ -149,8 +236,8 @@ pub fn simulate(
     // Every Link phase is rated by the same (src, dst) route query the
     // analytical `Evaluator::layer_cost` charges, so dedicated-link
     // simulation reproduces the analytical schedule exactly on any
-    // topology.
-    let build_phases = |id: LayerId| -> Vec<Phase> {
+    // topology — including a degraded one.
+    let build_phases = |id: LayerId, topo: &Topology| -> Vec<Phase> {
         let layer = model.layer(id);
         let acc = mapping.acc_of(id);
         let here = Endpoint::Acc(acc);
@@ -161,6 +248,7 @@ pub fn simulate(
             bytes,
             rate: topo.path_bw(src, dst).as_f64(),
             via_host: topo.crosses_host(src, dst),
+            route: Route::Pair(src, dst),
         };
 
         // Weights amortize over the batch; everything below repeats per
@@ -201,6 +289,7 @@ pub fn simulate(
                         bytes: b * obytes,
                         rate: bw.as_f64(),
                         via_host,
+                        route: Route::Ofm(id),
                     });
                 }
             }
@@ -212,10 +301,49 @@ pub fn simulate(
         phases
     };
 
+    // Re-prices the remaining Link phases of one layer against a new
+    // fabric (fault boundary crossed): remaining bytes continue at the
+    // new route rate (fluid model).
+    let rerate = |a: &mut ActiveLayer, topo: &Topology| {
+        for p in a.phases[a.current..].iter_mut() {
+            if let Phase::Link { rate, via_host, route, .. } = p {
+                let (r, v) = match route {
+                    Route::Pair(src, dst) => {
+                        (topo.path_bw(*src, *dst).as_f64(), topo.crosses_host(*src, *dst))
+                    }
+                    Route::Ofm(id) => {
+                        let (bw, via) = topo
+                            .ofm_route(model, mapping, locality, *id)
+                            .expect("OFM phases exist only for routed uploads");
+                        (bw.as_f64(), via)
+                    }
+                };
+                *rate = r;
+                *via_host = v;
+            }
+        }
+    };
+
     loop {
-        // Start whatever can start.
+        // Apply any fault boundary reached: recompute the degraded
+        // fabric and re-rate every phase still ahead.
+        while next_boundary < boundaries.len() && now >= boundaries[next_boundary] - 1e-12 {
+            let t = boundaries[next_boundary];
+            next_boundary += 1;
+            state = plan.state_at(Seconds::new(t), n_accs);
+            degraded = (!state.is_healthy()).then(|| base_topo.degrade(&state));
+            for (i, up) in board_up.iter_mut().enumerate() {
+                *up = state.acc_is_up(AccId::new(i));
+            }
+            let topo = degraded.as_ref().unwrap_or(base_topo);
+            for a in active.iter_mut().flatten() {
+                rerate(a, topo);
+            }
+        }
+
+        // Start whatever can start (down boards start nothing).
         for acc in 0..queues.len() {
-            if active[acc].is_some() {
+            if !board_up[acc] || active[acc].is_some() {
                 continue;
             }
             let qi = next_in_queue[acc];
@@ -225,7 +353,9 @@ pub fn simulate(
             let head = queues[acc][qi];
             if model.predecessors(head).all(|p| finished[p.index()]) {
                 next_in_queue[acc] += 1;
-                active[acc] = Some(ActiveLayer { id: head, phases: build_phases(head), current: 0 });
+                let topo = degraded.as_ref().unwrap_or(base_topo);
+                active[acc] =
+                    Some(ActiveLayer { id: head, phases: build_phases(head, topo), current: 0 });
             }
         }
 
@@ -251,10 +381,13 @@ pub fn simulate(
         }
 
         // Current rates: via-host transfer phases share the host NIC
-        // (fair processor sharing); direct peer links run at full rate.
+        // (fair processor sharing); direct peer links run at full rate;
+        // frozen boards neither progress nor hold a NIC share.
         let n_host = active
             .iter()
-            .flatten()
+            .enumerate()
+            .filter(|(acc, _)| board_up[*acc])
+            .filter_map(|(_, s)| s.as_ref())
             .filter(|a| matches!(a.phases[a.current], Phase::Link { via_host: true, .. }))
             .count();
         let host_share = match config.host_nic_capacity {
@@ -272,25 +405,44 @@ pub fn simulate(
             Phase::Timed(_) => f64::INFINITY,
         };
 
-        // Time to the next phase completion.
+        // Time to the next phase completion (frozen boards excluded),
+        // clamped to the next fault boundary.
         let mut dt = f64::INFINITY;
-        for a in active.iter().flatten() {
+        for (acc, slot) in active.iter().enumerate() {
+            let Some(a) = slot else { continue };
+            if !board_up[acc] {
+                continue;
+            }
             let t = match a.phases[a.current] {
                 Phase::Link { bytes, .. } => bytes / phase_rate(&a.phases[a.current]),
                 Phase::Timed(secs) => secs,
             };
             dt = dt.min(t);
         }
-        assert!(
-            dt.is_finite(),
-            "simulation stalled at t={now}: {remaining} layers unfinished (head-of-line deadlock?)"
-        );
+        let horizon =
+            boundaries.get(next_boundary).copied().unwrap_or(f64::INFINITY) - now;
+        if !dt.is_finite() {
+            // Every runnable board is frozen by an outage: jump to the
+            // next fault boundary (a recovery) if one is scheduled.
+            assert!(
+                horizon.is_finite(),
+                "simulation stalled at t={now}: {remaining} layers unfinished \
+                 (head-of-line deadlock, or an unrecovered outage stranding mapped work?)"
+            );
+            events += 1;
+            now += horizon;
+            continue;
+        }
+        let dt = if horizon < dt { horizon } else { dt };
         events += 1;
         now += dt;
 
-        // Advance all active phases by dt.
-        for slot in active.iter_mut() {
+        // Advance all unfrozen active phases by dt.
+        for (acc, slot) in active.iter_mut().enumerate() {
             let Some(a) = slot else { continue };
+            if !board_up[acc] {
+                continue;
+            }
             let rate = phase_rate(&a.phases[a.current]);
             let done = match &mut a.phases[a.current] {
                 Phase::Link { bytes, .. } => {
@@ -320,6 +472,7 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultEvent, FaultKind};
     use crate::schedule::Evaluator;
     use crate::system::AccId;
     use crate::testutil::{const_system, ConstAccel};
@@ -466,5 +619,154 @@ mod tests {
         let rep = simulate(&m, &sys, &map, &LocalityState::new(&sys), SimConfig::dedicated());
         // At most a handful of events per phase.
         assert!(rep.events() < m.num_layers() * 8);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_identical() {
+        let m = branchy_model();
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 2e-3), ConstAccel::universal("U1", 1e-3)],
+            1e6,
+        );
+        let map = spread_mapping(&m, 2);
+        let loc = LocalityState::new(&sys);
+        for cfg in [SimConfig::dedicated(), SimConfig::shared_nic(BytesPerSec::new(5e5))] {
+            let plain = simulate(&m, &sys, &map, &loc, cfg);
+            let faulted = simulate_with_faults(&m, &sys, &map, &loc, cfg, &FaultPlan::empty());
+            assert_eq!(plain, faulted, "empty plan must not perturb the timeline");
+        }
+    }
+
+    #[test]
+    fn always_degraded_plan_matches_analytic_on_degraded_system() {
+        // A link degraded from t=0 is just a slower fabric: the fault
+        // timeline must reproduce the analytical evaluator run on the
+        // statically degraded system — the fault-window cross-check of
+        // the analytical degraded-route costs.
+        let m = branchy_model();
+        let sys = const_system(
+            vec![
+                ConstAccel::universal("U0", 2e-3),
+                ConstAccel::universal("U1", 3e-3),
+                ConstAccel::universal("U2", 1e-3),
+            ],
+            1e6,
+        );
+        let map = spread_mapping(&m, 3);
+        let loc = LocalityState::new(&sys);
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(1),
+            kind: FaultKind::LinkDegraded { factor: 8.0 },
+            at: Seconds::new(0.0),
+            recover_at: None,
+        });
+        let state = plan.state_at(Seconds::new(0.0), sys.num_accs());
+        let degraded_sys = sys.degrade(&state);
+        let analytic = Evaluator::new(&m, &degraded_sys).evaluate(&map, &loc);
+        let sim = simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan);
+        let a = analytic.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!((a - s).abs() / a < 1e-6, "analytic-on-degraded {a} vs fault sim {s}");
+        for id in m.layer_ids() {
+            let at = analytic.timing(id).unwrap().finish.as_f64();
+            let st = sim.finish_of(id).unwrap().as_f64();
+            assert!((at - st).abs() < 1e-6, "{id}: {at} vs {st}");
+        }
+    }
+
+    #[test]
+    fn mid_run_degradation_lands_between_the_analytics() {
+        // A fabric that degrades halfway through must cost at least the
+        // healthy analytic and at most the always-degraded one.
+        let m = branchy_model();
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 2e-3), ConstAccel::universal("U1", 1e-3)],
+            1e6,
+        );
+        let map = spread_mapping(&m, 2);
+        let loc = LocalityState::new(&sys);
+        let ev = Evaluator::new(&m, &sys);
+        let healthy = ev.evaluate(&map, &loc).makespan().as_f64();
+        let mk_plan = |at: f64| {
+            FaultPlan::empty().with_event(FaultEvent {
+                acc: AccId::new(1),
+                kind: FaultKind::LinkDegraded { factor: 16.0 },
+                at: Seconds::new(at),
+                recover_at: None,
+            })
+        };
+        let worst = simulate_with_faults(
+            &m,
+            &sys,
+            &map,
+            &loc,
+            SimConfig::dedicated(),
+            &mk_plan(0.0),
+        )
+        .makespan()
+        .as_f64();
+        let mid = simulate_with_faults(
+            &m,
+            &sys,
+            &map,
+            &loc,
+            SimConfig::dedicated(),
+            &mk_plan(healthy * 0.5),
+        )
+        .makespan()
+        .as_f64();
+        assert!(worst > healthy * 1.01, "a 16x slowdown must actually hurt");
+        assert!(
+            healthy - 1e-12 <= mid && mid <= worst + 1e-12,
+            "mid-run degradation {mid} must land in [{healthy}, {worst}]"
+        );
+    }
+
+    #[test]
+    fn recovered_outage_delays_by_exactly_the_outage_window() {
+        // One board, downed from t=0 until t=R: nothing can progress
+        // before R, so the makespan is exactly R + the healthy makespan.
+        let m = branchy_model();
+        let sys = const_system(vec![ConstAccel::universal("U0", 1e-3)], 1e6);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let loc = LocalityState::new(&sys);
+        let healthy = simulate(&m, &sys, &map, &loc, SimConfig::dedicated());
+        let r = 0.125;
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(0),
+            kind: FaultKind::BoardDown,
+            at: Seconds::new(0.0),
+            recover_at: Some(Seconds::new(r)),
+        });
+        let sim = simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan);
+        let expect = healthy.makespan().as_f64() + r;
+        let got = sim.makespan().as_f64();
+        assert!(
+            (expect - got).abs() < 1e-9,
+            "outage window must shift the makespan: expected {expect}, got {got}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn permanent_outage_with_mapped_work_panics() {
+        let m = branchy_model();
+        let sys = const_system(vec![ConstAccel::universal("U0", 1e-3)], 1e6);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let plan = FaultPlan::board_down(AccId::new(0), Seconds::new(0.0));
+        let _ = simulate_with_faults(
+            &m,
+            &sys,
+            &map,
+            &LocalityState::new(&sys),
+            SimConfig::dedicated(),
+            &plan,
+        );
     }
 }

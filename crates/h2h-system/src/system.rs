@@ -20,6 +20,7 @@ use h2h_accel::catalog::standard_accelerators;
 use h2h_accel::model::AccelRef;
 use h2h_model::units::BytesPerSec;
 
+use crate::fault::FaultState;
 use crate::topology::Topology;
 
 /// Index of an accelerator within a [`SystemSpec`].
@@ -249,6 +250,57 @@ impl SystemSpec {
     /// Interconnect/memory energy constants.
     pub fn energy_model(&self) -> &SystemEnergyModel {
         &self.energy
+    }
+
+    /// The degraded view of this system under a [`FaultState`]: the
+    /// same boards behind [`Topology::degrade`]'s re-routed fabric.
+    /// Board liveness stays in the state (placement code queries
+    /// [`FaultState::acc_is_up`]); per-layer compute costs are
+    /// bandwidth-independent, so a [`crate::schedule::CostCache`] built
+    /// on the healthy system remains valid here
+    /// ([`crate::schedule::Evaluator::from_cache`]) — that is what
+    /// makes serve-time repair cheap. A healthy state returns a
+    /// bitwise-identical system.
+    pub fn degrade(&self, state: &FaultState) -> SystemSpec {
+        SystemSpec {
+            accs: self.accs.clone(),
+            topology: self.topology.degrade(state),
+            energy: self.energy,
+        }
+    }
+
+    /// The sub-system of boards still alive under a [`FaultState`],
+    /// with the degraded fabric restricted to them — what a
+    /// from-scratch remap on the degraded cluster searches over.
+    /// Returns the sub-system plus the live boards' original ids,
+    /// index-aligned with the sub-system's accelerators (translate a
+    /// sub-mapping back with `live_ids[sub_acc.index()]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every board is down — there is nothing left to map on.
+    pub fn live_subsystem(&self, state: &FaultState) -> (SystemSpec, Vec<AccId>) {
+        let degraded = self.topology.degrade(state);
+        let live_ids: Vec<AccId> =
+            self.acc_ids().filter(|a| state.acc_is_up(*a)).collect();
+        assert!(!live_ids.is_empty(), "a live subsystem needs at least one surviving board");
+        let sub_index: Vec<Option<usize>> = {
+            let mut map = vec![None; self.num_accs()];
+            for (sub, id) in live_ids.iter().enumerate() {
+                map[id.index()] = Some(sub);
+            }
+            map
+        };
+        let links = live_ids.iter().map(|a| degraded.link(*a)).collect();
+        let peers = degraded
+            .peers()
+            .iter()
+            .filter_map(|(a, b, r)| Some((sub_index[*a]?, sub_index[*b]?, *r)))
+            .collect();
+        let topology = Topology::switched(degraded.host_nic(), links, peers);
+        let accs = live_ids.iter().map(|a| self.accs[a.index()].clone()).collect();
+        let sub = SystemSpec { accs, topology, energy: self.energy };
+        (sub, live_ids)
     }
 
     /// Finds an accelerator id by catalog short-id (e.g. `"XW"`).

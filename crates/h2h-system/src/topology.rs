@@ -34,6 +34,7 @@ use h2h_model::layer::LayerOp;
 use h2h_model::tensor::DataType;
 use h2h_model::units::{Bytes, BytesPerSec, Seconds};
 
+use crate::fault::FaultState;
 use crate::locality::LocalityState;
 use crate::mapping::Mapping;
 use crate::system::AccId;
@@ -264,6 +265,46 @@ impl Topology {
         route
     }
 
+    /// The degraded view of this fabric under a [`FaultState`] — the
+    /// fault model's entry point into the route table. Each board's
+    /// host link is divided by its slowdown factor, peer links incident
+    /// to a down board are severed (their traffic falls back to the
+    /// host relay), and the `(src, dst)` route table is rebuilt from
+    /// scratch against the degraded rates — cheap (O(n²) over a
+    /// handful of boards), so serve-time repair can afford one per
+    /// fault transition. Down boards keep their (rate-unchanged) host
+    /// links: liveness is a placement constraint, not a routing one —
+    /// data the host already relayed stays reachable, the repair path
+    /// just never maps a layer onto a dead board.
+    ///
+    /// A healthy state returns a bitwise-identical clone, so the
+    /// no-fault path cannot drift from the historical fabric.
+    pub fn degrade(&self, state: &FaultState) -> Topology {
+        assert_eq!(
+            state.num_accs(),
+            self.num_accs(),
+            "fault state must describe every board of the fabric"
+        );
+        if state.is_healthy() {
+            return self.clone();
+        }
+        let links = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| BytesPerSec::new(l.as_f64() / state.link_factor(AccId::new(i))))
+            .collect();
+        let peers = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|(a, b, _)| {
+                state.acc_is_up(AccId::new(*a)) && state.acc_is_up(AccId::new(*b))
+            })
+            .collect();
+        Topology::switched(self.host_nic, links, peers)
+    }
+
     /// Parses a topology spec string against a base rate (usually the
     /// bandwidth class) and accelerator count. Accepted forms:
     ///
@@ -282,6 +323,11 @@ impl Topology {
     ///
     /// Returns a human-readable message for malformed specs.
     pub fn parse(spec: &str, base: BytesPerSec, n_accs: usize) -> Result<Topology, String> {
+        if n_accs == 0 {
+            // Without this guard every preset would panic inside the
+            // `switched` constructor instead of reporting the error.
+            return Err("a topology needs at least one accelerator".into());
+        }
         let gbps = |s: &str| -> Result<BytesPerSec, String> {
             let v: f64 =
                 s.trim().parse().map_err(|_| format!("bad rate `{s}` (GB/s expected)"))?;
@@ -622,6 +668,77 @@ mod tests {
         assert!(Topology::parse("star:host=inf", base, 4).is_err());
         assert!(Topology::parse("star:host=1;peers=0-1@2", base, 4).is_err());
         assert!(Topology::parse("switched:peers=0-9@2", base, 4).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_each_malformed_spec_with_a_descriptive_error() {
+        // One case per rejection path: every malformed spec must come
+        // back as an `Err` naming the problem, never as a panic in the
+        // constructors downstream.
+        let base = bw(0.125);
+        let cases: &[(&str, &str)] = &[
+            ("skewed:0", "exceed 1"),
+            ("skewed:-3", "exceed 1"),
+            ("skewed:1", "exceed 1"),
+            ("skewed:4x", "skew factor"),
+            ("switched:0.5", "at least 1"),
+            ("switched:-2", "at least 1"),
+            ("star", "host=…;links=…"),
+            ("star:host=0", "must be positive"),
+            ("star:host=-1", "must be positive"),
+            ("star:links=0.5,-2", "must be positive"),
+            ("star:links=0.5,nan", "must be positive"),
+            ("star:links=", "bad rate"),
+            ("star:rate=1", "unknown field"),
+            ("star:host", "not key=value"),
+            ("star:host=1;peers=0-1@2", "takes no peers"),
+            ("switched:peers=0-12@2", "invalid for 12 accelerators"),
+            ("switched:peers=3-3@2", "invalid for 12 accelerators"),
+            ("switched:peers=a-1@2", "bad peer index"),
+            ("switched:peers=0-1", "not i-j@rate"),
+            ("switched:peers=0-1@0", "must be positive"),
+            ("mesh", "unknown topology"),
+        ];
+        for (spec, needle) in cases {
+            let err = Topology::parse(spec, base, 12).unwrap_err();
+            assert!(err.contains(needle), "`{spec}`: `{err}` lacks `{needle}`");
+        }
+        assert!(
+            Topology::parse("uniform", base, 0).unwrap_err().contains("at least one"),
+            "an empty system must be rejected, not panic"
+        );
+    }
+
+    #[test]
+    fn degrade_rebuilds_routes_and_severs_dead_peers() {
+        use crate::fault::FaultState;
+        let t = Topology::switched(
+            bw(0.125),
+            vec![bw(0.125); 4],
+            vec![(0, 1, bw(1.0)), (2, 3, bw(1.0))],
+        );
+        let a = |i| Endpoint::Acc(AccId::new(i));
+
+        // Healthy state: bitwise-identical clone.
+        assert_eq!(t.degrade(&FaultState::healthy(4)), t);
+
+        // Link degradation re-prices every route crossing the link.
+        let mut slow = FaultState::healthy(4);
+        slow.set_link_factor(AccId::new(2), 4.0);
+        let d = t.degrade(&slow);
+        assert_eq!(d.link(AccId::new(2)).as_f64(), 0.125e9 / 4.0);
+        assert_eq!(d.path_bw(Endpoint::Host, a(2)).as_f64(), 0.125e9 / 4.0);
+        assert_eq!(d.path_bw(a(0), a(2)).as_f64(), 0.125e9 / 4.0, "relay bottleneck");
+        assert_eq!(d.path_bw(a(2), a(3)).as_f64(), 1.0e9, "peer links unaffected");
+        assert_eq!(d.path_bw(Endpoint::Host, a(0)).as_f64(), 0.125e9, "others untouched");
+
+        // A dead board loses its peer link; the surviving partner's
+        // traffic falls back to the host relay.
+        let mut dead = FaultState::healthy(4);
+        dead.set_down(AccId::new(1));
+        let d = t.degrade(&dead);
+        assert!(d.peers().len() == 1 && d.peers()[0].0 == 2, "0-1 severed, 2-3 kept");
+        assert!(d.crosses_host(a(0), a(1)), "severed pair relays through the host");
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! `switched:host=G;links=…;peers=i-j@G,…` — to run against a
 //! non-uniform interconnect fabric; `inspect` prints the per-link
 //! rates and the effective-bandwidth route table.
+//!
+//! `inspect` and `serve` also take `--faults <spec>` — `;`-separated
+//! `board:IDX@T[-T2]` / `link:IDX/F@T[-T2]` events. `inspect` prices
+//! the incumbent, the time-budgeted repair and a from-scratch remap on
+//! the degraded fabric; `serve` replays the serving window through the
+//! fault timeline with per-tenant mid-serve repair.
 
 use std::process::ExitCode;
 
@@ -35,7 +41,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | serve <m1,m2,..> [bw] | parse <file> [bw] | trace <model> [bw] <out.json> | inspect <model> [bw]>\n\
          models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high\n\
-         map/serve/sweep/inspect also take --topology <uniform|skewed[:f]|switched[:m]|star:host=G;links=...|switched:...;peers=i-j@G>"
+         map/serve/sweep/inspect also take --topology <uniform|skewed[:f]|switched[:m]|star:host=G;links=...|switched:...;peers=i-j@G>\n\
+         inspect/serve also take --faults <board:IDX@T[-T2];link:IDX/F@T[-T2];...>"
     );
     ExitCode::from(2)
 }
@@ -114,6 +121,56 @@ fn map_and_report(
     Ok(())
 }
 
+/// `inspect --faults`: price the incumbent mapping, the time-budgeted
+/// repair and a from-scratch remap on the fabric degraded by the fault
+/// spec's first onset, and show what each costs in attempted moves.
+fn fault_repair_report(
+    model: &ModelGraph,
+    system: &SystemSpec,
+    spec: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use h2h::core::repair::{repair_mapping, resolve_repair_budget, scratch_remap};
+    use h2h::system::fault::FaultPlan;
+
+    let plan = FaultPlan::parse(spec, system.num_accs())
+        .map_err(|e| std::io::Error::other(format!("--faults: {e}")))?;
+    let t0 = plan.boundaries()[0];
+    let state = plan.state_at(h2h::model::units::Seconds::new(t0), system.num_accs());
+    if state.is_healthy() {
+        println!("fault condition at t={t0}s is healthy — nothing to repair");
+        return Ok(());
+    }
+    let cfg = h2h::core::H2hConfig::default();
+    let preset = h2h::core::PinPreset::new();
+    let incumbent = H2hMapper::new(model, system).with_config(cfg).run()?;
+    let degraded_sys = system.degrade(&state);
+    println!("degraded fabric at t={t0}s (downed boards evacuated, links re-priced):");
+    print!("{}", degraded_sys.topology().describe());
+    println!();
+    let ev = Evaluator::new(model, &degraded_sys);
+    let budget = resolve_repair_budget(&cfg, model);
+    let rep = repair_mapping(&ev, &cfg, &preset, &incumbent.mapping, &state, budget)?;
+    let scratch = scratch_remap(model, system, &state, &cfg, &preset)?;
+    println!("repair report — healthy incumbent {}", incumbent.final_latency());
+    println!(
+        "  incumbent-on-degraded {} ({} layers evacuated)",
+        rep.incumbent_degraded,
+        rep.evacuated.len()
+    );
+    println!(
+        "  repaired-on-degraded  {} ({} of {} budgeted moves, {} accepted)",
+        rep.repaired(),
+        rep.stats.attempted_moves,
+        budget,
+        rep.stats.accepted_moves
+    );
+    println!(
+        "  from-scratch remap    {} ({} attempted moves)",
+        scratch.makespan, scratch.stats.attempted_moves
+    );
+    Ok(())
+}
+
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Extract `--topology <spec>` wherever it appears; only the
@@ -126,6 +183,14 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
     };
     let topology = topology.as_deref();
+    let faults = match h2h::system::fault::take_faults_flag(&mut args) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return Ok(usage());
+        }
+    };
+    let faults = faults.as_deref();
     let cmd = match args.first() {
         Some(c) => c.as_str(),
         None => return Ok(usage()),
@@ -163,6 +228,9 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             print!("{}", system.topology().describe());
             println!();
             map_and_report(&model, bw, &system, ShowTopology::Never)?;
+            if let Some(spec) = faults {
+                fault_repair_report(&model, &system, spec)?;
+            }
         }
         "sweep" => {
             let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
@@ -234,16 +302,31 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                     32,
                 )?;
             }
-            let batched = reg.serve();
-            batched.check_coherence().map_err(std::io::Error::other)?;
-            let naive = reg.serve_naive();
-            print!("{}", h2h::core::report::serve_report(&batched));
-            println!(
-                "  naive per-request drain {} -> batched {} ({:.2}x)",
-                naive.makespan,
-                batched.makespan,
-                naive.makespan.as_f64() / batched.makespan.as_f64().max(1e-12),
-            );
+            if let Some(spec) = faults {
+                let plan = h2h::system::fault::FaultPlan::parse(spec, system.num_accs())
+                    .map_err(|e| std::io::Error::other(format!("--faults: {e}")))?;
+                let faulted = reg.serve_with_faults(&plan)?;
+                faulted.check_coherence().map_err(std::io::Error::other)?;
+                let unrepaired = reg.serve_with_faults_unrepaired(&plan)?;
+                print!("{}", h2h::core::report::serve_report(&faulted));
+                println!(
+                    "  unrepaired (evacuate-only) drain {} -> repaired {} ({:.2}x)",
+                    unrepaired.makespan,
+                    faulted.makespan,
+                    unrepaired.makespan.as_f64() / faulted.makespan.as_f64().max(1e-12),
+                );
+            } else {
+                let batched = reg.serve();
+                batched.check_coherence().map_err(std::io::Error::other)?;
+                let naive = reg.serve_naive();
+                print!("{}", h2h::core::report::serve_report(&batched));
+                println!(
+                    "  naive per-request drain {} -> batched {} ({:.2}x)",
+                    naive.makespan,
+                    batched.makespan,
+                    naive.makespan.as_f64() / batched.makespan.as_f64().max(1e-12),
+                );
+            }
         }
         "trace" => {
             let Some(model) = args.get(1).and_then(|n| model_by_name(n)) else {
