@@ -23,7 +23,11 @@
 //! transition and once evacuate-only — and gates the repaired drain
 //! and degraded-window SLO attainment against the unrepaired baseline.
 //! The `board-down` preset downs the board holding the most resident
-//! tenant weights just after the drain starts and never recovers it;
+//! tenant weights just after the drain starts and never recovers it.
+//! The `nic-degrade` preset halves the host NIC and throttles the
+//! busiest board 8x for the whole drain, with a realistic 25µs
+//! per-attempted-move repair cost, so every repair is staged behind
+//! its modeled wall time (`repair_time_charged` on the ledgers);
 //! anything else is parsed as a raw `h2h_system::fault::FaultPlan`.
 //! The no-fault records are unaffected (fault serving snapshots and
 //! restores the registry), which is what the CI bit-identity diff of
@@ -190,10 +194,17 @@ fn main() {
         let system = SystemSpec::standard_with_topology(*bw, Some(topo_spec))
             .unwrap_or_else(|e| panic!("--topology `{topo_spec}`: {e}"));
         for &budget_frac in &budget_fracs {
+            // A nonzero per-move repair cost only matters to the
+            // fault-window serves (admission and the no-fault drains
+            // never read it), so the no-fault records stay
+            // bit-identical with or without `--faults nic-degrade`.
+            let repair_secs_per_move =
+                if fault_arg.as_deref() == Some("nic-degrade") { 25e-6 } else { 0.0 };
             let cfg = H2hConfig {
                 serve_max_batch: max_batch,
                 serve_dram_budget_frac: budget_frac,
                 serve_verify: true,
+                repair_secs_per_move,
                 ..H2hConfig::default()
             };
             let mut reg = TenantRegistry::new(&system, cfg);
@@ -300,6 +311,35 @@ fn main() {
                         })
                         .expect("system has boards");
                     FaultPlan::board_down(dead, Seconds::new(1e-6))
+                } else if spec == "nic-degrade" {
+                    // Halve the host NIC and throttle the board where
+                    // the tenants' compute concentrates (most mapped
+                    // layers, ties to the lowest index) 8x, just after
+                    // the drain starts, with no recovery: repairs must
+                    // move real work off the slowed board while paying
+                    // the re-priced host link, each staged behind its
+                    // 25µs-per-move wall time.
+                    let slowed = system
+                        .acc_ids()
+                        .max_by_key(|acc| {
+                            let layers: usize = reg
+                                .tenants()
+                                .map(|t| {
+                                    t.spec()
+                                        .model
+                                        .layer_ids()
+                                        .filter(|id| t.mapping().acc_of(*id) == *acc)
+                                        .count()
+                                })
+                                .sum();
+                            (layers, std::cmp::Reverse(acc.index()))
+                        })
+                        .expect("system has boards");
+                    FaultPlan::parse(
+                        &format!("host:2@0.000001;slow:{}/8@0.000001", slowed.index()),
+                        n_accs,
+                    )
+                    .expect("nic-degrade preset plan parses")
                 } else {
                     FaultPlan::parse(spec, n_accs)
                         .unwrap_or_else(|e| panic!("--faults `{spec}`: {e}"))
@@ -335,6 +375,21 @@ fn main() {
                         att_unrep * 100.0
                     );
                 }
+                // The nic-degrade preset must exercise the staged-
+                // repair path: a repair held behind its modeled wall
+                // time, and that time charged to a tenant ledger.
+                let staged_ok = spec != "nic-degrade"
+                    || (repaired.counters.staged_repairs > 0
+                        && repaired
+                            .tenants
+                            .iter()
+                            .any(|t| t.repair_time_charged > Seconds::ZERO));
+                if !staged_ok {
+                    eprintln!(
+                        "FAIL: nic-degrade staged no repair ({} staged) or charged no wall time",
+                        repaired.counters.staged_repairs
+                    );
+                }
                 println!(
                     "  faults `{spec}`: repaired drain {:.3}s / attainment {:.1}% vs \
                      evacuate-only {:.3}s / {:.1}% ({} repairs, {} moves)",
@@ -345,7 +400,7 @@ fn main() {
                     repaired.counters.repairs,
                     repaired.counters.repair_evals,
                 );
-                if !fault_coherent || !crossed || !drain_ok || !att_ok {
+                if !fault_coherent || !crossed || !drain_ok || !att_ok || !staged_ok {
                     failures += 1;
                 }
                 fault = Some((repaired, unrepaired, att_rep, att_unrep));

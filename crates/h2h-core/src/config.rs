@@ -212,6 +212,24 @@ pub struct H2hConfig {
     /// mismatches in the serve counters. Off by default — it doubles
     /// slice-evaluation cost; benches and CI smoke turn it on.
     pub serve_verify: bool,
+    /// Modeled wall-clock cost of one attempted repair move, in
+    /// seconds — the repair wall-time model's single knob. A serve-time
+    /// repair ([`crate::repair::repair_mapping`]) reports
+    /// `attempted_moves × this` as its wall time
+    /// ([`crate::repair::RepairOutcome::wall_time`]), and
+    /// `serve_with_faults` charges that window against the serving
+    /// clock: tenants keep serving on the evacuated-but-unrepaired
+    /// mapping until the repair *lands*, and the window is recorded in
+    /// each tenant's `repair_time_charged` ledger. `0.0` (default)
+    /// is the historical instantaneous-repair model — repairs land at
+    /// the fault boundary and nothing is charged, keeping PR 6 fault
+    /// plans bit-identical. A realistic setting is a few tens of
+    /// microseconds per move: `SearchStats` over the zoo put the
+    /// step-4 delta engine at roughly 25–50 µs per attempted move on
+    /// the `BENCH_search.json` reference machine (attempted moves /
+    /// wall seconds), so `25e-6` models repair running on one host
+    /// core concurrently with serving.
+    pub repair_secs_per_move: f64,
 }
 
 impl Default for H2hConfig {
@@ -234,6 +252,7 @@ impl Default for H2hConfig {
             serve_dram_budget_frac: 1.0,
             repair_eval_budget: 0,
             serve_verify: false,
+            repair_secs_per_move: 0.0,
         }
     }
 }
@@ -256,6 +275,10 @@ mod tests {
         assert!(c.serve_max_batch >= 1);
         assert!(c.serve_dram_budget_frac > 0.0 && c.serve_dram_budget_frac <= 1.0);
         assert!(!c.serve_verify, "slice cross-checking is a bench/CI knob");
+        assert_eq!(
+            c.repair_secs_per_move, 0.0,
+            "instantaneous repair is the default (PR 6 bit-identity)"
+        );
     }
 
     #[test]

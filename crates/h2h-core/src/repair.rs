@@ -57,6 +57,13 @@ pub struct RepairOutcome {
     pub incumbent_degraded: Seconds,
     /// Search counters; `attempted_moves` is the budget actually spent.
     pub stats: SearchStats,
+    /// Modeled wall-clock cost of this repair:
+    /// `stats.attempted_moves ×` [`H2hConfig::repair_secs_per_move`].
+    /// Zero under the default instantaneous-repair model; when the knob
+    /// is set, serving charges this window against the SLO ledgers of
+    /// the rounds it displaces (see `TenantRegistry::serve_with_faults`
+    /// in `h2h-core`).
+    pub wall_time: Seconds,
 }
 
 impl RepairOutcome {
@@ -172,7 +179,11 @@ pub fn repair_mapping(
     // The incumbent pricing of step 2 is part of the repair's bill.
     stats.full_rebuilds += 1;
     stats.full_evals += 1;
-    Ok(RepairOutcome { mapping, locality, schedule, evacuated, incumbent_degraded, stats })
+    // The attempted-move counter is the deterministic currency; the
+    // per-move cost converts it into modeled wall time (calibrated
+    // against BENCH_search.json evaluator throughput).
+    let wall_time = Seconds::new(stats.attempted_moves as f64 * cfg.repair_secs_per_move);
+    Ok(RepairOutcome { mapping, locality, schedule, evacuated, incumbent_degraded, stats, wall_time })
 }
 
 /// Moves every layer on a down board to the best live supporting
@@ -202,7 +213,12 @@ fn evacuate(
         let pick = |accs: &mut dyn Iterator<Item = AccId>| -> Option<AccId> {
             accs.filter(live_supporting)
                 .map(|acc| {
-                    let t = ev.cache().time(id, acc).expect("supporting acc has a cost");
+                    // Effective compute time: the cache stores healthy-speed
+                    // times; a compute-degraded board pays its throttle, so
+                    // the evacuation prefers unthrottled boards. (`* 1.0` is
+                    // exact — healthy fabrics keep today's ordering bitwise.)
+                    let t = ev.cache().time(id, acc).expect("supporting acc has a cost")
+                        * system.compute_factor(acc);
                     (t, acc)
                 })
                 .min_by(|a, b| a.partial_cmp(b).expect("compute times are finite"))
@@ -229,9 +245,12 @@ fn evacuate(
 }
 
 /// Visit order of the repair search: fault-affected layers (evacuees,
-/// layers on degraded-link boards, and the graph neighbours of both)
-/// in topological order, then everything else in topological order —
-/// the budget goes where the fault hit first.
+/// layers on degraded-link or compute-throttled boards, and the graph
+/// neighbours of both) in topological order, then everything else in
+/// topological order — the budget goes where the fault hit first.
+/// Host-scoped faults re-price every via-host route at once, so they
+/// add no per-board priority: the plain topological order is already
+/// the right sweep.
 fn repair_visit_order(
     model: &ModelGraph,
     mapping: &Mapping,
@@ -250,7 +269,8 @@ fn repair_visit_order(
     }
     let topo = model.topo_order();
     for &id in &topo {
-        if state.link_factor(mapping.acc_of(id)) > 1.0 {
+        let acc = mapping.acc_of(id);
+        if state.link_factor(acc) > 1.0 || state.compute_factor(acc) > 1.0 {
             mark_with_neighbours(id, &mut priority);
         }
     }

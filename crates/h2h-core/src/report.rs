@@ -216,13 +216,13 @@ pub fn serve_report(outcome: &crate::serve::ServeOutcome) -> String {
     if c.fault_transitions > 0 {
         let _ = writeln!(
             out,
-            "  faults: {} transitions, {} repairs ({} attempted moves)",
-            c.fault_transitions, c.repairs, c.repair_evals
+            "  faults: {} transitions, {} repairs ({} attempted moves, {} staged, {} sheds)",
+            c.fault_transitions, c.repairs, c.repair_evals, c.staged_repairs, c.sheds
         );
         let _ = writeln!(
             out,
-            "  {:<12} {:>7} {:>9} {:>9} {:>14}",
-            "tenant", "repairs", "degraded", "viol-deg", "slo-attained"
+            "  {:<12} {:>7} {:>9} {:>9} {:>14} {:>12} {:>5}",
+            "tenant", "repairs", "degraded", "viol-deg", "slo-attained", "repair-time", "parks"
         );
         for t in &outcome.tenants {
             let attained = if t.degraded_served > 0 {
@@ -233,8 +233,14 @@ pub fn serve_report(outcome: &crate::serve::ServeOutcome) -> String {
             };
             let _ = writeln!(
                 out,
-                "  {:<12} {:>7} {:>9} {:>9} {:>13.1}%",
-                t.name, t.repairs, t.degraded_served, t.violations_degraded, attained
+                "  {:<12} {:>7} {:>9} {:>9} {:>13.1}% {:>12} {:>5}",
+                t.name,
+                t.repairs,
+                t.degraded_served,
+                t.violations_degraded,
+                attained,
+                format!("{}", t.repair_time_charged),
+                t.parks
             );
         }
     }

@@ -49,6 +49,19 @@
 //!    degraded window separately. An empty plan is bit-identical to
 //!    [`TenantRegistry::serve`], and the registry is snapshot-restored
 //!    afterwards so later no-fault calls stay bit-identical too.
+//!    Host-scoped faults extend the timeline: a degraded host NIC
+//!    re-prices every via-host route and weight re-stream, while a
+//!    **down** host freezes swap-ins entirely — only tenants already
+//!    resident keep serving until the recovery boundary (a drain
+//!    blocked forever returns [`ServeError::Stalled`]). When
+//!    [`H2hConfig::repair_secs_per_move`] is set, each transition's
+//!    budgeted search is additionally charged modeled wall time: the
+//!    tenant keeps serving on the evacuation-only interim placement
+//!    until the searched one *lands*, and the window is recorded in
+//!    [`TenantServeStats::repair_time_charged`]. Tenants whose repair
+//!    or budget trim fails on the shrunken fabric are parked (shed)
+//!    instead of failing the run, and retried at every later
+//!    transition.
 //!
 //! The contention model is deliberately conservative: slices within a
 //! round execute sequentially (the host dispatches one model at a
@@ -150,6 +163,20 @@ pub enum ServeError {
         /// The per-accelerator budget.
         budget: Bytes,
     },
+    /// Serving deadlocked: every remaining request belongs to a tenant
+    /// that cannot currently serve (parked by shedding, or not
+    /// resident while the host NIC is down) and no future fault
+    /// boundary can change the condition.
+    Stalled {
+        /// Modeled time at which progress stopped.
+        at: Seconds,
+        /// Requests left unserved across tenants.
+        unserved: usize,
+        /// Tenants parked (shed) at the stall.
+        parked: usize,
+        /// Whether the host NIC was down at the stall.
+        host_down: bool,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -162,6 +189,12 @@ impl fmt::Display for ServeError {
             ServeError::DramBudget { tenant, acc, needed, budget } => write!(
                 f,
                 "tenant `{tenant}` needs {needed} resident on {acc} but the serve budget is {budget}"
+            ),
+            ServeError::Stalled { at, unserved, parked, host_down } => write!(
+                f,
+                "serving stalled at t={at}: {unserved} requests unserved ({parked} tenants \
+                 parked, host {}) — an unrecovered outage blocks every remaining tenant",
+                if *host_down { "down" } else { "up" }
             ),
         }
     }
@@ -472,6 +505,79 @@ impl TenantSnapshot {
     }
 }
 
+/// A repaired placement waiting out its modeled wall time
+/// ([`crate::repair::RepairOutcome::wall_time`]): the tenant serves on
+/// the evacuation-only interim placement until `lands_at`, then the
+/// searched mapping is installed. A newer fault transition drops
+/// pending stages — they were computed against a fabric that no longer
+/// exists.
+#[derive(Debug)]
+struct StagedRepair {
+    /// Absolute serving-clock time the repair completes.
+    lands_at: f64,
+    mapping: Mapping,
+    locality: LocalityState,
+}
+
+/// Installs a placement (a transition's repair, its interim
+/// evacuation, or a landed stage) into a tenant priced on fabric
+/// `sys`: rebuild the incremental schedule, re-enforce the serve
+/// budget, refresh the memo/ideal/footprint bookkeeping. Residency is
+/// the *caller's* decision — an install usually evicts, but a down
+/// host keeps an unchanged placement resident.
+///
+/// # Errors
+///
+/// Propagates [`ServeError::DramBudget`] from the trim; the caller
+/// parks the tenant then.
+fn install_placement(
+    sys: &SystemSpec,
+    cfg: &H2hConfig,
+    t: &mut Tenant,
+    s: &mut TenantServeStats,
+    mapping: Mapping,
+    locality: LocalityState,
+) -> Result<(), ServeError> {
+    // The compute-cost cache stores healthy-speed times (throttles are
+    // priced at read time), so it stays valid on any degraded fabric.
+    let ev = Evaluator::from_cache(&t.spec.model, sys, t.cache.clone());
+    t.mapping = mapping;
+    t.locality = locality;
+    t.inc = IncrementalSchedule::new(&ev, &t.mapping, &t.locality);
+    // The repair re-ran pin selection against DRAM capacity; re-enforce
+    // the serve fraction exactly like admission.
+    trim_to_budget(
+        sys,
+        cfg,
+        &t.spec.name,
+        &t.spec.model,
+        &t.mapping,
+        &mut t.locality,
+        &mut t.inc,
+        &ev,
+    )?;
+    let ideal = t.inc.makespan();
+    t.ideal = ideal;
+    t.slice_memo = vec![(1, ideal)];
+    // The ledger's ideal floor must hold for requests served on any
+    // fabric of the run; keep the smallest.
+    s.ideal = s.ideal.min(ideal);
+    t.weight_xfer_once = t
+        .spec
+        .model
+        .layer_ids()
+        .map(|id| ev.layer_cost(&t.mapping, &t.locality, id).weight_xfer)
+        .sum();
+    t.resident = sys.acc_ids().map(|a| t.locality.dram_used(a).as_u64()).collect();
+    t.pinned_total = t.locality.total_pinned_bytes(&t.spec.model);
+    t.pinned_by_acc = vec![0u64; sys.num_accs()];
+    for l in t.locality.pinned_layers() {
+        t.pinned_by_acc[t.mapping.acc_of(l).index()] +=
+            t.spec.model.layer(l).weight_bytes(DataType::F32).as_u64();
+    }
+    Ok(())
+}
+
 /// Per-tenant serving outcome: the SLO ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantServeStats {
@@ -513,6 +619,17 @@ pub struct TenantServeStats {
     /// SLO violations among [`TenantServeStats::degraded_served`] —
     /// the degraded-mode slice of the violation ledger.
     pub violations_degraded: usize,
+    /// Modeled repair wall time charged to this tenant's serving clock
+    /// ([`crate::repair::RepairOutcome::wall_time`] summed over fault
+    /// transitions): while it elapses the tenant serves on the interim
+    /// evacuated placement; the searched one lands only afterwards.
+    /// Zero under the default instantaneous-repair model.
+    pub repair_time_charged: Seconds,
+    /// Times this tenant was parked (shed) because a fault transition
+    /// left its repair or budget trim unsatisfiable on the shrunken
+    /// fabric; a later transition that repairs successfully un-parks
+    /// it.
+    pub parks: usize,
 }
 
 impl TenantServeStats {
@@ -553,6 +670,13 @@ pub struct ServeCounters {
     /// Attempted delta moves spent by all repairs (the deterministic
     /// budget currency of [`crate::repair::repair_mapping`]).
     pub repair_evals: usize,
+    /// Repairs whose searched placement was staged behind a modeled
+    /// wall-time window ([`H2hConfig::repair_secs_per_move`]) instead
+    /// of landing instantly.
+    pub staged_repairs: usize,
+    /// Tenants parked (shed) at fault transitions because repair or
+    /// the budget trim failed on the degraded fabric.
+    pub sheds: usize,
 }
 
 /// Result of one serving window.
@@ -620,11 +744,21 @@ impl ServeOutcome {
                 ));
             }
             if self.counters.fault_transitions == 0
-                && (t.repairs > 0 || t.degraded_served > 0 || t.violations_degraded > 0)
+                && (t.repairs > 0
+                    || t.degraded_served > 0
+                    || t.violations_degraded > 0
+                    || t.parks > 0
+                    || t.repair_time_charged > Seconds::ZERO)
             {
                 return Err(format!(
                     "{}: degraded-mode ledger is non-zero without a fault transition",
                     t.name
+                ));
+            }
+            if t.repair_time_charged > Seconds::ZERO && t.repairs == 0 && t.parks == 0 {
+                return Err(format!(
+                    "{}: {} of repair time charged with zero repairs or parks",
+                    t.name, t.repair_time_charged
                 ));
             }
             if t.weight_reloads == 0 && t.reload_time > Seconds::ZERO {
@@ -671,6 +805,29 @@ impl ServeOutcome {
             return Err(format!(
                 "{} repairs ran without a fault transition",
                 self.counters.repairs
+            ));
+        }
+        if self.counters.fault_transitions == 0
+            && (self.counters.staged_repairs > 0 || self.counters.sheds > 0)
+        {
+            return Err(format!(
+                "{} staged repairs / {} sheds without a fault transition",
+                self.counters.staged_repairs, self.counters.sheds
+            ));
+        }
+        // Every staging ends as either a counted repair (the interim
+        // install succeeded) or a shed (it did not).
+        if self.counters.staged_repairs > self.counters.repairs + self.counters.sheds {
+            return Err(format!(
+                "{} staged repairs exceed {} repairs + {} sheds",
+                self.counters.staged_repairs, self.counters.repairs, self.counters.sheds
+            ));
+        }
+        let charged: f64 =
+            self.tenants.iter().map(|t| t.repair_time_charged.as_f64()).sum();
+        if charged > 0.0 && self.counters.repairs == 0 && self.counters.sheds == 0 {
+            return Err(format!(
+                "{charged}s of repair time charged without any repair or shed"
             ));
         }
         Ok(())
@@ -893,11 +1050,18 @@ impl<'s> TenantRegistry<'s> {
     /// [`TenantRegistry::serve`], bit for bit — the no-fault identity
     /// contract of the fault subsystem.
     ///
+    /// Repair failures no longer abort the run: a tenant whose repair
+    /// strands a layer class with no live supporting board, or whose
+    /// repaired footprint cannot be trimmed to the serve budget, is
+    /// *parked* (gracefully shed — [`TenantServeStats::parks`]) and
+    /// retried at every later transition.
+    ///
     /// # Errors
     ///
-    /// [`ServeError::Mapping`] when a fault strands a layer class with
-    /// no live supporting board, [`ServeError::DramBudget`] when a
-    /// repaired placement cannot be trimmed to the serve budget.
+    /// [`ServeError::Stalled`] when an unrecovered outage leaves every
+    /// remaining request on tenants that can no longer serve (parked
+    /// tenants, or non-resident tenants while the host NIC is down)
+    /// with no further fault boundary ahead.
     ///
     /// # Panics
     ///
@@ -1004,76 +1168,121 @@ impl<'s> TenantRegistry<'s> {
     }
 
     /// Applies one fault-state change mid-serve: rebuild the degraded
-    /// system, repair every tenant's mapping onto it (budget per
-    /// [`H2hConfig::repair_eval_budget`], or evacuation-only when
-    /// `budgeted` is false), re-enforce the serve budget, rebuild the
-    /// tenant's incremental schedule and memo on the new fabric, and
-    /// evict its residency — the next slice re-streams the repaired
-    /// placement's pinned weights. Returns the degraded system the
-    /// following rounds are priced on (`None` once healthy again).
+    /// system and, for every tenant, repair its mapping onto it
+    /// (budget per [`H2hConfig::repair_eval_budget`], or
+    /// evacuation-only when `budgeted` is false), re-enforce the serve
+    /// budget, rebuild the incremental schedule and memo on the new
+    /// fabric, and evict residency — the next slice re-streams the
+    /// repaired placement's pinned weights. Returns the degraded
+    /// system the following rounds are priced on (`None` once healthy
+    /// again). Three refinements over the plain install:
+    ///
+    /// * **Repair wall time** — when
+    ///   [`H2hConfig::repair_secs_per_move`] is set and the budgeted
+    ///   search actually changed the placement, the searched mapping
+    ///   does not take effect instantly: the tenant keeps serving on
+    ///   the evacuation-only interim placement and the improvement is
+    ///   *staged* to land `attempted_moves × repair_secs_per_move`
+    ///   seconds later ([`TenantServeStats::repair_time_charged`]).
+    ///   A newer transition drops pending stages — they were computed
+    ///   against a fabric that no longer exists.
+    /// * **Host-down residency** — while the host NIC is dead, a
+    ///   tenant whose installed placement survives unchanged keeps
+    ///   its residency: nothing needs restreaming, and restreaming
+    ///   would be impossible anyway. An unchanged staged-repair
+    ///   interim keeps it too — no weight moved; the genuine
+    ///   re-stream is paid when the searched placement lands. Every
+    ///   other install evicts.
+    /// * **Graceful shedding** — a tenant whose repair or budget trim
+    ///   fails on the shrunken fabric is parked (shed) instead of
+    ///   failing the whole serve; every later transition retries it.
+    #[allow(clippy::too_many_arguments)]
     fn apply_fault_transition(
         &mut self,
         state: &FaultState,
         budgeted: bool,
+        now: f64,
         stats: &mut [TenantServeStats],
         counters: &mut ServeCounters,
         resident: &mut [bool],
-    ) -> Result<Option<SystemSpec>, ServeError> {
+        parked: &mut [bool],
+        staged: &mut [Option<StagedRepair>],
+    ) -> Option<SystemSpec> {
         counters.fault_transitions += 1;
         let degraded = (!state.is_healthy()).then(|| self.system.degrade(state));
         let cfg = self.config;
         let preset = PinPreset::new();
         for (i, t) in self.tenants.iter_mut().enumerate() {
+            // Any stage computed against the previous fabric is stale.
+            staged[i] = None;
             let sys: &SystemSpec = degraded.as_ref().unwrap_or(self.system);
-            // The compute-cost cache is bandwidth-independent, so it
-            // stays valid on any degraded fabric.
             let ev = Evaluator::from_cache(&t.spec.model, sys, t.cache.clone());
             let budget =
                 if budgeted { resolve_repair_budget(&cfg, &t.spec.model) } else { 0 };
-            let rep = repair_mapping(&ev, &cfg, &preset, &t.mapping, state, budget)
-                .map_err(ServeError::Mapping)?;
-            counters.repairs += 1;
+            let rep = match repair_mapping(&ev, &cfg, &preset, &t.mapping, state, budget) {
+                Ok(rep) => rep,
+                Err(_) => {
+                    // Shed: no live board can host some stranded layer.
+                    counters.sheds += 1;
+                    stats[i].parks += 1;
+                    parked[i] = true;
+                    resident[i] = false;
+                    continue;
+                }
+            };
             counters.repair_evals += rep.stats.attempted_moves;
-            stats[i].repairs += 1;
-            t.mapping = rep.mapping;
-            t.locality = rep.locality;
-            t.inc = IncrementalSchedule::new(&ev, &t.mapping, &t.locality);
-            // The repair re-ran pin selection against DRAM capacity;
-            // re-enforce the serve fraction exactly like admission.
-            trim_to_budget(
-                sys,
-                &cfg,
-                &t.spec.name,
-                &t.spec.model,
-                &t.mapping,
-                &mut t.locality,
-                &mut t.inc,
-                &ev,
-            )?;
-            let ideal = t.inc.makespan();
-            t.ideal = ideal;
-            t.slice_memo = vec![(1, ideal)];
-            // The ledger's ideal floor must hold for requests served on
-            // either fabric; keep the smaller of the two.
-            stats[i].ideal = stats[i].ideal.min(ideal);
-            t.weight_xfer_once = t
-                .spec
-                .model
-                .layer_ids()
-                .map(|id| ev.layer_cost(&t.mapping, &t.locality, id).weight_xfer)
-                .sum();
-            t.resident = sys.acc_ids().map(|a| t.locality.dram_used(a).as_u64()).collect();
-            t.pinned_total = t.locality.total_pinned_bytes(&t.spec.model);
-            t.pinned_by_acc = vec![0u64; sys.num_accs()];
-            for l in t.locality.pinned_layers() {
-                t.pinned_by_acc[t.mapping.acc_of(l).index()] +=
-                    t.spec.model.layer(l).weight_bytes(DataType::F32).as_u64();
+            let old_mapping = t.mapping.clone();
+            let old_locality = t.locality.clone();
+            // The search's wall time is charged whether or not it
+            // found anything — the host CPU spent it either way.
+            stats[i].repair_time_charged += rep.wall_time;
+            let (mapping, locality) = if rep.wall_time > Seconds::ZERO
+                && rep.mapping != old_mapping
+            {
+                // Stage the searched placement to land after its wall
+                // time; serve meanwhile on the evacuation-only interim
+                // (the same evacuation step, zero search budget).
+                let interim = repair_mapping(&ev, &cfg, &preset, &old_mapping, state, 0)
+                    .expect("evacuation succeeded under the larger budget");
+                staged[i] = Some(StagedRepair {
+                    lands_at: now + rep.wall_time.as_f64(),
+                    mapping: rep.mapping,
+                    locality: rep.locality,
+                });
+                counters.staged_repairs += 1;
+                (interim.mapping, interim.locality)
+            } else {
+                (rep.mapping, rep.locality)
+            };
+            match install_placement(sys, &cfg, t, &mut stats[i], mapping, locality) {
+                Ok(()) => {
+                    counters.repairs += 1;
+                    stats[i].repairs += 1;
+                    let unchanged = t.mapping == old_mapping && t.locality == old_locality;
+                    // Eviction: the installed placement's weights are
+                    // not on the boards yet — its next slice pays the
+                    // re-stream. Two exceptions keep residency for an
+                    // *unchanged* placement: a down host cannot
+                    // restream at all, and the staged-repair interim
+                    // left every weight exactly where it was (the real
+                    // move is paid when the searched placement lands).
+                    if !(unchanged && (!state.host_is_up() || staged[i].is_some())) {
+                        resident[i] = false;
+                    }
+                    parked[i] = false;
+                }
+                Err(_) => {
+                    // Shed: the repaired footprint cannot be trimmed to
+                    // the serve budget on the shrunken fabric.
+                    counters.sheds += 1;
+                    stats[i].parks += 1;
+                    parked[i] = true;
+                    resident[i] = false;
+                    staged[i] = None;
+                }
             }
-            // Eviction: the repaired placement's weights are not on the
-            // boards yet — its next slice pays the re-stream.
-            resident[i] = false;
         }
-        Ok(degraded)
+        degraded
     }
 
     fn serve_inner(
@@ -1109,6 +1318,8 @@ impl<'s> TenantRegistry<'s> {
                 repairs: 0,
                 degraded_served: 0,
                 violations_degraded: 0,
+                repair_time_charged: Seconds::ZERO,
+                parks: 0,
             })
             .collect();
         let mut counters = ServeCounters::default();
@@ -1144,6 +1355,12 @@ impl<'s> TenantRegistry<'s> {
                 }
             }
         }
+        // Fault-window tenant state: parked (shed) tenants sit out
+        // rounds until a later transition re-admits them; staged
+        // repairs wait out their modeled wall time before landing.
+        // Both are per-run scratch, inert on no-fault paths.
+        let mut parked = vec![false; n];
+        let mut staged: Vec<Option<StagedRepair>> = (0..n).map(|_| None).collect();
 
         while done < total {
             // Fault boundaries crossed since the last round change the
@@ -1164,13 +1381,49 @@ impl<'s> TenantRegistry<'s> {
                     degraded_sys = self.apply_fault_transition(
                         &fault_state,
                         budgeted,
+                        now,
                         &mut stats,
                         &mut counters,
                         &mut resident,
-                    )?;
+                        &mut parked,
+                        &mut staged,
+                    );
                 }
             }
             let active_sys: &SystemSpec = degraded_sys.as_ref().unwrap_or(self.system);
+            // Land staged repairs whose modeled wall time has elapsed:
+            // install the searched placement on the current fabric and
+            // evict (the improved placement's weights re-stream next
+            // slice) unless the host-down unchanged-placement rule
+            // keeps residency.
+            for i in 0..n {
+                if !staged[i].as_ref().is_some_and(|s| now >= s.lands_at - 1e-12) {
+                    continue;
+                }
+                let sr = staged[i].take().expect("a due stage exists");
+                let cfg = self.config;
+                let old_mapping = self.tenants[i].mapping.clone();
+                let old_locality = self.tenants[i].locality.clone();
+                let t = &mut self.tenants[i];
+                match install_placement(active_sys, &cfg, t, &mut stats[i], sr.mapping, sr.locality)
+                {
+                    Ok(()) => {
+                        let unchanged =
+                            t.mapping == old_mapping && t.locality == old_locality;
+                        if fault_state.host_is_up() || !unchanged {
+                            resident[i] = false;
+                        }
+                        parked[i] = false;
+                    }
+                    Err(_) => {
+                        counters.sheds += 1;
+                        stats[i].parks += 1;
+                        parked[i] = true;
+                        resident[i] = false;
+                    }
+                }
+            }
+            let host_up = fault_state.host_is_up();
             // Backlog at round start: arrivals up to `now`, not yet
             // served. Arrival j lands at j / rate; the floor gives a
             // fast first guess and the comparison loops make the count
@@ -1191,13 +1444,46 @@ impl<'s> TenantRegistry<'s> {
                     arrived.saturating_sub(served[i])
                 })
                 .collect();
+            // Serviceability gate: parked tenants are shelved until a
+            // later transition re-admits them, and while the host NIC
+            // is down only already-resident tenants can serve (a
+            // swap-in would have to stream weights through the dead
+            // host). Healthy runs never zero anything here.
+            let mut pending = pending;
+            let servable: Vec<bool> =
+                (0..n).map(|i| !parked[i] && (host_up || resident[i])).collect();
+            for i in 0..n {
+                if !servable[i] {
+                    pending[i] = 0;
+                }
+            }
             if pending.iter().all(|p| *p == 0) {
-                // Idle: jump to the earliest outstanding arrival.
-                let next = (0..n)
-                    .filter(|&i| served[i] < self.tenants[i].spec.requests)
+                // Idle: jump to the earliest outstanding servable
+                // arrival. When unservable tenants hold the remaining
+                // work, only a fault boundary can re-admit them, so
+                // the jump may land there instead; if neither exists
+                // the drain is deadlocked. Fully-servable runs keep
+                // the historical next-arrival-only jump (bitwise).
+                let next_arrival = (0..n)
+                    .filter(|&i| servable[i] && served[i] < self.tenants[i].spec.requests)
                     .map(|i| self.tenants[i].arrival(served[i]))
                     .fold(f64::INFINITY, f64::min);
-                debug_assert!(next.is_finite(), "unserved work must have a next arrival");
+                let blocked = (0..n)
+                    .any(|i| !servable[i] && served[i] < self.tenants[i].spec.requests);
+                let next_b = if blocked {
+                    boundaries.get(next_boundary).copied().unwrap_or(f64::INFINITY)
+                } else {
+                    f64::INFINITY
+                };
+                let next = next_arrival.min(next_b);
+                if !next.is_finite() {
+                    return Err(ServeError::Stalled {
+                        at: Seconds::new(now),
+                        unserved: total - done,
+                        parked: parked.iter().filter(|p| **p).count(),
+                        host_down: !host_up,
+                    });
+                }
                 now = now.max(next);
                 continue;
             }

@@ -88,6 +88,100 @@ fn faulted_serve_leaves_no_trace_on_the_registry() {
 }
 
 #[test]
+fn pr6_fault_kinds_leave_the_new_ledgers_untouched() {
+    // Board outages and link degradations predate the host/compute
+    // fault kinds and the costed-repair model; under the default
+    // instantaneous-repair config they must keep taking exactly the
+    // old path — every ledger this PR added stays at its zero.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+    reg.admit(spec("cnn", h2h_model::zoo::cnn_lstm(), 40.0, 8.0, 8)).unwrap();
+    reg.admit(spec("mocap", h2h_model::zoo::mocap(), 40.0, 8.0, 8)).unwrap();
+    let dead = {
+        let t = reg.tenants().next().unwrap();
+        most_loaded_board(&t.spec().model, t.mapping(), system.num_accs())
+    };
+    let live = (dead + 1) % system.num_accs();
+    let plan = FaultPlan::parse(
+        &format!("board:{dead}@0.000001-0.4;link:{live}/4@0.000001"),
+        system.num_accs(),
+    )
+    .unwrap();
+    let out = reg.serve_with_faults(&plan).unwrap();
+    out.check_coherence().unwrap();
+    assert!(out.counters.fault_transitions > 0, "the window must be crossed");
+    assert_eq!(out.counters.staged_repairs, 0, "nothing stages under zero repair cost");
+    assert_eq!(out.counters.sheds, 0, "nothing sheds on a survivable outage");
+    for t in &out.tenants {
+        assert_eq!(t.repair_time_charged, Seconds::ZERO, "{}: no wall time charged", t.name);
+        assert_eq!(t.parks, 0, "{}: never parked", t.name);
+    }
+}
+
+#[test]
+fn host_and_compute_degradation_charges_repair_wall_time() {
+    // The PR's acceptance scenario: the host NIC degrades and a busy
+    // board slows mid-drain, under a realistic nonzero per-move repair
+    // cost. The budgeted repair must be staged behind its modeled wall
+    // time, that time must land on a tenant ledger, the accounting
+    // must stay coherent — and the whole episode must leave no trace
+    // on the registry.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig { repair_secs_per_move: 25e-6, ..H2hConfig::default() };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    let mut plain = TenantRegistry::new(&system, cfg);
+    for r in [&mut reg, &mut plain] {
+        r.admit(spec("cnn", h2h_model::zoo::cnn_lstm(), 40.0, 8.0, 8)).unwrap();
+        r.admit(spec("mocap", h2h_model::zoo::mocap(), 40.0, 8.0, 8)).unwrap();
+    }
+    let slowed = {
+        let t = reg.tenants().next().unwrap();
+        most_loaded_board(&t.spec().model, t.mapping(), system.num_accs())
+    };
+    let plan = FaultPlan::parse(
+        &format!("host:2@0.000001;slow:{slowed}/8@0.000001"),
+        system.num_accs(),
+    )
+    .unwrap();
+    let out = reg.serve_with_faults(&plan).unwrap();
+    out.check_coherence().unwrap();
+    assert!(out.counters.fault_transitions > 0, "the degradation must be crossed");
+    assert!(out.counters.staged_repairs > 0, "a changed placement must stage behind its wall time");
+    assert!(
+        out.tenants.iter().any(|t| t.repair_time_charged > Seconds::ZERO),
+        "the repair search's wall time must be charged to a ledger"
+    );
+    assert_eq!(
+        plain.serve(),
+        reg.serve(),
+        "the costed-repair fault serve must leave no trace on the registry"
+    );
+}
+
+#[test]
+fn bounded_host_outage_is_served_through_by_resident_tenants() {
+    // A host:down window in the middle of the drain: admission-time
+    // residents keep serving on peer links (no new tenant can swap in
+    // and nothing can restream), and once the host returns the drain
+    // finishes normally — no stall, every request served.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+    reg.admit(spec("cnn", h2h_model::zoo::cnn_lstm(), 40.0, 8.0, 24)).unwrap();
+    reg.admit(spec("mocap", h2h_model::zoo::mocap(), 40.0, 8.0, 24)).unwrap();
+    // Size the outage window from the no-fault drain so recovery is
+    // guaranteed to fall among the serving rounds, whatever the
+    // models' latencies are.
+    let mid = reg.serve().makespan.as_f64() * 0.25;
+    let plan = FaultPlan::parse(&format!("host:down@0.000001-{mid}"), system.num_accs()).unwrap();
+    let out = reg.serve_with_faults(&plan).unwrap();
+    out.check_coherence().unwrap();
+    assert!(out.counters.fault_transitions >= 2, "onset and recovery must both be crossed");
+    for t in &out.tenants {
+        assert_eq!(t.served, t.requests, "{}: every request drains through the outage", t.name);
+    }
+}
+
+#[test]
 fn budgeted_repair_recovers_most_of_scratch_at_a_fraction_of_the_bill() {
     // The acceptance gate: on the larger zoo models, downing the most
     // loaded board and repairing under the automatic budget recovers

@@ -132,3 +132,59 @@ fn serve_report_snapshot_fault_window() {
     assert!(out.counters.fault_transitions > 0, "the outage must be crossed");
     check_golden("serve_report_fault_window_lowminus", &serve_report(&out));
 }
+
+#[test]
+fn serve_report_snapshot_repair_charged_window() {
+    // Host-NIC degradation plus a compute slowdown, with a nonzero
+    // per-move repair cost: each transition's searched repair is
+    // staged behind its modeled wall time and the fault section grows
+    // the repair-time / parks columns — the PR's repair-charged
+    // serving scenario, snapshotted.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig {
+        serve_verify: true,
+        repair_secs_per_move: 25e-6,
+        ..H2hConfig::default()
+    };
+    let mut reg = TenantRegistry::new(&system, cfg);
+    reg.admit(TenantSpec::new(
+        "mocap",
+        h2h_model::zoo::mocap(),
+        30.0,
+        Seconds::new(8.0),
+        16,
+    ))
+    .unwrap();
+    reg.admit(TenantSpec::new(
+        "cnn-lstm",
+        h2h_model::zoo::cnn_lstm(),
+        30.0,
+        Seconds::new(8.0),
+        16,
+    ))
+    .unwrap();
+    // Throttle the board carrying the most layers of the first
+    // tenant's mapping 8x, and halve the host NIC, for the whole
+    // drain — the repair search has something real to move away from.
+    let slowed = {
+        let t = reg.tenants().next().unwrap();
+        let mut load = vec![0usize; system.num_accs()];
+        for id in t.spec().model.layer_ids() {
+            load[t.mapping().acc_of(id).index()] += 1;
+        }
+        load.iter().enumerate().max_by_key(|(_, l)| **l).unwrap().0
+    };
+    let plan = FaultPlan::parse(
+        &format!("host:2@0.000001;slow:{slowed}/8@0.000001"),
+        system.num_accs(),
+    )
+    .unwrap();
+    let out = reg.serve_with_faults(&plan).unwrap();
+    out.check_coherence().unwrap();
+    assert!(out.counters.fault_transitions > 0, "the degradation must be crossed");
+    assert!(
+        out.tenants.iter().any(|t| t.repair_time_charged > Seconds::ZERO),
+        "a budgeted repair under a nonzero per-move cost must charge wall time"
+    );
+    check_golden("serve_report_repair_charged_lowminus", &serve_report(&out));
+}

@@ -5,11 +5,14 @@
 //! the population, attained latency at or above the zero-queueing
 //! ideal, zero incremental-vs-full slice mismatches).
 
+#![recursion_limit = "1024"]
+
 use proptest::prelude::*;
 
 use h2h_core::serve::{ServeError, TenantRegistry, TenantSpec};
 use h2h_core::H2hConfig;
 use h2h_model::units::Seconds;
+use h2h_system::fault::FaultPlan;
 use h2h_system::system::{BandwidthClass, SystemSpec};
 
 /// The fast zoo entries (the suite runs whole pipelines per case).
@@ -185,5 +188,94 @@ proptest! {
                 panic!("incoherent naive outcome: {e}");
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    // Random fault plans mixing all four kinds — board outages, link
+    // and compute degradations, and one host event (degrade or full
+    // outage) — over random windows and repair costs: the faulted
+    // serve either drains coherently or reports a structured stall
+    // (an unrecovered outage can legitimately block everything), and
+    // either way leaves no trace on the registry.
+    #[test]
+    fn faulted_serving_is_coherent_or_stalls_structurally(
+        events in proptest::collection::vec(
+            (0usize..4, 0usize..16, 1.5f64..6.0, 1e-4f64..0.05, 0.01f64..0.3, any::<bool>()),
+            1..5,
+        ),
+        repair_cost_pick in 0usize..3,
+        host_down in any::<bool>(),
+    ) {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let n_accs = system.num_accs();
+        let cfg = H2hConfig {
+            serve_verify: true,
+            repair_secs_per_move: [0.0, 25e-6, 5e-3][repair_cost_pick],
+            ..H2hConfig::default()
+        };
+        let mut reg = TenantRegistry::new(&system, cfg);
+        let mut control = TenantRegistry::new(&system, cfg);
+        for r in [&mut reg, &mut control] {
+            r.admit(TenantSpec::new("cnn", h2h_model::zoo::cnn_lstm(), 40.0, Seconds::new(8.0), 8))
+                .unwrap();
+            r.admit(TenantSpec::new("mocap", h2h_model::zoo::mocap(), 40.0, Seconds::new(8.0), 8))
+                .unwrap();
+        }
+
+        // Render the random events into the grammar. Host windows must
+        // not overlap, so only the first host event is kept; factors on
+        // one board may stack freely.
+        let mut parts = Vec::new();
+        let mut host_used = false;
+        for (kind, board, factor, onset, dur, bounded) in &events {
+            let b = board % n_accs;
+            let window = if *bounded {
+                format!("{onset}-{}", onset + dur)
+            } else {
+                format!("{onset}")
+            };
+            match kind {
+                0 => parts.push(format!("board:{b}@{window}")),
+                1 => parts.push(format!("link:{b}/{factor}@{window}")),
+                2 => parts.push(format!("slow:{b}/{factor}@{window}")),
+                _ if host_used => {}
+                _ => {
+                    host_used = true;
+                    if host_down {
+                        parts.push(format!("host:down@{window}"));
+                    } else {
+                        parts.push(format!("host:{factor}@{window}"));
+                    }
+                }
+            }
+        }
+        // At least one event always renders: the first host-kind event
+        // is kept and every other kind is unconditional.
+        prop_assert!(!parts.is_empty());
+        let plan = FaultPlan::parse(&parts.join(";"), n_accs)
+            .unwrap_or_else(|e| panic!("generated plan must parse: {e}"));
+
+        match reg.serve_with_faults(&plan) {
+            Ok(out) => {
+                if let Err(e) = out.check_coherence() {
+                    panic!("incoherent faulted outcome: {e}");
+                }
+                prop_assert!(out.counters.fault_transitions > 0, "a nonempty plan must be crossed");
+                for t in &out.tenants {
+                    prop_assert_eq!(t.served, t.requests);
+                }
+            }
+            // An unrecovered outage that blocks every remaining tenant
+            // is a legal, structured end state — not a panic.
+            Err(ServeError::Stalled { unserved, .. }) => prop_assert!(unserved > 0),
+            Err(e) => panic!("unexpected fault-serve error: {e}"),
+        }
+
+        // Whatever happened in the degraded window, the registry must
+        // come back bit-identical.
+        prop_assert_eq!(control.serve(), reg.serve(), "faulted serve left a trace");
     }
 }

@@ -56,6 +56,6 @@ pub use incremental::IncrementalSchedule;
 pub use locality::LocalityState;
 pub use mapping::{Mapping, MappingError};
 pub use schedule::{CostCache, EnergyBreakdown, Evaluator, LayerTiming, Schedule};
-pub use sim::{simulate, simulate_with_faults, SimConfig, SimReport};
+pub use sim::{simulate, simulate_with_faults, SimConfig, SimError, SimReport};
 pub use system::{AccId, BandwidthClass, SystemSpec};
 pub use topology::{Endpoint, Topology};

@@ -426,12 +426,20 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        // Compute, per batch item.
+        // Compute, per batch item. The cache stores healthy-speed
+        // times; a compute-throttled board on a degraded system view
+        // stretches them at read time ([`SystemSpec::compute_factor`]).
+        // The branch (rather than an unconditional `* 1.0`) keeps the
+        // healthy path bitwise-identical to the historical arithmetic.
         cost.compute = self
             .cache
             .time(id, acc)
             .expect("mapping validated: accelerator supports layer")
             * b;
+        let slow = self.system.compute_factor(acc);
+        if slow != 1.0 {
+            cost.compute = cost.compute * slow;
+        }
         cost.compute_energy = self
             .cache
             .energy(id, acc)

@@ -10,8 +10,9 @@
 //! 2. **IFM ingest** — one phase per incoming activation edge: a
 //!    local-DRAM `Timed` read when the edge is fused, a `Link` phase
 //!    from [`crate::topology::edge_src`] otherwise;
-//! 3. **Compute** — a `Timed` phase from the shared
-//!    [`crate::schedule::CostCache`];
+//! 3. **Compute** — a `Compute` phase from the shared
+//!    [`crate::schedule::CostCache`], tracked in healthy-speed seconds
+//!    and stretched by the board's instantaneous throttle factor;
 //! 4. **OFM upload** — the *single* `Link` phase of the shared
 //!    [`crate::topology::Topology::ofm_route`] rule (one upload serves
 //!    every remote consumer at the slowest route among them; model
@@ -50,12 +51,23 @@
 //! remaining bytes and continue at the new route rate (fluid model).
 //! A down board freezes: it starts no layers, its phases make no
 //! progress until recovery, and its frozen via-host transfers release
-//! the shared NIC. An always-degraded plan therefore matches the
-//! analytical evaluator on the degraded system exactly, and a
-//! recoverable outage on an otherwise-idle dependency chain delays the
-//! makespan by exactly the outage overlap — the fault-window
-//! cross-checks of the analytical degraded-route costs. With an empty
-//! plan the code path is bit-identical to [`simulate`].
+//! the shared NIC. A compute-throttled board
+//! ([`crate::fault::FaultKind::BoardDegraded`]) keeps running, its
+//! `Compute` phases stretched by the throttle factor — remaining work
+//! is tracked in healthy-speed seconds, so mid-phase throttle changes
+//! re-rate fluidly like transfers do. A *down host*
+//! ([`crate::fault::FaultKind::HostDown`]) stalls every via-host
+//! `Link` phase (weight streams, host-relayed activations, output
+//! uploads) while peer-link transfers, compute and local DRAM traffic
+//! keep flowing — the NIC-outage analogue of the board freeze. An
+//! always-degraded plan therefore matches the analytical evaluator on
+//! the degraded system exactly, and a recoverable outage on an
+//! otherwise-idle dependency chain delays the makespan by exactly the
+//! outage overlap — the fault-window cross-checks of the analytical
+//! degraded-route costs. With an empty plan the code path is
+//! bit-identical to [`simulate`]. A timeline whose remaining work can
+//! never progress again (an unrecovered outage stranding mapped work)
+//! returns [`SimError::Stalled`] instead of deadlocking.
 
 use h2h_model::graph::{LayerId, ModelGraph};
 use h2h_model::layer::LayerOp;
@@ -105,6 +117,45 @@ impl SimConfig {
     }
 }
 
+/// Why a fault-timeline simulation could not run to completion.
+///
+/// Returned (never panicked) so serving layers can degrade gracefully
+/// — surface the failure, shed the tenant, keep the process alive —
+/// instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimError {
+    /// The timeline can make no further progress and no fault boundary
+    /// is ahead: an unrecovered outage strands mapped work forever
+    /// (work on a permanently dead board, or via-host traffic behind a
+    /// permanently dead host). Permanent outages are the *repair*
+    /// path's business — the simulator replays timelines on fixed
+    /// mappings.
+    Stalled {
+        /// Simulation clock at the stall.
+        at: Seconds,
+        /// Layers left unfinished.
+        remaining: usize,
+        /// Whether the host was down at the stall (the usual culprit
+        /// when every board is still up).
+        host_down: bool,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { at, remaining, host_down } => write!(
+                f,
+                "simulation stalled at t={at}: {remaining} layers unfinished \
+                 ({} — an unrecovered outage strands mapped work)",
+                if *host_down { "host down" } else { "board down or head-of-line deadlock" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Simulation result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -145,11 +196,19 @@ enum Route {
 enum Phase {
     /// Interconnect transfer: remaining bytes, the route's effective
     /// rate, whether the route relays through the host NIC (only those
-    /// phases contend for `SimConfig::host_nic_capacity`), and the
-    /// route itself (for re-rating at fault boundaries).
+    /// phases contend for `SimConfig::host_nic_capacity`, and only
+    /// those stall while the host is down), and the route itself (for
+    /// re-rating at fault boundaries).
     Link { bytes: f64, rate: f64, via_host: bool, route: Route },
-    /// Fixed-duration work: compute or local-DRAM traffic (seconds).
+    /// Fixed-duration work immune to fault re-rating: local-DRAM
+    /// traffic (seconds).
     Timed(f64),
+    /// Compute work: remaining seconds *at healthy board speed*. A
+    /// compute throttle (`FaultState::compute_factor`) stretches the
+    /// wall-clock duration at read time, so mid-phase throttle changes
+    /// re-rate the remainder fluidly — the compute analogue of a
+    /// `Link` phase's bytes.
+    Compute { secs: f64 },
 }
 
 #[derive(Debug)]
@@ -174,20 +233,26 @@ pub fn simulate(
     config: SimConfig,
 ) -> SimReport {
     simulate_with_faults(model, system, mapping, locality, config, &FaultPlan::empty())
+        .expect("an empty fault plan cannot stall")
 }
 
-/// [`simulate`] through a fault timeline: board outages and link
-/// degradations of `plan` hit (and recover) at their scheduled times
-/// while the model executes — see the module docs for the fluid
-/// re-rating and freeze semantics. With an empty plan this is
-/// bit-identical to [`simulate`].
+/// [`simulate`] through a fault timeline: board outages, link/NIC
+/// degradations, compute throttles and host outages of `plan` hit (and
+/// recover) at their scheduled times while the model executes — see
+/// the module docs for the fluid re-rating, freeze and host-stall
+/// semantics. With an empty plan this is bit-identical to
+/// [`simulate`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Stalled`] when an unrecovered outage strands
+/// mapped work forever (every runnable phase frozen with no fault
+/// boundary ahead) — permanent outages are the *repair* path's
+/// business, the simulator replays timelines on fixed mappings.
 ///
 /// # Panics
 ///
-/// Panics like [`simulate`], and additionally when an unrecovered
-/// board outage strands mapped work forever (the simulation would
-/// deadlock) — permanent outages are the *repair* path's business, the
-/// simulator replays timelines on fixed mappings.
+/// Panics like [`simulate`] on an invalid mapping.
 pub fn simulate_with_faults(
     model: &ModelGraph,
     system: &SystemSpec,
@@ -195,7 +260,7 @@ pub fn simulate_with_faults(
     locality: &LocalityState,
     config: SimConfig,
     plan: &FaultPlan,
-) -> SimReport {
+) -> Result<SimReport, SimError> {
     let cache = CostCache::new(model, system);
     let base_topo = system.topology();
     let n_accs = system.num_accs();
@@ -272,9 +337,11 @@ pub fn simulate_with_faults(
                 phases.push(link(b * bytes, crate::topology::edge_src(model, mapping, pred), here));
             }
         }
+        // Remaining compute is tracked at healthy speed; the board's
+        // instantaneous throttle factor stretches it at advance time.
         let comp = cache.time(id, acc).expect("supported layer").as_f64();
         if comp > 0.0 {
-            phases.push(Phase::Timed(b * comp));
+            phases.push(Phase::Compute { secs: b * comp });
         }
         if !is_input {
             let obytes = layer.ofm_bytes(DataType::F32).as_f64();
@@ -382,7 +449,10 @@ pub fn simulate_with_faults(
 
         // Current rates: via-host transfer phases share the host NIC
         // (fair processor sharing); direct peer links run at full rate;
-        // frozen boards neither progress nor hold a NIC share.
+        // frozen boards neither progress nor hold a NIC share; a down
+        // host stalls every via-host phase outright (rate 0) while
+        // peer, compute and DRAM phases keep flowing.
+        let host_up = state.host_is_up();
         let n_host = active
             .iter()
             .enumerate()
@@ -397,12 +467,16 @@ pub fn simulate_with_faults(
         let phase_rate = |p: &Phase| match *p {
             Phase::Link { rate, via_host, .. } => {
                 if via_host {
-                    rate.min(host_share)
+                    if host_up {
+                        rate.min(host_share)
+                    } else {
+                        0.0
+                    }
                 } else {
                     rate
                 }
             }
-            Phase::Timed(_) => f64::INFINITY,
+            Phase::Timed(_) | Phase::Compute { .. } => f64::INFINITY,
         };
 
         // Time to the next phase completion (frozen boards excluded),
@@ -416,19 +490,23 @@ pub fn simulate_with_faults(
             let t = match a.phases[a.current] {
                 Phase::Link { bytes, .. } => bytes / phase_rate(&a.phases[a.current]),
                 Phase::Timed(secs) => secs,
+                Phase::Compute { secs } => secs * state.compute_factor(AccId::new(acc)),
             };
             dt = dt.min(t);
         }
         let horizon =
             boundaries.get(next_boundary).copied().unwrap_or(f64::INFINITY) - now;
         if !dt.is_finite() {
-            // Every runnable board is frozen by an outage: jump to the
-            // next fault boundary (a recovery) if one is scheduled.
-            assert!(
-                horizon.is_finite(),
-                "simulation stalled at t={now}: {remaining} layers unfinished \
-                 (head-of-line deadlock, or an unrecovered outage stranding mapped work?)"
-            );
+            // Every runnable phase is frozen by an outage: jump to the
+            // next fault boundary (a recovery) if one is scheduled;
+            // with none ahead the timeline is stranded forever.
+            if !horizon.is_finite() {
+                return Err(SimError::Stalled {
+                    at: Seconds::new(now),
+                    remaining,
+                    host_down: !host_up,
+                });
+            }
             events += 1;
             now += horizon;
             continue;
@@ -453,6 +531,10 @@ pub fn simulate_with_faults(
                     *secs -= dt;
                     *secs <= 1e-12
                 }
+                Phase::Compute { secs } => {
+                    *secs -= dt / state.compute_factor(AccId::new(acc));
+                    *secs <= 1e-12
+                }
             };
             if done {
                 a.current += 1;
@@ -466,7 +548,7 @@ pub fn simulate_with_faults(
         }
     }
 
-    SimReport { makespan: Seconds::new(now), finish: finish_time, events }
+    Ok(SimReport { makespan: Seconds::new(now), finish: finish_time, events })
 }
 
 #[cfg(test)]
@@ -632,7 +714,8 @@ mod tests {
         let loc = LocalityState::new(&sys);
         for cfg in [SimConfig::dedicated(), SimConfig::shared_nic(BytesPerSec::new(5e5))] {
             let plain = simulate(&m, &sys, &map, &loc, cfg);
-            let faulted = simulate_with_faults(&m, &sys, &map, &loc, cfg, &FaultPlan::empty());
+            let faulted =
+                simulate_with_faults(&m, &sys, &map, &loc, cfg, &FaultPlan::empty()).unwrap();
             assert_eq!(plain, faulted, "empty plan must not perturb the timeline");
         }
     }
@@ -663,7 +746,8 @@ mod tests {
         let state = plan.state_at(Seconds::new(0.0), sys.num_accs());
         let degraded_sys = sys.degrade(&state);
         let analytic = Evaluator::new(&m, &degraded_sys).evaluate(&map, &loc);
-        let sim = simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan);
+        let sim =
+            simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan).unwrap();
         let a = analytic.makespan().as_f64();
         let s = sim.makespan().as_f64();
         assert!((a - s).abs() / a < 1e-6, "analytic-on-degraded {a} vs fault sim {s}");
@@ -703,6 +787,7 @@ mod tests {
             SimConfig::dedicated(),
             &mk_plan(0.0),
         )
+        .unwrap()
         .makespan()
         .as_f64();
         let mid = simulate_with_faults(
@@ -713,6 +798,7 @@ mod tests {
             SimConfig::dedicated(),
             &mk_plan(healthy * 0.5),
         )
+        .unwrap()
         .makespan()
         .as_f64();
         assert!(worst > healthy * 1.01, "a 16x slowdown must actually hurt");
@@ -741,7 +827,8 @@ mod tests {
             at: Seconds::new(0.0),
             recover_at: Some(Seconds::new(r)),
         });
-        let sim = simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan);
+        let sim =
+            simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan).unwrap();
         let expect = healthy.makespan().as_f64() + r;
         let got = sim.makespan().as_f64();
         assert!(
@@ -751,8 +838,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stalled")]
-    fn permanent_outage_with_mapped_work_panics() {
+    fn permanent_outage_with_mapped_work_returns_typed_stall() {
         let m = branchy_model();
         let sys = const_system(vec![ConstAccel::universal("U0", 1e-3)], 1e6);
         let mut map = Mapping::new(&m);
@@ -760,13 +846,246 @@ mod tests {
             map.set(id, AccId::new(0));
         }
         let plan = FaultPlan::board_down(AccId::new(0), Seconds::new(0.0));
-        let _ = simulate_with_faults(
+        let err = simulate_with_faults(
             &m,
             &sys,
             &map,
             &LocalityState::new(&sys),
             SimConfig::dedicated(),
             &plan,
+        )
+        .unwrap_err();
+        let SimError::Stalled { remaining, host_down, .. } = err;
+        assert_eq!(remaining, m.num_layers());
+        assert!(!host_down, "the host is fine, the board is dead");
+        assert!(err.to_string().contains("stalled"), "{err}");
+    }
+
+    #[test]
+    fn always_slowed_board_matches_analytic_on_degraded_system() {
+        // A board compute-throttled from t=0 is just a slower board:
+        // the fault timeline must reproduce the analytical evaluator on
+        // the degraded system view that carries the compute factor.
+        let m = branchy_model();
+        let sys = const_system(
+            vec![
+                ConstAccel::universal("U0", 2e-3),
+                ConstAccel::universal("U1", 3e-3),
+                ConstAccel::universal("U2", 1e-3),
+            ],
+            1e6,
+        );
+        let map = spread_mapping(&m, 3);
+        let loc = LocalityState::new(&sys);
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(2),
+            kind: FaultKind::BoardDegraded { factor: 3.0 },
+            at: Seconds::new(0.0),
+            recover_at: None,
+        });
+        let state = plan.state_at(Seconds::new(0.0), sys.num_accs());
+        let degraded_sys = sys.degrade(&state);
+        assert_eq!(degraded_sys.compute_factor(AccId::new(2)), 3.0);
+        let analytic = Evaluator::new(&m, &degraded_sys).evaluate(&map, &loc);
+        let healthy = Evaluator::new(&m, &sys).evaluate(&map, &loc);
+        assert!(
+            analytic.makespan() > healthy.makespan(),
+            "a 3x compute throttle must actually hurt"
+        );
+        let sim =
+            simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan).unwrap();
+        let a = analytic.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!((a - s).abs() / a < 1e-6, "analytic-on-throttled {a} vs fault sim {s}");
+        for id in m.layer_ids() {
+            let at = analytic.timing(id).unwrap().finish.as_f64();
+            let st = sim.finish_of(id).unwrap().as_f64();
+            assert!((at - st).abs() < 1e-6, "{id}: {at} vs {st}");
+        }
+    }
+
+    #[test]
+    fn always_degraded_host_matches_analytic_on_degraded_system() {
+        // A host NIC degraded from t=0 re-prices every via-host route:
+        // the timeline must reproduce the analytical evaluator on the
+        // degraded system.
+        let m = branchy_model();
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 2e-3), ConstAccel::universal("U1", 1e-3)],
+            1e6,
+        );
+        let map = spread_mapping(&m, 2);
+        let loc = LocalityState::new(&sys);
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(0),
+            kind: FaultKind::HostDegraded { factor: 4.0 },
+            at: Seconds::new(0.0),
+            recover_at: None,
+        });
+        let state = plan.state_at(Seconds::new(0.0), sys.num_accs());
+        let degraded_sys = sys.degrade(&state);
+        let analytic = Evaluator::new(&m, &degraded_sys).evaluate(&map, &loc);
+        let healthy = Evaluator::new(&m, &sys).evaluate(&map, &loc);
+        assert!(
+            analytic.makespan() > healthy.makespan(),
+            "a 4x NIC slowdown must actually hurt"
+        );
+        let sim =
+            simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan).unwrap();
+        let a = analytic.makespan().as_f64();
+        let s = sim.makespan().as_f64();
+        assert!((a - s).abs() / a < 1e-6, "analytic-on-degraded-host {a} vs fault sim {s}");
+    }
+
+    #[test]
+    fn recovered_host_outage_delays_a_via_host_chain_by_exactly_the_window() {
+        // Single board, host down from t=0 until t=R: the weight stream
+        // at the head of the chain is via-host, so nothing can progress
+        // before R — the host analogue of the board-outage shift test.
+        let m = branchy_model();
+        let sys = const_system(vec![ConstAccel::universal("U0", 1e-3)], 1e6);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let loc = LocalityState::new(&sys);
+        let healthy = simulate(&m, &sys, &map, &loc, SimConfig::dedicated());
+        let r = 0.25;
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(0),
+            kind: FaultKind::HostDown,
+            at: Seconds::new(0.0),
+            recover_at: Some(Seconds::new(r)),
+        });
+        let sim =
+            simulate_with_faults(&m, &sys, &map, &loc, SimConfig::dedicated(), &plan).unwrap();
+        // Unlike a board outage, the board keeps computing while the
+        // host is down: the input layer's compute phase overlaps the
+        // outage, so the shift is r minus that overlap — everything
+        // after it is gated on the stalled weight stream.
+        let input_done = healthy.finish_of(m.topo_order()[0]).unwrap().as_f64();
+        let expect = healthy.makespan().as_f64() + r - input_done;
+        let got = sim.makespan().as_f64();
+        assert!(
+            (expect - got).abs() < 1e-9,
+            "host outage must shift the via-host chain: expected {expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn peer_linked_traffic_survives_a_host_outage() {
+        // Two boards joined by a direct peer link. A host-down window
+        // opened mid-way through the producer's peer OFM upload must
+        // not delay it (peer traffic bypasses the host), while the
+        // identical run on a star fabric — same rates, but the transfer
+        // relays through the host — stalls until recovery.
+        let mut b = ModelBuilder::new("pair");
+        let i = b.input("i", TensorShape::Vector { features: 256 });
+        let f1 = b.fc("f1", i, 256).unwrap();
+        let f2 = b.fc("f2", f1, 16).unwrap();
+        let m = b.finish().unwrap();
+        let rate = 1e6;
+        let star = const_system(
+            vec![ConstAccel::universal("U0", 1e-3), ConstAccel::universal("U1", 1e-3)],
+            rate,
+        );
+        let peered = star.clone().with_topology(Topology::switched(
+            BytesPerSec::new(rate),
+            vec![BytesPerSec::new(rate); 2],
+            vec![(0, 1, BytesPerSec::new(rate))],
+        ));
+        let mut map = Mapping::new(&m);
+        map.set(i, AccId::new(0));
+        map.set(f1, AccId::new(0));
+        map.set(f2, AccId::new(1));
+        let loc = LocalityState::new(&star);
+        let cfg = SimConfig::dedicated();
+        let healthy = simulate(&m, &peered, &map, &loc, cfg);
+        let f1_done = healthy.finish_of(f1).unwrap().as_f64();
+        // f1's final phase is its OFM upload (1 KiB at 1e6 B/s = ~1 ms);
+        // open the host-down window halfway through it.
+        let t1 = f1_done - 0.0005;
+        let t2 = f1_done + 1.0;
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(0),
+            kind: FaultKind::HostDown,
+            at: Seconds::new(t1),
+            recover_at: Some(Seconds::new(t2)),
+        });
+        let on_peer = simulate_with_faults(&m, &peered, &map, &loc, cfg, &plan).unwrap();
+        assert!(
+            (on_peer.finish_of(f1).unwrap().as_f64() - f1_done).abs() < 1e-9,
+            "the peer-routed upload must ride through the outage"
+        );
+        let on_star = simulate_with_faults(&m, &star, &map, &loc, cfg, &plan).unwrap();
+        assert!(
+            on_star.finish_of(f1).unwrap().as_f64() >= t2,
+            "the host-relayed upload must stall until recovery"
+        );
+        assert!(on_star.makespan() > on_peer.makespan());
+    }
+
+    #[test]
+    fn permanent_host_outage_with_via_host_work_returns_typed_stall() {
+        let m = branchy_model();
+        let sys = const_system(vec![ConstAccel::universal("U0", 1e-3)], 1e6);
+        let mut map = Mapping::new(&m);
+        for id in m.layer_ids() {
+            map.set(id, AccId::new(0));
+        }
+        let plan = FaultPlan::empty().with_event(FaultEvent {
+            acc: AccId::new(0),
+            kind: FaultKind::HostDown,
+            at: Seconds::new(0.0),
+            recover_at: None,
+        });
+        let err = simulate_with_faults(
+            &m,
+            &sys,
+            &map,
+            &LocalityState::new(&sys),
+            SimConfig::dedicated(),
+            &plan,
+        )
+        .unwrap_err();
+        let SimError::Stalled { host_down, remaining, .. } = err;
+        assert!(host_down, "the stall is the host's fault");
+        assert!(remaining > 0);
+    }
+
+    #[test]
+    fn mid_run_compute_throttle_lands_between_the_analytics() {
+        // A board throttled halfway through must cost at least the
+        // healthy analytic and at most the always-throttled one — the
+        // fluid remainder-rescaling check for Compute phases.
+        let m = branchy_model();
+        // A fast fabric keeps the timeline compute-bound, so the
+        // throttle is what moves the makespan.
+        let sys = const_system(
+            vec![ConstAccel::universal("U0", 2e-3), ConstAccel::universal("U1", 1e-3)],
+            1e9,
+        );
+        let map = spread_mapping(&m, 2);
+        let loc = LocalityState::new(&sys);
+        let healthy = Evaluator::new(&m, &sys).evaluate(&map, &loc).makespan().as_f64();
+        let mk_plan = |at: f64| {
+            FaultPlan::empty().with_event(FaultEvent {
+                acc: AccId::new(1),
+                kind: FaultKind::BoardDegraded { factor: 8.0 },
+                at: Seconds::new(at),
+                recover_at: None,
+            })
+        };
+        let cfg = SimConfig::dedicated();
+        let worst =
+            simulate_with_faults(&m, &sys, &map, &loc, cfg, &mk_plan(0.0)).unwrap();
+        let mid = simulate_with_faults(&m, &sys, &map, &loc, cfg, &mk_plan(healthy * 0.5))
+            .unwrap();
+        let (worst, mid) = (worst.makespan().as_f64(), mid.makespan().as_f64());
+        assert!(worst > healthy * 1.01, "an 8x throttle must actually hurt");
+        assert!(
+            healthy - 1e-12 <= mid && mid <= worst + 1e-12,
+            "mid-run throttle {mid} must land in [{healthy}, {worst}]"
         );
     }
 }

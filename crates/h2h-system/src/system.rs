@@ -140,6 +140,13 @@ pub struct SystemSpec {
     accs: Vec<AccelRef>,
     topology: Topology,
     energy: SystemEnergyModel,
+    /// Per-board compute slowdown divisors (`None` = all boards at full
+    /// speed — the healthy fast path). Set only by [`SystemSpec::degrade`]
+    /// when a [`FaultState`] carries compute throttles; applied at
+    /// cost-*read* time ([`crate::schedule::Evaluator::layer_cost`], the
+    /// event sim's compute phases) so a healthy-system
+    /// [`crate::schedule::CostCache`] stays valid on the degraded view.
+    compute_slow: Option<Vec<f64>>,
 }
 
 impl SystemSpec {
@@ -154,7 +161,7 @@ impl SystemSpec {
     pub fn new(accs: Vec<AccelRef>, ethernet: BytesPerSec) -> Self {
         assert!(!accs.is_empty(), "a system needs at least one accelerator");
         let topology = Topology::uniform_star(ethernet, accs.len());
-        SystemSpec { accs, topology, energy: SystemEnergyModel::default() }
+        SystemSpec { accs, topology, energy: SystemEnergyModel::default(), compute_slow: None }
     }
 
     /// The paper's evaluation system: the 12-accelerator catalog at the
@@ -253,20 +260,40 @@ impl SystemSpec {
     }
 
     /// The degraded view of this system under a [`FaultState`]: the
-    /// same boards behind [`Topology::degrade`]'s re-routed fabric.
-    /// Board liveness stays in the state (placement code queries
-    /// [`FaultState::acc_is_up`]); per-layer compute costs are
-    /// bandwidth-independent, so a [`crate::schedule::CostCache`] built
-    /// on the healthy system remains valid here
-    /// ([`crate::schedule::Evaluator::from_cache`]) — that is what
-    /// makes serve-time repair cheap. A healthy state returns a
-    /// bitwise-identical system.
+    /// same boards behind [`Topology::degrade`]'s re-routed fabric,
+    /// carrying the state's per-board compute slowdown divisors
+    /// ([`SystemSpec::compute_factor`]). Board liveness stays in the
+    /// state (placement code queries [`FaultState::acc_is_up`]); cached
+    /// per-layer costs are bandwidth-independent *and* stored at
+    /// healthy speed (compute throttles are applied at cost-read time),
+    /// so a [`crate::schedule::CostCache`] built on the healthy system
+    /// remains valid here ([`crate::schedule::Evaluator::from_cache`])
+    /// — that is what makes serve-time repair cheap. A healthy state
+    /// returns a bitwise-identical system.
     pub fn degrade(&self, state: &FaultState) -> SystemSpec {
+        let compute_slow = state.any_compute_degraded().then(|| {
+            self.acc_ids().map(|a| state.compute_factor(a)).collect()
+        });
         SystemSpec {
             accs: self.accs.clone(),
             topology: self.topology.degrade(state),
             energy: self.energy,
+            compute_slow,
         }
+    }
+
+    /// The compute slowdown divisor of one board on this (possibly
+    /// degraded) view — `1.0` everywhere except on a
+    /// [`SystemSpec::degrade`] result whose state throttled the board.
+    /// Cost readers ([`crate::schedule::Evaluator::layer_cost`], the
+    /// event sim) multiply cached compute times by this at read time.
+    pub fn compute_factor(&self, id: AccId) -> f64 {
+        self.compute_slow.as_ref().map_or(1.0, |s| s[id.0])
+    }
+
+    /// True when any board on this view is compute-throttled.
+    pub fn any_compute_degraded(&self) -> bool {
+        self.compute_slow.is_some()
     }
 
     /// The sub-system of boards still alive under a [`FaultState`],
@@ -299,7 +326,10 @@ impl SystemSpec {
             .collect();
         let topology = Topology::switched(degraded.host_nic(), links, peers);
         let accs = live_ids.iter().map(|a| self.accs[a.index()].clone()).collect();
-        let sub = SystemSpec { accs, topology, energy: self.energy };
+        let compute_slow = state.any_compute_degraded().then(|| {
+            live_ids.iter().map(|a| state.compute_factor(*a)).collect()
+        });
+        let sub = SystemSpec { accs, topology, energy: self.energy, compute_slow };
         (sub, live_ids)
     }
 

@@ -266,16 +266,22 @@ impl Topology {
     }
 
     /// The degraded view of this fabric under a [`FaultState`] — the
-    /// fault model's entry point into the route table. Each board's
-    /// host link is divided by its slowdown factor, peer links incident
-    /// to a down board are severed (their traffic falls back to the
-    /// host relay), and the `(src, dst)` route table is rebuilt from
-    /// scratch against the degraded rates — cheap (O(n²) over a
-    /// handful of boards), so serve-time repair can afford one per
-    /// fault transition. Down boards keep their (rate-unchanged) host
-    /// links: liveness is a placement constraint, not a routing one —
-    /// data the host already relayed stays reachable, the repair path
-    /// just never maps a layer onto a dead board.
+    /// fault model's entry point into the route table. The host NIC is
+    /// divided by the host slowdown factor (re-pricing every via-host
+    /// route at once), each board's host link is divided by its own
+    /// slowdown factor, peer links incident to a down board are severed
+    /// (their traffic falls back to the host relay), and the
+    /// `(src, dst)` route table is rebuilt from scratch against the
+    /// degraded rates — cheap (O(n²) over a handful of boards), so
+    /// serve-time repair can afford one per fault transition. Down
+    /// boards keep their (rate-unchanged) host links: liveness is a
+    /// placement constraint, not a routing one — data the host already
+    /// relayed stays reachable, the repair path just never maps a layer
+    /// onto a dead board. Likewise a *down* host leaves every rate
+    /// untouched: host liveness is enforced by the event simulator and
+    /// the serve loop (stalled via-host phases, frozen
+    /// admission/eviction), not by zeroed bandwidths, so analytic
+    /// pricing on the degraded fabric stays finite.
     ///
     /// A healthy state returns a bitwise-identical clone, so the
     /// no-fault path cannot drift from the historical fabric.
@@ -288,6 +294,7 @@ impl Topology {
         if state.is_healthy() {
             return self.clone();
         }
+        let host_nic = BytesPerSec::new(self.host_nic.as_f64() / state.host_factor());
         let links = self
             .links
             .iter()
@@ -302,7 +309,7 @@ impl Topology {
                 state.acc_is_up(AccId::new(*a)) && state.acc_is_up(AccId::new(*b))
             })
             .collect();
-        Topology::switched(self.host_nic, links, peers)
+        Topology::switched(host_nic, links, peers)
     }
 
     /// Parses a topology spec string against a base rate (usually the
@@ -739,6 +746,25 @@ mod tests {
         let d = t.degrade(&dead);
         assert!(d.peers().len() == 1 && d.peers()[0].0 == 2, "0-1 severed, 2-3 kept");
         assert!(d.crosses_host(a(0), a(1)), "severed pair relays through the host");
+
+        // A degraded host NIC re-prices every via-host route at once;
+        // peer links and board link rates are untouched.
+        let mut nic = FaultState::healthy(4);
+        nic.set_host_factor(5.0);
+        let d = t.degrade(&nic);
+        assert_eq!(d.host_nic().as_f64(), 0.125e9 / 5.0);
+        assert_eq!(d.link(AccId::new(0)).as_f64(), 0.125e9, "board links keep their rate");
+        assert_eq!(d.path_bw(Endpoint::Host, a(0)).as_f64(), 0.125e9 / 5.0);
+        assert_eq!(d.path_bw(a(0), a(2)).as_f64(), 0.125e9 / 5.0, "relay bottleneck");
+        assert_eq!(d.path_bw(a(0), a(1)).as_f64(), 1.0e9, "peer route unaffected");
+
+        // A *down* host leaves rates untouched (liveness is enforced by
+        // the sim/serve layers, not by zeroed bandwidths).
+        let mut down = FaultState::healthy(4);
+        down.set_host_down();
+        let d = t.degrade(&down);
+        assert_eq!(d.host_nic().as_f64(), t.host_nic().as_f64());
+        assert_eq!(d.path_bw(Endpoint::Host, a(0)).as_f64(), 0.125e9);
     }
 
     #[test]

@@ -22,10 +22,20 @@
 //! rates and the effective-bandwidth route table.
 //!
 //! `inspect` and `serve` also take `--faults <spec>` — `;`-separated
-//! `board:IDX@T[-T2]` / `link:IDX/F@T[-T2]` events. `inspect` prices
-//! the incumbent, the time-budgeted repair and a from-scratch remap on
+//! events over the full grammar: `board:IDX@T[-T2]` (outage),
+//! `link:IDX/F@T[-T2]` (board-link slowdown), `slow:IDX/F@T[-T2]`
+//! (compute throttle — the board stays placeable), `host:F@T[-T2]`
+//! (host-NIC slowdown: every via-host route and weight re-stream
+//! re-prices) and `host:down@T[-T2]` (host outage: swap-ins freeze,
+//! only resident tenants keep serving). `inspect` prices the
+//! incumbent, the time-budgeted repair and a from-scratch remap on
 //! the degraded fabric; `serve` replays the serving window through the
-//! fault timeline with per-tenant mid-serve repair.
+//! fault timeline with per-tenant mid-serve repair, and additionally
+//! takes `--repair-cost <secs-per-move>` to charge each repair's
+//! modeled wall time against the serving clock (searched placements
+//! then *land* only after their window; default 0 = instantaneous).
+//! A drain an unrecovered outage blocks forever exits with a
+//! structured `serving stalled` error.
 
 use std::process::ExitCode;
 
@@ -42,7 +52,8 @@ fn usage() -> ExitCode {
         "usage: h2h <zoo | accels | map <model> [bw] | sweep <model> | serve <m1,m2,..> [bw] | parse <file> [bw] | trace <model> [bw] <out.json> | inspect <model> [bw]>\n\
          models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high\n\
          map/serve/sweep/inspect also take --topology <uniform|skewed[:f]|switched[:m]|star:host=G;links=...|switched:...;peers=i-j@G>\n\
-         inspect/serve also take --faults <board:IDX@T[-T2];link:IDX/F@T[-T2];...>"
+         inspect/serve also take --faults <board:IDX@T[-T2];link:IDX/F@T[-T2];slow:IDX/F@T[-T2];host:F@T[-T2];host:down@T[-T2];...>\n\
+         serve also takes --repair-cost <secs-per-attempted-move> (repair wall time charged to the serving clock; default 0)"
     );
     ExitCode::from(2)
 }
@@ -171,6 +182,27 @@ fn fault_repair_report(
     Ok(())
 }
 
+/// Extracts `--repair-cost <secs-per-move>` wherever it appears: the
+/// modeled wall-time cost of one attempted repair move
+/// ([`h2h::core::H2hConfig::repair_secs_per_move`]); only `serve`
+/// reads it.
+fn take_repair_cost_flag(args: &mut Vec<String>) -> Result<Option<f64>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--repair-cost") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--repair-cost needs a value (seconds per attempted move)".into());
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    let v: f64 =
+        raw.parse().map_err(|_| format!("--repair-cost `{raw}` is not a number"))?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(format!("--repair-cost must be finite and >= 0, got `{raw}`"));
+    }
+    Ok(Some(v))
+}
+
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Extract `--topology <spec>` wherever it appears; only the
@@ -191,6 +223,13 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
     };
     let faults = faults.as_deref();
+    let repair_cost = match take_repair_cost_flag(&mut args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return Ok(usage());
+        }
+    };
     let cmd = match args.first() {
         Some(c) => c.as_str(),
         None => return Ok(usage()),
@@ -279,7 +318,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 print!("{}", system.topology().describe());
                 println!();
             }
-            let cfg = h2h::core::H2hConfig { serve_verify: true, ..Default::default() };
+            let cfg = h2h::core::H2hConfig {
+                serve_verify: true,
+                repair_secs_per_move: repair_cost.unwrap_or(0.0),
+                ..Default::default()
+            };
             let mut reg = h2h::core::serve::TenantRegistry::new(&system, cfg);
             for model in models {
                 // Admit (one pipeline run), then scale the contract to
