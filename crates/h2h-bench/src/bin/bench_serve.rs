@@ -11,6 +11,9 @@
 //!     [--bandwidths Low-] [--max-batch 8] [--budget-frac 1.0,0.1]
 //!     [--min-speedup 1.05] [--topology uniform,skewed]
 //!     [--faults board-down | --faults "board:3@0.5;link:1/4@0.2"]
+//!     [--arrivals fixed|poisson:SEED|trace:PATH]
+//!     [--policy knapsack,edf,wfair] [--load-sweep 0.5,0.8,1.1]
+//!     [--min-tail-gain 1.0]
 //! ```
 //!
 //! `--topology` sweeps interconnect fabrics (specs as accepted by
@@ -33,20 +36,36 @@
 //! restores the registry), which is what the CI bit-identity diff of
 //! `BENCH_serve.json` checks.
 //!
+//! `--load-sweep` adds the open-loop throughput–p99 curve: a fresh
+//! registry at the 10% serve budget whose per-tenant arrival rates are
+//! scaled to fractions of the fleet's measured max-batch capacity
+//! (`load × max_batch / Σ_j slice_makespan_j(max_batch)`), 200
+//! requests per tenant so p99 is a real tail, swept across the
+//! `--policy` batch formers. Each knapsack curve point gates the
+//! batched tail against the naive per-request reference
+//! (`naive p99 / batched p99 >= --min-tail-gain`, default 1.0).
+//! `--arrivals` picks the open-loop arrival process for every run
+//! (default `fixed`, the deterministic clock — curve rows in the
+//! committed `BENCH_serve.json` stay byte-stable; the CI max-load
+//! smoke passes `poisson:42` and writes to /tmp, since `ln` is not
+//! guaranteed bit-identical across machines).
+//!
 //! Tenant entries are `name[:requests[:rate_hz[:slo_ms]]]`; omitted
 //! rate/SLO default to a backlog-heavy `8 / ideal` arrival rate and a
 //! `24 × ideal` SLO (ideal = the tenant's zero-queueing latency, read
 //! from its admitted placement). Exits non-zero if any slice diverges
 //! from the full evaluator (`matches_reference: false`), any
-//! SLO/budget ledger is incoherent, or batched serving fails to beat
-//! the naive reference by `--min-speedup` on drain makespan.
+//! SLO/budget ledger is incoherent, batched serving fails to beat
+//! the naive reference by `--min-speedup` on drain makespan, or a
+//! knapsack curve point fails the tail gate.
 
 use serde::Serialize;
 
 use h2h_core::serve::{TenantRegistry, TenantSpec};
-use h2h_core::H2hConfig;
+use h2h_core::{ArrivalProcess, H2hConfig, RoundPolicy};
 use h2h_model::units::Seconds;
 use h2h_system::fault::FaultPlan;
+use h2h_system::schedule::Evaluator;
 use h2h_system::system::{BandwidthClass, SystemSpec};
 
 /// One (run, tenant) record; run-level columns repeat per tenant row.
@@ -65,7 +84,15 @@ struct ServeRecord {
     ideal_ms: f64,
     attained_mean_ms: f64,
     attained_max_ms: f64,
+    /// Tail-latency ledger (nearest-rank percentiles over the exact
+    /// per-request samples).
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
     violations: usize,
+    /// Requests dropped by the bounded per-tenant queue (0 here — the
+    /// bench serves unbounded queues).
+    shed: usize,
     batches: usize,
     max_batch: u32,
     /// Weight-fetch time saved by batching for this tenant.
@@ -76,6 +103,16 @@ struct ServeRecord {
     /// Pins dropped at admission to fit the shared DRAM budget.
     trimmed_pins: usize,
     // Run-level columns.
+    /// Arrival process label (`fixed`, `poisson:SEED`, `trace(N)`).
+    arrivals: String,
+    /// Batch-forming policy the run used.
+    policy: String,
+    /// Offered load as a fraction of the fleet's measured max-batch
+    /// capacity; `None` on the classic contract rows.
+    offered_load_frac: Option<f64>,
+    /// Naive max-p99 over batched max-p99 at this curve point
+    /// (`None` off the load sweep).
+    tail_gain: Option<f64>,
     max_batch_cap: u32,
     budget_frac: f64,
     rounds: usize,
@@ -144,6 +181,13 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut topologies = vec!["uniform".to_owned(), "skewed".to_owned()];
     let mut fault_arg: Option<String> = None;
+    // Open-loop serving knobs: the arrival process every run uses, the
+    // batch-forming policies and capacity fractions the load sweep
+    // walks, and the knapsack tail gate.
+    let mut arrivals_arg = "fixed".to_owned();
+    let mut policies = vec!["knapsack".to_owned(), "edf".to_owned(), "wfair".to_owned()];
+    let mut load_sweep = vec![0.5f64, 0.8, 1.1];
+    let mut min_tail_gain = 1.0f64;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -168,6 +212,18 @@ fn main() {
             }
             "--topology" => topologies = parse_list(&value("--topology")),
             "--faults" => fault_arg = Some(value("--faults")),
+            "--arrivals" => arrivals_arg = value("--arrivals"),
+            "--policy" => policies = parse_list(&value("--policy")),
+            "--load-sweep" => {
+                load_sweep = parse_list(&value("--load-sweep"))
+                    .iter()
+                    .map(|f| f.parse().expect("--load-sweep takes capacity fractions"))
+                    .collect();
+            }
+            "--min-tail-gain" => {
+                min_tail_gain =
+                    value("--min-tail-gain").parse().expect("--min-tail-gain takes a float");
+            }
             flag if flag.starts_with("--") => panic!("unknown flag `{flag}`"),
             path => out_path = path.to_owned(),
         }
@@ -180,6 +236,12 @@ fn main() {
             BandwidthClass::by_label(label)
                 .unwrap_or_else(|| panic!("unknown bandwidth class `{label}`"))
         })
+        .collect();
+    let arrival_process = ArrivalProcess::parse(&arrivals_arg)
+        .unwrap_or_else(|e| panic!("--arrivals: {e}"));
+    let policies: Vec<RoundPolicy> = policies
+        .iter()
+        .map(|p| RoundPolicy::parse(p).unwrap_or_else(|e| panic!("--policy: {e}")))
         .collect();
 
     let mut records = Vec::new();
@@ -253,6 +315,11 @@ fn main() {
                     requests,
                 )
                 .unwrap_or_else(|e| panic!("contract rejected: {e}"));
+                // The arrival process re-materializes against the
+                // scaled contract (default `fixed` is the historical
+                // deterministic clock, bit-identical).
+                reg.set_arrivals(id, arrival_process.clone())
+                    .unwrap_or_else(|e| panic!("--arrivals: {e}"));
             }
 
             let batched = reg.serve();
@@ -440,13 +507,21 @@ fn main() {
                     ideal_ms: t.ideal.as_millis(),
                     attained_mean_ms: t.attained_mean().as_millis(),
                     attained_max_ms: t.attained_max.as_millis(),
+                    p50_ms: t.latencies.p50().as_millis(),
+                    p95_ms: t.latencies.p95().as_millis(),
+                    p99_ms: t.latencies.p99().as_millis(),
                     violations: t.violations,
+                    shed: t.shed,
                     batches: t.batches,
                     max_batch: t.max_batch,
                     amortized_weight_ms: t.amortized_weight_time.as_millis(),
                     weight_reloads: t.weight_reloads,
                     reload_time_ms: t.reload_time.as_millis(),
                     trimmed_pins: tenant.trimmed_pins(),
+                    arrivals: arrival_process.label(),
+                    policy: batched.policy.label().to_owned(),
+                    offered_load_frac: None,
+                    tail_gain: None,
                     max_batch_cap: max_batch,
                     budget_frac,
                     rounds: batched.counters.rounds,
@@ -470,6 +545,170 @@ fn main() {
                     degraded_attainment_repaired: fault.as_ref().map(|(_, _, a, _)| *a),
                     degraded_attainment_unrepaired: fault.as_ref().map(|(_, _, _, a)| *a),
                 });
+            }
+        }
+        // ---- Open-loop load sweep: the throughput–p99 curve --------
+        if !load_sweep.is_empty() {
+            // A fresh registry at the 10% serve budget (the
+            // weight-streaming regime batching exists for): pins trim
+            // at admission, evicted tenants re-stream over the fabric,
+            // and the tail actually moves with the batch former.
+            const SWEEP_REQUESTS: usize = 200;
+            const SWEEP_BUDGET_FRAC: f64 = 0.1;
+            let cfg = H2hConfig {
+                serve_max_batch: max_batch,
+                serve_dram_budget_frac: SWEEP_BUDGET_FRAC,
+                serve_verify: true,
+                ..H2hConfig::default()
+            };
+            let mut reg = TenantRegistry::new(&system, cfg);
+            let mut ids = Vec::new();
+            for entry in &tenant_args {
+                let name = entry.split(':').next().expect("tenant entry is non-empty");
+                let model = h2h_model::zoo::by_name(name)
+                    .unwrap_or_else(|| panic!("--tenants entry `{name}` matches no zoo model"));
+                let id = reg
+                    .admit(TenantSpec::new(name, model, 1.0, Seconds::new(1.0), SWEEP_REQUESTS))
+                    .unwrap_or_else(|e| panic!("sweep admission failed: {e}"));
+                reg.set_arrivals(id, arrival_process.clone())
+                    .unwrap_or_else(|e| panic!("--arrivals: {e}"));
+                ids.push(id);
+            }
+            // Fleet capacity at the batch cap: one full round of
+            // max-batch slices serves `tenants × max_batch` requests
+            // in the sum of the tenants' batch-cap slice makespans
+            // (reload time ignored — a deliberate over-estimate, so
+            // a 1.1 point is genuinely past sustainable throughput).
+            let round_time: f64 = ids
+                .iter()
+                .map(|&id| {
+                    let t = reg.tenant(id);
+                    Evaluator::new(&t.spec().model, &system)
+                        .with_batch(max_batch)
+                        .evaluate(t.mapping(), t.locality())
+                        .makespan()
+                        .as_f64()
+                })
+                .sum();
+            for &policy in &policies {
+                reg.set_policy(policy);
+                for &load in &load_sweep {
+                    let rate = load * max_batch as f64 / round_time;
+                    for &id in &ids {
+                        let ideal = reg.tenant(id).ideal_latency().as_f64();
+                        reg.set_contract(id, rate, Seconds::new(24.0 * ideal), SWEEP_REQUESTS)
+                            .unwrap_or_else(|e| panic!("sweep contract rejected: {e}"));
+                    }
+                    let batched = reg.serve();
+                    let naive = reg.serve_naive();
+                    let coherent = match batched.check_coherence().and(naive.check_coherence()) {
+                        Ok(()) => true,
+                        Err(e) => {
+                            eprintln!("FAIL: incoherent sweep accounting @ {}: {e}", bw.label());
+                            false
+                        }
+                    };
+                    let matches_reference = batched.counters.crosscheck_mismatches == 0
+                        && naive.counters.crosscheck_mismatches == 0;
+                    let p99 = |out: &h2h_core::serve::ServeOutcome| {
+                        out.tenants
+                            .iter()
+                            .map(|t| t.latencies.p99())
+                            .fold(Seconds::ZERO, Seconds::max)
+                    };
+                    let tail_gain = p99(&naive).as_f64() / p99(&batched).as_f64().max(1e-12);
+                    // The gate judges only the default former — the
+                    // EDF / WFQ rows are exploratory curve data.
+                    let tail_ok = policy != RoundPolicy::Knapsack || tail_gain >= min_tail_gain;
+                    if !tail_ok {
+                        eprintln!(
+                            "FAIL: knapsack p99 lost to naive at {:.0}% load \
+                             (tail gain {tail_gain:.3} < {min_tail_gain:.2}) @ {}",
+                            load * 100.0,
+                            bw.label()
+                        );
+                    }
+                    if !coherent || !matches_reference || !tail_ok {
+                        failures += 1;
+                    }
+                    let speedup =
+                        naive.makespan.as_f64() / batched.makespan.as_f64().max(1e-12);
+                    println!(
+                        "sweep {:<8} {:>5} {:>9} load {:>3.0}% p99 {:>9.1}ms vs naive {:>9.1}ms ({:.2}x tail gain)",
+                        policy.label(),
+                        bw.label(),
+                        topo_spec,
+                        load * 100.0,
+                        p99(&batched).as_millis(),
+                        p99(&naive).as_millis(),
+                        tail_gain,
+                    );
+                    let peak_mib: f64 = batched
+                        .peak_resident
+                        .iter()
+                        .map(|b| b.as_u64() as f64 / (1 << 20) as f64)
+                        .sum();
+                    let budget_mib: f64 = batched
+                        .budgets
+                        .iter()
+                        .map(|b| b.as_u64() as f64 / (1 << 20) as f64)
+                        .sum();
+                    let budget_ok = batched
+                        .peak_resident
+                        .iter()
+                        .zip(batched.budgets.iter())
+                        .all(|(peak, budget)| peak <= budget);
+                    for (t, tenant) in batched.tenants.iter().zip(reg.tenants()) {
+                        records.push(ServeRecord {
+                            bandwidth: bw.label().to_owned(),
+                            topology: topo_spec.clone(),
+                            tenants: batched.tenants.len(),
+                            tenant: t.name.clone(),
+                            layers: tenant.spec().model.num_layers(),
+                            requests: t.requests,
+                            rate_hz: tenant.spec().rate_hz,
+                            slo_ms: t.slo.as_millis(),
+                            ideal_ms: t.ideal.as_millis(),
+                            attained_mean_ms: t.attained_mean().as_millis(),
+                            attained_max_ms: t.attained_max.as_millis(),
+                            p50_ms: t.latencies.p50().as_millis(),
+                            p95_ms: t.latencies.p95().as_millis(),
+                            p99_ms: t.latencies.p99().as_millis(),
+                            violations: t.violations,
+                            shed: t.shed,
+                            batches: t.batches,
+                            max_batch: t.max_batch,
+                            amortized_weight_ms: t.amortized_weight_time.as_millis(),
+                            weight_reloads: t.weight_reloads,
+                            reload_time_ms: t.reload_time.as_millis(),
+                            trimmed_pins: tenant.trimmed_pins(),
+                            arrivals: arrival_process.label(),
+                            policy: policy.label().to_owned(),
+                            offered_load_frac: Some(load),
+                            tail_gain: Some(tail_gain),
+                            max_batch_cap: max_batch,
+                            budget_frac: SWEEP_BUDGET_FRAC,
+                            rounds: batched.counters.rounds,
+                            slice_evals: batched.counters.slice_evals,
+                            slice_cache_hits: batched.counters.slice_cache_hits,
+                            drain_batched_s: batched.makespan.as_f64(),
+                            drain_naive_s: naive.makespan.as_f64(),
+                            batching_speedup: speedup,
+                            peak_resident_mib: peak_mib,
+                            budget_mib,
+                            budget_ok,
+                            matches_reference,
+                            coherent,
+                            fault_spec: None,
+                            fault_transitions: 0,
+                            fault_repairs: 0,
+                            drain_repaired_s: None,
+                            drain_unrepaired_s: None,
+                            degraded_attainment_repaired: None,
+                            degraded_attainment_unrepaired: None,
+                        });
+                    }
+                }
             }
         }
         }

@@ -119,6 +119,56 @@ impl ScoreStrategy {
     }
 }
 
+/// How a serving round picks and orders its co-resident tenant set
+/// (see [`crate::serve`]). All policies respect the same per-board
+/// DRAM budget; they differ in *whom* they favor when tenants cannot
+/// all co-reside, and in what order selected slices execute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundPolicy {
+    /// Urgency knapsack (default, the PR 4 batch former): value =
+    /// backlog + requests already doomed to violate, packed by a
+    /// knapsack over per-tenant footprints with a per-board repair;
+    /// slices execute in admission order. Bit-identical to the
+    /// pre-policy serve loop.
+    #[default]
+    Knapsack,
+    /// Earliest deadline first: tenants ranked by their
+    /// head-of-queue deadline (`arrival + slo`), greedily packed under
+    /// the budget in rank order; slices execute in deadline order.
+    Edf,
+    /// Weighted fair queueing: tenants ranked by virtual finish time
+    /// (`(served + 1) / rate_hz` — each tenant's share proportional to
+    /// its contract rate), greedily packed and served in rank order.
+    WeightedFair,
+}
+
+impl RoundPolicy {
+    /// Stable lowercase label (bench/report/CLI).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoundPolicy::Knapsack => "knapsack",
+            RoundPolicy::Edf => "edf",
+            RoundPolicy::WeightedFair => "wfair",
+        }
+    }
+
+    /// Parses a CLI label (`knapsack | edf | wfair`).
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown label and the accepted grammar.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "knapsack" => Ok(RoundPolicy::Knapsack),
+            "edf" => Ok(RoundPolicy::Edf),
+            "wfair" => Ok(RoundPolicy::WeightedFair),
+            other => Err(format!(
+                "unknown round policy `{other}` (expected knapsack | edf | wfair)"
+            )),
+        }
+    }
+}
+
 /// Configuration of the four-step H2H mapper.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct H2hConfig {
@@ -230,6 +280,24 @@ pub struct H2hConfig {
     /// wall seconds), so `25e-6` models repair running on one host
     /// core concurrently with serving.
     pub repair_secs_per_move: f64,
+    /// How serving rounds select and order their tenant set (see
+    /// [`RoundPolicy`]). The default urgency knapsack is bit-identical
+    /// to the pre-policy serve loop; EDF and weighted-fair are the
+    /// open-loop alternatives `bench_serve --policy` sweeps.
+    pub serve_policy: RoundPolicy,
+    /// Bound on each tenant's request queue during open-loop serving.
+    /// `0` (default) is the historical unbounded queue — every request
+    /// is eventually served and an unrecovered outage stalls the drain
+    /// ([`crate::serve::ServeError::Stalled`]). A positive cap `c`
+    /// turns on overload shedding: whenever a tenant's backlog exceeds
+    /// `c` at a round boundary, the *oldest* queued requests (those
+    /// closest to — or past — their deadlines, i.e. the lowest-value
+    /// work under a latency SLO) are shed until the backlog fits, and
+    /// an unrecovered outage sheds the blocked tenants' remaining
+    /// windows instead of stalling. Shed requests are ledgered
+    /// per-tenant ([`crate::serve::TenantServeStats::shed`]), never
+    /// silently dropped.
+    pub serve_queue_cap: usize,
 }
 
 impl Default for H2hConfig {
@@ -253,6 +321,8 @@ impl Default for H2hConfig {
             repair_eval_budget: 0,
             serve_verify: false,
             repair_secs_per_move: 0.0,
+            serve_policy: RoundPolicy::Knapsack,
+            serve_queue_cap: 0,
         }
     }
 }
@@ -279,6 +349,20 @@ mod tests {
             c.repair_secs_per_move, 0.0,
             "instantaneous repair is the default (PR 6 bit-identity)"
         );
+        assert_eq!(
+            c.serve_policy,
+            RoundPolicy::Knapsack,
+            "the urgency knapsack is the bit-identity default"
+        );
+        assert_eq!(c.serve_queue_cap, 0, "unbounded queues are the default");
+    }
+
+    #[test]
+    fn round_policy_labels_round_trip() {
+        for p in [RoundPolicy::Knapsack, RoundPolicy::Edf, RoundPolicy::WeightedFair] {
+            assert_eq!(RoundPolicy::parse(p.label()).unwrap(), p);
+        }
+        assert!(RoundPolicy::parse("fifo").is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod activation_fusion;
 pub mod anneal;
+pub mod arrivals;
 pub mod baseline;
 pub mod compute_map;
 pub mod config;
@@ -50,7 +51,8 @@ pub mod report;
 pub mod serve;
 pub mod weight_locality;
 
-pub use config::{H2hConfig, KnapsackKind, MapObjective, ScoreStrategy};
+pub use arrivals::{ArrivalProcess, ArrivalSchedule, Arrivals};
+pub use config::{H2hConfig, KnapsackKind, MapObjective, RoundPolicy, ScoreStrategy};
 pub use delta::{DeltaEngine, SearchStats};
 pub use parallel::ScoringPool;
 pub use dynamic::{DynamicOutcome, DynamicSession};

@@ -167,30 +167,37 @@ pub fn serve_report(outcome: &crate::serve::ServeOutcome) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "serve report — {} tenants, {} rounds, drain {}",
+        "serve report — {} tenants, {} rounds, policy {}, drain {}",
         outcome.tenants.len(),
         outcome.counters.rounds,
+        outcome.policy.label(),
         outcome.makespan
     );
     let _ = writeln!(
         out,
-        "  {:<12} {:>5} {:>7} {:>5} {:>12} {:>12} {:>12} {:>12} {:>5} {:>12} {:>5} {:>12}",
-        "tenant", "req", "batches", "maxb", "ideal", "mean", "max", "slo", "viol", "amortized",
-        "swaps", "reload"
+        "  {:<12} {:>5} {:>7} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>5} \
+         {:>5} {:>12} {:>5} {:>12}",
+        "tenant", "req", "batches", "maxb", "ideal", "mean", "p50", "p95", "p99", "max", "slo",
+        "viol", "shed", "amortized", "swaps", "reload"
     );
     for t in &outcome.tenants {
         let _ = writeln!(
             out,
-            "  {:<12} {:>5} {:>7} {:>5} {:>12} {:>12} {:>12} {:>12} {:>5} {:>12} {:>5} {:>12}",
+            "  {:<12} {:>5} {:>7} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>5} \
+             {:>5} {:>12} {:>5} {:>12}",
             t.name,
             t.served,
             t.batches,
             t.max_batch,
             format!("{}", t.ideal),
             format!("{}", t.attained_mean()),
+            format!("{}", t.latencies.p50()),
+            format!("{}", t.latencies.p95()),
+            format!("{}", t.latencies.p99()),
             format!("{}", t.attained_max),
             format!("{}", t.slo),
             t.violations,
+            t.shed,
             format!("{}", t.amortized_weight_time),
             t.weight_reloads,
             format!("{}", t.reload_time),

@@ -1,11 +1,12 @@
-//! Multi-tenant batched serving: several models' request streams
-//! scheduled through **one** heterogeneous system.
+//! Multi-tenant **open-loop streaming** serving: several models'
+//! request streams scheduled through **one** heterogeneous system,
+//! with tail-latency (p50/p95/p99) accounting.
 //!
 //! The offline mapper (PRs 1–3) answers "where does one model's every
 //! layer run"; deployment asks the next question — *N* tenants, each a
-//! (model, request rate, latency SLO) triple, sharing the same boards
-//! and the same local DRAM. This module closes the ROADMAP's "batched
-//! multi-tenant serving" item:
+//! (model, arrival process, latency SLO) triple, sharing the same
+//! boards and the same local DRAM. This module covers the ROADMAP's
+//! serving items, batched rounds through streaming tails:
 //!
 //! 1. **Tenant registry** ([`TenantRegistry::admit`]) — each tenant is
 //!    mapped *offline* by the full four-step pipeline (bit-identical to
@@ -18,13 +19,29 @@
 //!    re-costed through the tenant's [`IncrementalSchedule`] as a delta
 //!    (refresh the unpinned layers, propagate their cone) rather than a
 //!    rebuild.
-//! 2. **Online batch former** ([`TenantRegistry::serve`]) — requests
-//!    arrive per tenant at `rate_hz`; each scheduling round packs the
-//!    backlogged tenants whose *combined* resident footprint fits the
-//!    DRAM budget (knapsack over per-tenant footprints, value =
-//!    backlog + SLO urgency) and serves each selected tenant one
-//!    *slice* of up to [`H2hConfig::serve_max_batch`] requests.
-//! 3. **Interleaved slice evaluator** — a slice of `k` requests streams
+//! 2. **Open-loop arrivals** ([`crate::arrivals`]) — each tenant's
+//!    requests enter its queue on an arrival schedule materialized
+//!    from its [`ArrivalProcess`]: the deterministic `j / rate_hz`
+//!    clock (default — bit-identical to the pre-streaming loop),
+//!    a seeded Poisson process, or a replayed
+//!    [`h2h_system::trace::ArrivalTrace`]. The round loop consults
+//!    the schedule through one monotone *event clock*: arrival
+//!    cursors advance by exact comparison against the same
+//!    `arrival(j)` values the latency ledger charges (integer-exact —
+//!    no floor estimate, no epsilon), while fault boundaries and
+//!    staged-repair landings share the single
+//!    [`h2h_system::sim::BOUNDARY_EPS`] slack, so the three event
+//!    streams can never disagree about whether an instant passed and
+//!    a request arriving exactly at a fault boundary is counted once.
+//! 3. **Online batch former** ([`TenantRegistry::serve`]) — each
+//!    scheduling round packs the backlogged tenants whose *combined*
+//!    resident footprint fits the DRAM budget and serves each
+//!    selected tenant one *slice* of up to
+//!    [`H2hConfig::serve_max_batch`] requests. Round forming is a
+//!    policy surface ([`RoundPolicy`]): the urgency knapsack (value =
+//!    backlog + doomed requests; default and bit-identical to PR 4),
+//!    earliest-deadline-first, or weighted-fair virtual finish times.
+//! 4. **Interleaved slice evaluator** — a slice of `k` requests streams
 //!    through the tenant's pinned mapping with weights fetched **once**
 //!    ([`Evaluator::with_batch`] semantics). Slice makespans come from
 //!    the tenant's long-lived [`IncrementalSchedule`] via
@@ -33,12 +50,29 @@
 //!    repeated sizes hit a memo outright — bitwise-equal to a full
 //!    evaluation either way (cross-checked when
 //!    [`H2hConfig::serve_verify`] is set).
-//! 4. **Per-tenant SLO accounting** ([`TenantServeStats`]) — attained
-//!    latency (queueing + slice) against the SLO target, violation
-//!    counters, amortized weight-fetch time — rendered by
-//!    [`crate::report::serve_report`] and recorded by the `bench_serve`
-//!    bin.
-//! 5. **Degraded-fabric serving** ([`TenantRegistry::serve_with_faults`])
+//! 5. **Per-tenant tail-latency accounting** ([`TenantServeStats`]) —
+//!    the full attained-latency *distribution* per tenant (exact
+//!    sorted samples, [`LatencyLedger`]): p50/p95/p99 alongside
+//!    mean/max, violation counters, amortized weight-fetch time —
+//!    rendered by [`crate::report::serve_report`] and recorded (with
+//!    offered-load × p99 throughput curves) by the `bench_serve` bin.
+//!    [`ServeOutcome::check_coherence`] cross-validates the ledger
+//!    against the scalar counters (sample count == served, ledger max
+//!    == worst latency bitwise, samples over SLO == violations).
+//! 6. **Overload shedding** ([`H2hConfig::serve_queue_cap`]) — with a
+//!    bounded per-tenant queue, backlog above the cap sheds from the
+//!    queue *head*: under a latency SLO the oldest waiting request is
+//!    the lowest-value work (nearest or past its deadline), so
+//!    head-drop is value-ranked shedding. Shed requests land in a
+//!    per-tenant ledger ([`TenantServeStats::shed`], with
+//!    [`TenantServeStats::shed_doomed`] counting those already unable
+//!    to meet their SLO), and an unrecovered outage sheds the blocked
+//!    tenants' remaining windows instead of stalling the drain — the
+//!    bounded-queue fix for the PR 7 "parks whoever fails" gap. The
+//!    default unbounded queue keeps the historical semantics
+//!    (everything served; a permanent blockage is
+//!    [`ServeError::Stalled`]).
+//! 7. **Degraded-fabric serving** ([`TenantRegistry::serve_with_faults`])
 //!    — the same round loop replayed through a
 //!    [`h2h_system::fault::FaultPlan`]: at every boundary that changes
 //!    the fabric (sampled at round starts; slices are atomic), each
@@ -88,10 +122,12 @@ use h2h_system::incremental::IncrementalSchedule;
 use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
 use h2h_system::schedule::{CostCache, Evaluator};
+use h2h_system::sim::event_reached;
 use h2h_system::system::{AccId, SystemSpec};
 use h2h_system::topology::Endpoint;
 
-use crate::config::H2hConfig;
+use crate::arrivals::{ArrivalProcess, ArrivalSchedule, Arrivals};
+use crate::config::{H2hConfig, RoundPolicy};
 use crate::knapsack::{solve_auto, Item};
 use crate::pipeline::{H2hError, H2hMapper};
 use crate::preset::PinPreset;
@@ -104,18 +140,24 @@ pub struct TenantSpec {
     pub name: String,
     /// The tenant's model (validated at admission).
     pub model: ModelGraph,
-    /// Request arrival rate in requests/second. Arrivals are modeled
-    /// deterministically at `j / rate_hz` for `j = 0..requests` so
-    /// every serve run is exactly reproducible.
+    /// Request arrival rate in requests/second. Under the default
+    /// [`ArrivalProcess::Fixed`] process arrivals are modeled
+    /// deterministically at `j / rate_hz` for `j = 0..requests` (every
+    /// serve run exactly reproducible); a Poisson process samples its
+    /// exponential gaps at this rate; a trace ignores it for timing.
     pub rate_hz: f64,
     /// Per-request latency SLO (arrival → completion).
     pub slo: Seconds,
     /// Number of requests in the serving window (the bench horizon).
     pub requests: usize,
+    /// Arrival process driving the open-loop window
+    /// ([`ArrivalProcess::Fixed`] by default — the deterministic
+    /// clock, bit-identical to the pre-streaming serve loop).
+    pub arrivals: ArrivalProcess,
 }
 
 impl TenantSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (deterministic fixed-clock arrivals).
     pub fn new(
         name: impl Into<String>,
         model: ModelGraph,
@@ -123,7 +165,22 @@ impl TenantSpec {
         slo: Seconds,
         requests: usize,
     ) -> Self {
-        TenantSpec { name: name.into(), model, rate_hz, slo, requests }
+        TenantSpec {
+            name: name.into(),
+            model,
+            rate_hz,
+            slo,
+            requests,
+            arrivals: ArrivalProcess::Fixed,
+        }
+    }
+
+    /// Builder: replace the arrival process (validated and
+    /// materialized at admission).
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
     }
 }
 
@@ -228,10 +285,15 @@ fn validate_contract(
             reason: "a tenant must bring at least one request".into(),
         });
     }
-    if slo <= Seconds::ZERO {
+    // NaN fails the `>` comparison and infinities fail `is_finite`,
+    // so neither survives to the urgency math (where a non-finite SLO
+    // once meant the round former's `total_cmp` ranks and the doomed
+    // horizon silently degenerated, and violation counting turned
+    // itself off — `latency > NaN` is never true).
+    if !(slo > Seconds::ZERO && slo.as_f64().is_finite()) {
         return Err(ServeError::BadSpec {
             tenant: name.to_owned(),
-            reason: "the SLO must be positive".into(),
+            reason: format!("the SLO must be positive and finite, got {}", slo.as_f64()),
         });
     }
     Ok(())
@@ -410,6 +472,10 @@ pub struct Tenant {
     pinned_by_acc: Vec<u64>,
     /// Pins dropped at admission to fit the shared budget.
     trimmed_pins: usize,
+    /// Materialization of `spec.arrivals` against the contract —
+    /// rebuilt by `admit`, `set_contract` and `set_arrivals`, never by
+    /// serving (fault snapshots need not carry it).
+    arrivals: ArrivalSchedule,
 }
 
 impl Tenant {
@@ -454,9 +520,27 @@ impl Tenant {
         Bytes::new(self.resident.iter().sum())
     }
 
-    /// Deterministic arrival time of request `j`.
+    /// Arrival time of request `j` under the materialized schedule
+    /// (the deterministic `j / rate_hz` clock by default).
     fn arrival(&self, j: usize) -> f64 {
-        j as f64 / self.spec.rate_hz
+        self.arrivals.arrival(j)
+    }
+
+    /// Requests already *doomed* at `horizon = now + ideal − slo`:
+    /// those arriving strictly before it, since even service starting
+    /// immediately completes at `now + ideal > arrival + slo`. Strict
+    /// on purpose — a request whose arrival lands exactly on the
+    /// horizon attains exactly its SLO, and violations are strictly
+    /// `latency > slo`. Counted against the materialized arrivals
+    /// (the closed-form `floor(horizon·rate)+1` estimate this
+    /// replaces over-counted by one whenever `horizon·rate` sat
+    /// within its 1e-9 fudge of an integer).
+    fn doomed_arrivals(&self, horizon: f64) -> usize {
+        let mut k = 0;
+        while k < self.spec.requests && self.arrival(k) < horizon {
+            k += 1;
+        }
+        k
     }
 }
 
@@ -578,6 +662,75 @@ fn install_placement(
     Ok(())
 }
 
+/// Exact per-tenant attained-latency distribution: every served
+/// request's latency, kept sorted, with nearest-rank percentiles.
+/// Exact sampling is deliberate at serving-window scale (tens to
+/// thousands of requests): the tail quantiles are reproducible bit
+/// for bit, which the equivalence suites and the `BENCH_serve.json`
+/// byte-identity contract require — a streaming sketch would trade
+/// that away to save memory the windows don't need.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyLedger {
+    sorted: Vec<f64>,
+}
+
+impl LatencyLedger {
+    /// Records one attained latency (seconds), keeping order.
+    fn record(&mut self, latency: f64) {
+        let pos = self.sorted.partition_point(|s| *s <= latency);
+        self.sorted.insert(pos, latency);
+    }
+
+    /// Samples recorded (== requests served).
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Nearest-rank quantile: the `⌈q·n⌉`-th smallest sample
+    /// (`Seconds::ZERO` when nothing was recorded).
+    pub fn quantile(&self, q: f64) -> Seconds {
+        let n = self.sorted.len();
+        if n == 0 {
+            return Seconds::ZERO;
+        }
+        let rank = (q * n as f64).ceil() as usize;
+        Seconds::new(self.sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Median attained latency.
+    pub fn p50(&self) -> Seconds {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile attained latency.
+    pub fn p95(&self) -> Seconds {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile attained latency.
+    pub fn p99(&self) -> Seconds {
+        self.quantile(0.99)
+    }
+
+    /// Worst recorded latency (`Seconds::ZERO` when empty) — must
+    /// equal [`TenantServeStats::attained_max`] bitwise.
+    pub fn max(&self) -> Seconds {
+        Seconds::new(self.sorted.last().copied().unwrap_or(0.0))
+    }
+
+    /// Sum of all samples (coherence cross-check against
+    /// [`TenantServeStats::attained_total`]).
+    pub fn total(&self) -> f64 {
+        self.sorted.iter().sum()
+    }
+
+    /// Samples strictly above `slo` — the same strict comparison the
+    /// violation counter uses, so the two must agree exactly.
+    pub fn over(&self, slo: Seconds) -> usize {
+        self.sorted.len() - self.sorted.partition_point(|s| *s <= slo.as_f64())
+    }
+}
+
 /// Per-tenant serving outcome: the SLO ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantServeStats {
@@ -630,6 +783,20 @@ pub struct TenantServeStats {
     /// fabric; a later transition that repairs successfully un-parks
     /// it.
     pub parks: usize,
+    /// The full attained-latency distribution (exact sorted samples):
+    /// p50/p95/p99 tails alongside the scalar mean/max columns.
+    pub latencies: LatencyLedger,
+    /// Requests shed by the bounded-queue overload policy
+    /// ([`H2hConfig::serve_queue_cap`]) — dropped from the queue head
+    /// (oldest first) on overflow, or in bulk when an unrecovered
+    /// outage permanently blocks the tenant. Always zero under the
+    /// default unbounded queue. `served + shed == requests` after a
+    /// complete drain.
+    pub shed: usize,
+    /// Among [`TenantServeStats::shed`], requests that were already
+    /// doomed when dropped (even immediate service would have violated
+    /// the SLO) — shedding them lost nothing.
+    pub shed_doomed: usize,
 }
 
 impl TenantServeStats {
@@ -677,6 +844,10 @@ pub struct ServeCounters {
     /// Tenants parked (shed) at fault transitions because repair or
     /// the budget trim failed on the degraded fabric.
     pub sheds: usize,
+    /// Requests shed across tenants by the bounded-queue overload
+    /// policy ([`H2hConfig::serve_queue_cap`]); zero under the default
+    /// unbounded queue.
+    pub requests_shed: usize,
 }
 
 /// Result of one serving window.
@@ -695,6 +866,8 @@ pub struct ServeOutcome {
     /// Accelerator catalog ids, index-aligned with the two vectors
     /// above.
     pub acc_names: Vec<String>,
+    /// The round-forming policy the window ran under.
+    pub policy: RoundPolicy,
 }
 
 impl ServeOutcome {
@@ -708,16 +881,44 @@ impl ServeOutcome {
         self.tenants.iter().map(|t| t.violations).sum()
     }
 
+    /// Total requests shed across tenants (bounded-queue policy).
+    pub fn total_shed(&self) -> usize {
+        self.tenants.iter().map(|t| t.shed).sum()
+    }
+
     /// Checks every invariant the accounting promises: all requests
-    /// served, violations within the request population, attained
-    /// latencies at or above the zero-queueing ideal, the DRAM budget
-    /// never exceeded, and zero incremental-vs-full mismatches. Returns
-    /// the first violated invariant as an error string — the CI smoke
-    /// and the property suite both gate on this.
+    /// accounted for (served or ledgered as shed), violations within
+    /// the request population, attained latencies at or above the
+    /// zero-queueing ideal, the latency distribution coherent with the
+    /// scalar columns (sample count == served, p50 ≤ p95 ≤ p99 ≤ max,
+    /// ledger max == worst latency bitwise, samples over SLO ==
+    /// violations), the DRAM budget never exceeded, and zero
+    /// incremental-vs-full mismatches. Returns the first violated
+    /// invariant as an error string — the CI smoke and the property
+    /// suite both gate on this. A tenant parked for the whole drain
+    /// (served 0, everything shed) is coherent: the mean/max/ideal
+    /// checks apply only to tenants that served something.
     pub fn check_coherence(&self) -> Result<(), String> {
         for t in &self.tenants {
-            if t.served != t.requests {
-                return Err(format!("{}: served {} of {} requests", t.name, t.served, t.requests));
+            if t.served + t.shed != t.requests {
+                return Err(format!(
+                    "{}: served {} + shed {} of {} requests",
+                    t.name, t.served, t.shed, t.requests
+                ));
+            }
+            if t.shed_doomed > t.shed {
+                return Err(format!(
+                    "{}: {} doomed sheds exceed {} total sheds",
+                    t.name, t.shed_doomed, t.shed
+                ));
+            }
+            if t.latencies.count() != t.served {
+                return Err(format!(
+                    "{}: latency ledger holds {} samples for {} served requests",
+                    t.name,
+                    t.latencies.count(),
+                    t.served
+                ));
             }
             if t.violations > t.served {
                 return Err(format!(
@@ -767,6 +968,10 @@ impl ServeOutcome {
                     t.name, t.reload_time
                 ));
             }
+            // Distribution-vs-scalar checks only bite for tenants that
+            // served something: an all-parked tenant (served 0, window
+            // shed under a permanent fault) legitimately reports mean
+            // = max = ZERO, which would otherwise trip `mean < ideal`.
             if t.served > 0 {
                 let mean = t.attained_mean().as_f64();
                 let ideal = t.ideal.as_f64();
@@ -783,7 +988,47 @@ impl ServeOutcome {
                         t.attained_max.as_f64()
                     ));
                 }
+                let (p50, p95, p99) = (t.latencies.p50(), t.latencies.p95(), t.latencies.p99());
+                if !(p50 <= p95 && p95 <= p99 && p99 <= t.latencies.max()) {
+                    return Err(format!(
+                        "{}: percentiles out of order (p50 {p50}, p95 {p95}, p99 {p99}, \
+                         max {})",
+                        t.name,
+                        t.latencies.max()
+                    ));
+                }
+                if t.latencies.max() != t.attained_max {
+                    return Err(format!(
+                        "{}: ledger max {} diverges from attained max {}",
+                        t.name,
+                        t.latencies.max(),
+                        t.attained_max
+                    ));
+                }
+                if t.latencies.over(t.slo) != t.violations {
+                    return Err(format!(
+                        "{}: {} ledger samples over the SLO vs {} counted violations",
+                        t.name,
+                        t.latencies.over(t.slo),
+                        t.violations
+                    ));
+                }
+                let total = t.latencies.total();
+                let accum = t.attained_total.as_f64();
+                if (total - accum).abs() > 1e-9 * accum.abs().max(1.0) {
+                    return Err(format!(
+                        "{}: ledger sum {total}s diverges from attained total {accum}s",
+                        t.name
+                    ));
+                }
             }
+        }
+        let shed_total: usize = self.tenants.iter().map(|t| t.shed).sum();
+        if shed_total != self.counters.requests_shed {
+            return Err(format!(
+                "{} tenant-ledger sheds vs {} counted run-wide",
+                shed_total, self.counters.requests_shed
+            ));
         }
         for (i, (peak, budget)) in
             self.peak_resident.iter().zip(self.budgets.iter()).enumerate()
@@ -914,6 +1159,10 @@ impl<'s> TenantRegistry<'s> {
     /// oversubscribes some board's budget.
     pub fn admit(&mut self, spec: TenantSpec) -> Result<TenantId, ServeError> {
         validate_contract(&spec.name, spec.rate_hz, spec.slo, spec.requests)?;
+        let arrivals = spec
+            .arrivals
+            .materialize(spec.rate_hz, spec.requests)
+            .map_err(|reason| ServeError::BadSpec { tenant: spec.name.clone(), reason })?;
 
         let mapper = H2hMapper::new(&spec.model, self.system).with_config(self.config);
         let out = mapper.run()?;
@@ -971,6 +1220,7 @@ impl<'s> TenantRegistry<'s> {
 
         self.tenants.push(Tenant {
             spec,
+            arrivals,
             mapping,
             locality,
             cache,
@@ -1005,10 +1255,56 @@ impl<'s> TenantRegistry<'s> {
     ) -> Result<(), ServeError> {
         let t = &mut self.tenants[id.0];
         validate_contract(&t.spec.name, rate_hz, slo, requests)?;
+        // Re-materialize the arrival schedule against the new contract
+        // *before* committing anything, so a failure (e.g. a trace
+        // shorter than the new window) leaves the tenant unchanged.
+        let arrivals = t
+            .spec
+            .arrivals
+            .materialize(rate_hz, requests)
+            .map_err(|reason| ServeError::BadSpec { tenant: t.spec.name.clone(), reason })?;
         t.spec.rate_hz = rate_hz;
         t.spec.slo = slo;
         t.spec.requests = requests;
+        t.arrivals = arrivals;
         Ok(())
+    }
+
+    /// Replaces an admitted tenant's arrival process (the open-loop
+    /// workload shape) without touching its mapping or contract. The
+    /// schedule is re-materialized against the current contract.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadSpec`] when the process cannot be materialized
+    /// (e.g. a trace shorter than the request window); the tenant is
+    /// left unchanged.
+    pub fn set_arrivals(
+        &mut self,
+        id: TenantId,
+        process: ArrivalProcess,
+    ) -> Result<(), ServeError> {
+        let t = &mut self.tenants[id.0];
+        let arrivals = process
+            .materialize(t.spec.rate_hz, t.spec.requests)
+            .map_err(|reason| ServeError::BadSpec { tenant: t.spec.name.clone(), reason })?;
+        t.spec.arrivals = process;
+        t.arrivals = arrivals;
+        Ok(())
+    }
+
+    /// Switches the batch-forming policy for subsequent serve calls
+    /// (the config the registry was built with stays authoritative for
+    /// everything else). Lets benches sweep policies on one registry
+    /// without re-running admission.
+    pub fn set_policy(&mut self, policy: RoundPolicy) {
+        self.config.serve_policy = policy;
+    }
+
+    /// Sets the per-tenant queue bound for subsequent serve calls
+    /// (0 = unbounded, the historical semantics).
+    pub fn set_queue_cap(&mut self, cap: usize) {
+        self.config.serve_queue_cap = cap;
     }
 
     /// Serves every tenant's full request window with batched slices
@@ -1085,12 +1381,18 @@ impl<'s> TenantRegistry<'s> {
         self.serve_impl(self.config.serve_max_batch, plan, false)
     }
 
-    /// Packs this round's co-resident tenant set: all backlogged
-    /// tenants if they fit the budget together, otherwise a knapsack
-    /// over per-tenant footprints (value = backlog + SLO urgency) with
-    /// a per-board feasibility repair. Returns ascending tenant
-    /// indices; never empty when some tenant has backlog.
-    fn form_round(&self, pending: &[usize], urgency: &[f64]) -> Vec<usize> {
+    /// Packs this round's co-resident tenant set under the configured
+    /// [`RoundPolicy`]. The default (`Knapsack`) keeps the historical
+    /// bit-identical former: all backlogged tenants if they fit the
+    /// budget together, otherwise a knapsack over per-tenant footprints
+    /// (value = backlog + SLO urgency) with a per-board feasibility
+    /// repair, returning ascending tenant indices. The ranked policies
+    /// (`Edf`, `WeightedFair`) instead order candidates by `rank`
+    /// (ascending, ties to admission order) and greedy-pack under the
+    /// per-board budgets — the returned order is the *serve* order, so
+    /// the most deadline-pressed (EDF) or least-attended (WFQ) tenant's
+    /// slice runs first. Never empty when some tenant has backlog.
+    fn form_round(&self, pending: &[usize], urgency: &[f64], rank: &[f64]) -> Vec<usize> {
         let n_accs = self.system.num_accs();
         let budgets: Vec<u64> =
             self.system.acc_ids().map(|a| self.budget_bytes(a).as_u64()).collect();
@@ -1102,6 +1404,26 @@ impl<'s> TenantRegistry<'s> {
                 sel.iter().map(|i| self.tenants[*i].resident[a]).sum::<u64>() <= budgets[a]
             })
         };
+        if self.config.serve_policy != RoundPolicy::Knapsack {
+            // Ranked path: serve order = rank order. Greedy-pack under
+            // the budgets; the front-ranked candidate always enters
+            // (admission guarantees a lone tenant fits its budget).
+            let mut ordered = cands;
+            ordered.sort_by(|&a, &b| rank[a].total_cmp(&rank[b]).then(a.cmp(&b)));
+            let mut used = vec![0u64; n_accs];
+            let mut chosen = Vec::with_capacity(ordered.len());
+            for i in ordered {
+                let fits_i = (0..n_accs)
+                    .all(|a| used[a] + self.tenants[i].resident[a] <= budgets[a]);
+                if chosen.is_empty() || fits_i {
+                    for (a, u) in used.iter_mut().enumerate() {
+                        *u += self.tenants[i].resident[a];
+                    }
+                    chosen.push(i);
+                }
+            }
+            return chosen;
+        }
         if fits(&cands) {
             return cands;
         }
@@ -1310,6 +1632,9 @@ impl<'s> TenantRegistry<'s> {
                 ideal: t.ideal,
                 attained_total: Seconds::ZERO,
                 attained_max: Seconds::ZERO,
+                latencies: LatencyLedger::default(),
+                shed: 0,
+                shed_doomed: 0,
                 batches: 0,
                 max_batch: 0,
                 amortized_weight_time: Seconds::ZERO,
@@ -1325,6 +1650,16 @@ impl<'s> TenantRegistry<'s> {
         let mut counters = ServeCounters::default();
         let mut peak = vec![0u64; n_accs];
         let mut served = vec![0usize; n];
+        // Monotone per-tenant cursors over the arrival schedule: `now`
+        // never moves backwards, so arrival counting is an exact
+        // integer advance (`#{j : arrival(j) <= now}`) instead of the
+        // old floor-of-rate estimate plus bidirectional correction.
+        // `shed` requests left the queue without service (bounded-queue
+        // drops and stall-point write-offs); a request is *done* once
+        // served or shed.
+        let mut arrived = vec![0usize; n];
+        let mut shed = vec![0usize; n];
+        let queue_cap = self.config.serve_queue_cap;
         let total: usize = self.tenants.iter().map(|t| t.spec.requests).sum();
         let mut done = 0usize;
         let mut now = 0.0f64;
@@ -1369,7 +1704,8 @@ impl<'s> TenantRegistry<'s> {
             // fully recovered outage nobody was serving through — are
             // skipped as the no-ops they are).
             let mut last_crossed = None;
-            while next_boundary < boundaries.len() && now >= boundaries[next_boundary] - 1e-12 {
+            while next_boundary < boundaries.len() && event_reached(now, boundaries[next_boundary])
+            {
                 last_crossed = Some(boundaries[next_boundary]);
                 next_boundary += 1;
             }
@@ -1397,7 +1733,7 @@ impl<'s> TenantRegistry<'s> {
             // slice) unless the host-down unchanged-placement rule
             // keeps residency.
             for i in 0..n {
-                if !staged[i].as_ref().is_some_and(|s| now >= s.lands_at - 1e-12) {
+                if !staged[i].as_ref().is_some_and(|s| event_reached(now, s.lands_at)) {
                     continue;
                 }
                 let sr = staged[i].take().expect("a due stage exists");
@@ -1424,26 +1760,44 @@ impl<'s> TenantRegistry<'s> {
                 }
             }
             let host_up = fault_state.host_is_up();
-            // Backlog at round start: arrivals up to `now`, not yet
-            // served. Arrival j lands at j / rate; the floor gives a
-            // fast first guess and the comparison loops make the count
-            // exact against the same `arrival(j)` values the latency
-            // accounting uses — an epsilon here once pulled a request
-            // in *before* its arrival, attaining less than the ideal.
-            let pending: Vec<usize> = (0..n)
-                .map(|i| {
+            // Backlog at round start: arrivals up to `now`, minus
+            // everything already served or shed. The cursor advance is
+            // integer-exact against the same `arrival(j)` values the
+            // latency accounting uses — arrivals are compared with `<=`
+            // and *no* epsilon slack (an epsilon here once pulled a
+            // request in before its arrival, attaining less than the
+            // ideal), so a request landing exactly on a fault boundary
+            // is counted once, by the arrival cursor, never again by
+            // the boundary clock.
+            for (i, t) in self.tenants.iter().enumerate() {
+                while arrived[i] < t.spec.requests && t.arrival(arrived[i]) <= now {
+                    arrived[i] += 1;
+                }
+            }
+            // Bounded queues: with a cap, overload sheds from the queue
+            // *head* — under a latency SLO the oldest waiter is the
+            // nearest deadline and therefore the least salvageable, so
+            // head-drop is the value-ranked choice. `shed_doomed`
+            // counts drops that were already past saving (even an
+            // immediate ideal-latency slice would have violated).
+            if queue_cap > 0 {
+                for i in 0..n {
                     let t = &self.tenants[i];
-                    let mut arrived =
-                        (((now * t.spec.rate_hz).floor() as usize) + 1).min(t.spec.requests);
-                    while arrived > 0 && t.arrival(arrived - 1) > now {
-                        arrived -= 1;
+                    while arrived[i] - served[i] - shed[i] > queue_cap {
+                        let j = served[i] + shed[i];
+                        let s = &mut stats[i];
+                        s.shed += 1;
+                        if now + t.ideal.as_f64() - t.arrival(j) > t.spec.slo.as_f64() {
+                            s.shed_doomed += 1;
+                        }
+                        shed[i] += 1;
+                        counters.requests_shed += 1;
+                        done += 1;
                     }
-                    while arrived < t.spec.requests && t.arrival(arrived) <= now {
-                        arrived += 1;
-                    }
-                    arrived.saturating_sub(served[i])
-                })
-                .collect();
+                }
+            }
+            let pending: Vec<usize> =
+                (0..n).map(|i| arrived[i] - served[i] - shed[i]).collect();
             // Serviceability gate: parked tenants are shelved until a
             // later transition re-admits them, and while the host NIC
             // is down only already-resident tenants can serve (a
@@ -1465,11 +1819,11 @@ impl<'s> TenantRegistry<'s> {
                 // the drain is deadlocked. Fully-servable runs keep
                 // the historical next-arrival-only jump (bitwise).
                 let next_arrival = (0..n)
-                    .filter(|&i| servable[i] && served[i] < self.tenants[i].spec.requests)
-                    .map(|i| self.tenants[i].arrival(served[i]))
+                    .filter(|&i| servable[i] && served[i] + shed[i] < self.tenants[i].spec.requests)
+                    .map(|i| self.tenants[i].arrival(served[i] + shed[i]))
                     .fold(f64::INFINITY, f64::min);
                 let blocked = (0..n)
-                    .any(|i| !servable[i] && served[i] < self.tenants[i].spec.requests);
+                    .any(|i| !servable[i] && served[i] + shed[i] < self.tenants[i].spec.requests);
                 let next_b = if blocked {
                     boundaries.get(next_boundary).copied().unwrap_or(f64::INFINITY)
                 } else {
@@ -1477,6 +1831,36 @@ impl<'s> TenantRegistry<'s> {
                 };
                 let next = next_arrival.min(next_b);
                 if !next.is_finite() {
+                    // Permanent blockage. With bounded queues the run
+                    // degrades gracefully: write off the blocked
+                    // tenants' remaining windows as shed (no future
+                    // boundary can ever re-admit them) and keep
+                    // draining whoever can still serve. The historical
+                    // unbounded mode keeps the structural stall error.
+                    if queue_cap > 0 {
+                        let mut wrote_off = false;
+                        for i in 0..n {
+                            if servable[i] {
+                                continue;
+                            }
+                            let t = &self.tenants[i];
+                            while served[i] + shed[i] < t.spec.requests {
+                                let j = served[i] + shed[i];
+                                let s = &mut stats[i];
+                                s.shed += 1;
+                                if now + t.ideal.as_f64() - t.arrival(j) > t.spec.slo.as_f64() {
+                                    s.shed_doomed += 1;
+                                }
+                                shed[i] += 1;
+                                counters.requests_shed += 1;
+                                done += 1;
+                                wrote_off = true;
+                            }
+                        }
+                        if wrote_off {
+                            continue;
+                        }
+                    }
                     return Err(ServeError::Stalled {
                         at: Seconds::new(now),
                         unserved: total - done,
@@ -1488,7 +1872,9 @@ impl<'s> TenantRegistry<'s> {
                 continue;
             }
             // Urgency = backlog + requests already doomed to violate
-            // unless served immediately (deadline < now + ideal).
+            // unless served immediately (arrived strictly before
+            // `now + ideal - slo`, counted against the actual arrival
+            // schedule — see [`Tenant::doomed_arrivals`]).
             let urgency: Vec<f64> = (0..n)
                 .map(|i| {
                     let t = &self.tenants[i];
@@ -1496,16 +1882,32 @@ impl<'s> TenantRegistry<'s> {
                         return 0.0;
                     }
                     let horizon = now + t.ideal.as_f64() - t.spec.slo.as_f64();
-                    let doomed_arrivals = if horizon > 0.0 {
-                        ((horizon * t.spec.rate_hz) + 1e-9).floor() as usize + 1
-                    } else {
-                        0
-                    };
-                    let at_risk = doomed_arrivals.saturating_sub(served[i]).min(pending[i]);
+                    let doomed_arrivals = t.doomed_arrivals(horizon);
+                    let at_risk =
+                        doomed_arrivals.saturating_sub(served[i] + shed[i]).min(pending[i]);
                     (pending[i] + at_risk) as f64
                 })
                 .collect();
-            let selected = self.form_round(&pending, &urgency);
+            // Ranked-policy keys (unused — and uncomputed — under the
+            // default knapsack former): EDF ranks by the head-of-queue
+            // deadline, weighted-fair by the virtual finish time of
+            // the tenant's next service quantum.
+            let rank: Vec<f64> = (0..n)
+                .map(|i| {
+                    let t = &self.tenants[i];
+                    if pending[i] == 0 {
+                        return f64::INFINITY;
+                    }
+                    match self.config.serve_policy {
+                        RoundPolicy::Knapsack => 0.0,
+                        RoundPolicy::Edf => {
+                            t.arrival(served[i] + shed[i]) + t.spec.slo.as_f64()
+                        }
+                        RoundPolicy::WeightedFair => (served[i] + 1) as f64 / t.spec.rate_hz,
+                    }
+                })
+                .collect();
+            let selected = self.form_round(&pending, &urgency, &rank);
             // Residency transition: the selected tenants swap in
             // (evicted ones re-stream their pinned weights over
             // Ethernet before their slice); previous residents keep
@@ -1560,12 +1962,13 @@ impl<'s> TenantRegistry<'s> {
                     slice_makespan_on(active_sys, verify, &mut self.tenants[i], k, &mut counters);
                 let end = now + reload.as_f64() + m.as_f64();
                 for _ in 0..k {
-                    let j = served[i];
+                    let j = served[i] + shed[i];
                     let latency = end - self.tenants[i].arrival(j);
                     let s = &mut stats[i];
                     s.served += 1;
                     s.attained_total += Seconds::new(latency);
                     s.attained_max = s.attained_max.max(Seconds::new(latency));
+                    s.latencies.record(latency);
                     if latency > s.slo.as_f64() {
                         s.violations += 1;
                         if fault_active {
@@ -1591,6 +1994,7 @@ impl<'s> TenantRegistry<'s> {
             tenants: stats,
             makespan: Seconds::new(now),
             counters,
+            policy: self.config.serve_policy,
             peak_resident: peak.into_iter().map(Bytes::new).collect(),
             budgets,
             acc_names,
@@ -1602,6 +2006,7 @@ impl<'s> TenantRegistry<'s> {
 mod tests {
     use super::*;
     use h2h_system::system::BandwidthClass;
+    use h2h_system::trace::ArrivalTrace;
 
     fn spec(name: &str, model: ModelGraph, rate: f64, slo_s: f64, requests: usize) -> TenantSpec {
         TenantSpec::new(name, model, rate, Seconds::new(slo_s), requests)
@@ -1796,5 +2201,205 @@ mod tests {
         assert!(out.tenants[0].batches >= 5);
         assert!(out.counters.slice_cache_hits > 0, "repeated batch sizes must hit the memo");
         assert!(out.counters.slice_evals <= 8, "distinct batch sizes are few");
+    }
+
+    #[test]
+    fn non_finite_slos_are_refused() {
+        // NaN slipped past the old `slo <= ZERO` check (every
+        // comparison with NaN is false) and +inf trivially passed it;
+        // both must be typed admission errors, at admit and at
+        // set_contract.
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        let m = h2h_model::zoo::mocap();
+        // `Seconds::new` debug-asserts non-finite inputs away, but
+        // arithmetic does not — scaling is how a NaN/inf SLO reaches a
+        // contract in practice (e.g. `ideal * frac` with a bad knob).
+        for bad in [f64::NAN, f64::INFINITY] {
+            let s = TenantSpec::new("bad-slo", m.clone(), 1.0, Seconds::new(1.0) * bad, 4);
+            assert!(matches!(reg.admit(s), Err(ServeError::BadSpec { .. })));
+        }
+        assert!(reg.is_empty());
+        let id = reg.admit(spec("ok", m, 1.0, 1.0, 4)).unwrap();
+        assert!(matches!(
+            reg.set_contract(id, 1.0, Seconds::new(1.0) * f64::NAN, 4),
+            Err(ServeError::BadSpec { .. })
+        ));
+        assert_eq!(reg.tenant(id).spec().slo, Seconds::new(1.0));
+    }
+
+    #[test]
+    fn doomed_arrival_count_is_strict_at_integral_horizons() {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        let id = reg.admit(spec("m", h2h_model::zoo::mocap(), 1.0, 1.0, 4)).unwrap();
+        let t = reg.tenant(id);
+        // Rate 1 Hz: arrivals at 0, 1, 2, 3. An exactly-integral
+        // horizon of 2.0 dooms the arrivals strictly before it — 0 and
+        // 1, not 2 (the old `floor(h·r + 1e-9) + 1` counted 3 here).
+        assert_eq!(t.doomed_arrivals(2.0), 2);
+        assert_eq!(t.doomed_arrivals(2.5), 3);
+        assert_eq!(t.doomed_arrivals(0.0), 0);
+        assert_eq!(t.doomed_arrivals(-1.0), 0);
+        assert_eq!(t.doomed_arrivals(100.0), 4, "the count caps at the window");
+    }
+
+    #[test]
+    fn poisson_and_trace_tenants_serve_coherently_and_replay() {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        let m = h2h_model::zoo::mocap();
+        reg.admit(
+            spec("poisson", m.clone(), 50.0, 5.0, 30)
+                .with_arrivals(ArrivalProcess::Poisson { seed: 42 }),
+        )
+        .unwrap();
+        let tr = ArrivalTrace::new((0..30).map(|j| j as f64 * 0.01).collect()).unwrap();
+        reg.admit(spec("trace", m, 50.0, 5.0, 30).with_arrivals(ArrivalProcess::Trace(tr)))
+            .unwrap();
+        let out = reg.serve();
+        out.check_coherence().unwrap();
+        assert_eq!(out.total_served(), 60);
+        for t in &out.tenants {
+            assert_eq!(t.latencies.count(), t.served);
+            assert!(t.latencies.p50() <= t.latencies.p99());
+        }
+        // Sampled-at-admission schedules replay bitwise run to run
+        // (the slice memo warms across serves, so only the ledgers and
+        // the drain clock are compared — not the cache counters).
+        let again = reg.serve();
+        assert_eq!(out.tenants, again.tenants);
+        assert_eq!(out.makespan, again.makespan);
+    }
+
+    #[test]
+    fn contract_changes_refusing_to_materialize_leave_the_tenant_alone() {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        let tr = ArrivalTrace::new(vec![0.0, 0.1, 0.2, 0.3]).unwrap();
+        let id = reg
+            .admit(
+                spec("m", h2h_model::zoo::mocap(), 10.0, 5.0, 4)
+                    .with_arrivals(ArrivalProcess::Trace(tr)),
+            )
+            .unwrap();
+        // Growing the window past the trace length must refuse and
+        // leave both the contract and the materialized schedule as
+        // they were.
+        assert!(matches!(
+            reg.set_contract(id, 10.0, Seconds::new(5.0), 16),
+            Err(ServeError::BadSpec { .. })
+        ));
+        assert_eq!(reg.tenant(id).spec().requests, 4);
+        let out = reg.serve();
+        out.check_coherence().unwrap();
+        assert_eq!(out.total_served(), 4);
+        // Swapping the process re-materializes against the contract.
+        reg.set_arrivals(id, ArrivalProcess::Fixed).unwrap();
+        assert_eq!(reg.tenant(id).arrival(3), 3.0 / 10.0);
+    }
+
+    #[test]
+    fn ranked_policies_serve_everything_coherently() {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        for policy in [RoundPolicy::Edf, RoundPolicy::WeightedFair] {
+            let cfg = H2hConfig { serve_policy: policy, ..H2hConfig::default() };
+            let mut reg = TenantRegistry::new(&system, cfg);
+            reg.admit(spec("cnn", h2h_model::zoo::cnn_lstm(), 60.0, 8.0, 12)).unwrap();
+            reg.admit(spec("mocap", h2h_model::zoo::mocap(), 60.0, 8.0, 12)).unwrap();
+            let out = reg.serve();
+            out.check_coherence().unwrap();
+            assert_eq!(out.total_served(), 24);
+            assert_eq!(out.policy, policy);
+        }
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overload_and_stays_coherent() {
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let cfg = H2hConfig { serve_queue_cap: 2, ..H2hConfig::default() };
+        let mut reg = TenantRegistry::new(&system, cfg);
+        // Arrivals far above the service rate against a 2-deep queue:
+        // most of the window must be dropped at the head, and the
+        // drops must reconcile with the served ledger exactly.
+        let id = reg.admit(spec("m", h2h_model::zoo::mocap(), 1.0, 1.0, 1)).unwrap();
+        let ideal = reg.tenant(id).ideal_latency();
+        reg.set_contract(id, 50.0 / ideal.as_f64(), ideal * 4.0, 60).unwrap();
+        let out = reg.serve();
+        out.check_coherence().unwrap();
+        let t = &out.tenants[0];
+        assert!(t.shed > 0, "overload against a bounded queue must shed");
+        assert!(t.served > 0, "the queue head that survives must still be served");
+        assert_eq!(t.served + t.shed, 60);
+        assert_eq!(out.counters.requests_shed, t.shed);
+        assert!(t.shed_doomed <= t.shed);
+    }
+
+    #[test]
+    fn permanent_total_outage_stalls_unbounded_and_sheds_bounded() {
+        // Every board goes down for good before the first arrival. The
+        // historical unbounded-queue mode must report the structural
+        // stall; with a bounded queue the blocked window is written
+        // off as shed and the accounting still reconciles.
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let n_accs = system.num_accs();
+        let mut plan = FaultPlan::empty();
+        for a in 0..n_accs {
+            plan = plan.with_event(h2h_system::fault::FaultEvent {
+                acc: h2h_system::system::AccId::new(a),
+                kind: h2h_system::fault::FaultKind::BoardDown,
+                at: Seconds::new(1e-6),
+                recover_at: None,
+            });
+        }
+        let tr = ArrivalTrace::new((0..6).map(|j| 0.5 + j as f64 * 0.1).collect()).unwrap();
+        let mk = |cap: usize| {
+            let cfg = H2hConfig { serve_queue_cap: cap, ..H2hConfig::default() };
+            let mut reg = TenantRegistry::new(&system, cfg);
+            reg.admit(
+                spec("m", h2h_model::zoo::mocap(), 10.0, 1.0, 6)
+                    .with_arrivals(ArrivalProcess::Trace(tr.clone())),
+            )
+            .unwrap();
+            reg
+        };
+        assert!(matches!(
+            mk(0).serve_with_faults(&plan),
+            Err(ServeError::Stalled { unserved: 6, .. })
+        ));
+        let out = mk(8).serve_with_faults(&plan).unwrap();
+        out.check_coherence().unwrap();
+        let t = &out.tenants[0];
+        assert_eq!(t.served, 0, "an all-down fabric serves nothing");
+        assert_eq!(t.shed, 6, "the whole window is written off");
+        assert!(t.parks > 0, "the tenant must have been parked");
+        assert_eq!(out.counters.requests_shed, 6);
+    }
+
+    #[test]
+    fn arrival_exactly_on_a_fault_boundary_counts_once() {
+        // A fault boundary placed bitwise on an arrival instant: the
+        // arrival clock (compared exactly, no slack) and the
+        // epsilon-slackened boundary clock must not double- or
+        // zero-count the request. Everything still drains, once.
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let mut reg = TenantRegistry::new(&system, H2hConfig::default());
+        let id = reg.admit(spec("m", h2h_model::zoo::mocap(), 1.0, 1.0, 1)).unwrap();
+        let ideal = reg.tenant(id).ideal_latency();
+        let rate = 0.5 / ideal.as_f64();
+        reg.set_contract(id, rate, ideal * 16.0, 6).unwrap();
+        // The same quotient expression `FixedArrivals::arrival` uses.
+        let boundary = 2.0 / rate;
+        assert_eq!(boundary.to_bits(), reg.tenant(id).arrival(2).to_bits());
+        let plan = FaultPlan::empty().with_event(h2h_system::fault::FaultEvent {
+            acc: h2h_system::system::AccId::new(0),
+            kind: h2h_system::fault::FaultKind::LinkDegraded { factor: 4.0 },
+            at: Seconds::new(boundary),
+            recover_at: None,
+        });
+        let out = reg.serve_with_faults(&plan).unwrap();
+        out.check_coherence().unwrap();
+        assert_eq!(out.tenants[0].served, 6, "every request exactly once");
+        assert_eq!(out.counters.requests_shed, 0);
     }
 }

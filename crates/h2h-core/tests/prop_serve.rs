@@ -192,6 +192,95 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    // Every arrival process materializes to a monotone non-decreasing,
+    // finite, non-negative schedule, and a trace built from any such
+    // schedule replays it bitwise.
+    #[test]
+    fn arrival_schedules_are_monotone_and_traces_replay_bitwise(
+        seed in any::<u64>(),
+        rate in 0.5f64..500.0,
+        requests in 1usize..200,
+    ) {
+        use h2h_core::{ArrivalProcess, Arrivals};
+        use h2h_system::trace::ArrivalTrace;
+        let sched = ArrivalProcess::Poisson { seed }.materialize(rate, requests).unwrap();
+        let mut prev = 0.0f64;
+        for j in 0..requests {
+            let t = sched.arrival(j);
+            prop_assert!(t.is_finite() && t >= 0.0, "arrival {j} = {t}");
+            prop_assert!(t >= prev, "arrival {j} = {t} < predecessor {prev}");
+            prev = t;
+        }
+        let times: Vec<f64> = (0..requests).map(|j| sched.arrival(j)).collect();
+        let trace = ArrivalTrace::new(times.clone())
+            .unwrap_or_else(|e| panic!("monotone samples must trace: {e}"));
+        let replay = ArrivalProcess::Trace(trace).materialize(rate, requests).unwrap();
+        for (j, t) in times.iter().enumerate() {
+            prop_assert_eq!(replay.arrival(j).to_bits(), t.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    // Random round policies, queue caps and arrival processes: the
+    // drain stays coherent (check_coherence now also audits the
+    // percentile ledgers), the window conserves (served + shed ==
+    // requests), unbounded queues never shed, and the latency ledger's
+    // quantiles are monotone and bounded by the observed max.
+    #[test]
+    fn random_policies_caps_and_processes_serve_coherently(
+        policy_pick in 0usize..3,
+        queue_cap in 0usize..6,
+        seed in any::<u64>(),
+        poisson in any::<bool>(),
+        rate in 20.0f64..300.0,
+        requests in 2usize..24,
+    ) {
+        use h2h_core::{ArrivalProcess, RoundPolicy};
+        let policy = [RoundPolicy::Knapsack, RoundPolicy::Edf, RoundPolicy::WeightedFair]
+            [policy_pick];
+        let system = SystemSpec::standard(BandwidthClass::LowMinus);
+        let cfg = H2hConfig {
+            serve_verify: true,
+            serve_policy: policy,
+            serve_queue_cap: queue_cap,
+            ..H2hConfig::default()
+        };
+        let mut reg = TenantRegistry::new(&system, cfg);
+        for model in model_pool() {
+            let name = model.name().to_owned();
+            let id = reg
+                .admit(TenantSpec::new(name, model, rate, Seconds::new(4.0), requests))
+                .unwrap();
+            if poisson {
+                reg.set_arrivals(id, ArrivalProcess::Poisson { seed }).unwrap();
+            }
+        }
+        let out = reg.serve();
+        if let Err(e) = out.check_coherence() {
+            panic!("incoherent outcome under {policy:?}/cap {queue_cap}: {e}");
+        }
+        prop_assert_eq!(out.policy, policy);
+        for t in &out.tenants {
+            prop_assert_eq!(t.served + t.shed, t.requests, "{}: window must conserve", t.name);
+            if queue_cap == 0 {
+                prop_assert_eq!(t.shed, 0usize, "{}: unbounded queues never shed", t.name);
+            }
+            if t.served > 0 {
+                let (p50, p95, p99) =
+                    (t.latencies.p50(), t.latencies.p95(), t.latencies.p99());
+                prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= t.latencies.max());
+                prop_assert_eq!(t.latencies.max(), t.attained_max);
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
     // Random fault plans mixing all four kinds — board outages, link

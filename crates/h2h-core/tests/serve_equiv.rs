@@ -173,6 +173,39 @@ fn serving_stays_coherent_and_verified_on_non_uniform_topologies() {
 }
 
 #[test]
+fn explicit_fixed_arrivals_are_bitwise_identical_to_the_default() {
+    // `set_arrivals(Fixed)` re-materializes the schedule through the
+    // streaming machinery; the untouched default never leaves the
+    // closed form. Both must serve bitwise-identically zoo-wide —
+    // FixedArrivals computes the exact floating-point expression the
+    // serve loop historically inlined, so the open-loop refactor is
+    // invisible to every deterministic workload.
+    use h2h_core::ArrivalProcess;
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    let cfg = H2hConfig {
+        serve_verify: true,
+        serve_dram_budget_frac: 0.1,
+        ..H2hConfig::default()
+    };
+    let models = [
+        h2h_model::zoo::mocap(),
+        h2h_model::zoo::cnn_lstm(),
+        h2h_model::zoo::casia_surf(),
+        h2h_model::zoo::facebag(),
+        h2h_model::zoo::vfs(),
+    ];
+    let mut default_reg = TenantRegistry::new(&system, cfg);
+    let mut explicit_reg = TenantRegistry::new(&system, cfg);
+    for model in &models {
+        let s = spec(model.name(), model.clone(), 60.0, 6.0, 10);
+        default_reg.admit(s.clone()).unwrap();
+        let id = explicit_reg.admit(s).unwrap();
+        explicit_reg.set_arrivals(id, ArrivalProcess::Fixed).unwrap();
+    }
+    assert_eq!(default_reg.serve(), explicit_reg.serve());
+}
+
+#[test]
 fn serve_runs_are_deterministic() {
     // Two registries built the same way must produce bitwise-equal
     // outcomes (the scheduling loop has no RNG and no wall-clock).

@@ -81,6 +81,23 @@ use crate::schedule::CostCache;
 use crate::system::{AccId, SystemSpec};
 use crate::topology::{Endpoint, Topology};
 
+/// Slack under which a modeled clock is considered to have reached a
+/// scheduled event time (fault boundaries, staged-repair landings) —
+/// the *one* epsilon every event-ordered loop in the workspace
+/// compares with, so a fault boundary and a serving-round clock can
+/// never disagree about whether the same instant was crossed.
+/// Request *arrivals* are deliberately compared exactly (no slack):
+/// an epsilon there once pulled a request in before its arrival time,
+/// attaining less than the zero-queueing ideal.
+pub const BOUNDARY_EPS: f64 = 1e-12;
+
+/// True when clock `now` has reached scheduled event time `t` under
+/// [`BOUNDARY_EPS`].
+#[inline]
+pub fn event_reached(now: f64, t: f64) -> bool {
+    now >= t - BOUNDARY_EPS
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
@@ -394,7 +411,7 @@ pub fn simulate_with_faults(
     loop {
         // Apply any fault boundary reached: recompute the degraded
         // fabric and re-rate every phase still ahead.
-        while next_boundary < boundaries.len() && now >= boundaries[next_boundary] - 1e-12 {
+        while next_boundary < boundaries.len() && event_reached(now, boundaries[next_boundary]) {
             let t = boundaries[next_boundary];
             next_boundary += 1;
             state = plan.state_at(Seconds::new(t), n_accs);

@@ -1,7 +1,9 @@
-//! Chrome trace-event export: open a mapped schedule in
-//! `chrome://tracing` / Perfetto. One track (`tid`) per accelerator,
-//! one complete event (`ph:"X"`) per layer, transfer/compute phase
-//! breakdown in `args`.
+//! Trace I/O: Chrome trace-event **export** of a mapped schedule
+//! (open in `chrome://tracing` / Perfetto — one track per accelerator,
+//! one complete event per layer, phase breakdown in `args`) and
+//! replayable request-arrival **import** ([`ArrivalTrace`]) for the
+//! open-loop serving layer (`h2h_core::serve`): one absolute arrival
+//! timestamp per line, validated monotone, replayed bit-identically.
 
 use h2h_model::graph::ModelGraph;
 use h2h_model::units::Seconds;
@@ -81,6 +83,113 @@ pub fn to_chrome_trace(
     )
 }
 
+/// A replayable request-arrival trace: absolute arrival timestamps in
+/// seconds, validated finite, non-negative and monotone non-decreasing
+/// at construction. The serving layer replays a prefix of the trace as
+/// one tenant's arrival process, so a recorded production workload (or
+/// a hand-written worst case) drives the open-loop drain exactly the
+/// same way on every machine.
+///
+/// The text format is one timestamp per line; blank lines and lines
+/// starting with `#` are ignored:
+///
+/// ```text
+/// # bursty: three requests at t=0, then a gap
+/// 0.0
+/// 0.0
+/// 0.0
+/// 2.5
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    times: Vec<f64>,
+}
+
+impl ArrivalTrace {
+    /// Builds a trace from raw timestamps, validating every invariant
+    /// the serving clock depends on.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when some timestamp is non-finite,
+    /// negative, or decreasing, or when the trace is empty.
+    pub fn new(times: Vec<f64>) -> Result<Self, String> {
+        if times.is_empty() {
+            return Err("arrival trace is empty".into());
+        }
+        let mut prev = 0.0f64;
+        for (i, t) in times.iter().enumerate() {
+            if !t.is_finite() || *t < 0.0 {
+                return Err(format!(
+                    "arrival {i} is {t} — timestamps must be finite and non-negative"
+                ));
+            }
+            if *t < prev {
+                return Err(format!(
+                    "arrival {i} at {t}s precedes arrival {} at {prev}s — \
+                     the trace must be monotone non-decreasing",
+                    i - 1
+                ));
+            }
+            prev = *t;
+        }
+        Ok(ArrivalTrace { times })
+    }
+
+    /// Parses the one-timestamp-per-line text format (`#` comments and
+    /// blank lines ignored).
+    ///
+    /// # Errors
+    ///
+    /// A reason naming the offending line on unparsable text, plus
+    /// everything [`ArrivalTrace::new`] rejects.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut times = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let t: f64 = line.parse().map_err(|_| {
+                format!("line {}: `{line}` is not a timestamp", lineno + 1)
+            })?;
+            times.push(t);
+        }
+        ArrivalTrace::new(times)
+    }
+
+    /// Number of arrivals recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the trace holds no arrivals (unreachable for
+    /// validated traces; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The validated timestamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The first `n` arrivals as an owned schedule.
+    ///
+    /// # Errors
+    ///
+    /// When the trace holds fewer than `n` arrivals.
+    pub fn prefix(&self, n: usize) -> Result<Vec<f64>, String> {
+        if self.times.len() < n {
+            return Err(format!(
+                "trace holds {} arrivals but the contract needs {n}",
+                self.times.len()
+            ));
+        }
+        Ok(self.times[..n].to_vec())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +227,22 @@ mod tests {
         // Metadata events name every accelerator track.
         let meta = events.iter().filter(|e| e["ph"] == "M").count();
         assert_eq!(meta, 12);
+    }
+
+    #[test]
+    fn arrival_trace_parses_validates_and_prefixes() {
+        let tr = ArrivalTrace::parse("# burst\n0.0\n0.0\n\n2.5\n3.25\n").unwrap();
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.times(), &[0.0, 0.0, 2.5, 3.25]);
+        assert_eq!(tr.prefix(2).unwrap(), vec![0.0, 0.0]);
+        assert!(tr.prefix(5).is_err(), "prefix beyond the trace must refuse");
+
+        assert!(ArrivalTrace::parse("").is_err(), "empty trace");
+        assert!(ArrivalTrace::parse("1.0\nnope\n").is_err(), "bad line");
+        assert!(ArrivalTrace::new(vec![1.0, 0.5]).is_err(), "decreasing");
+        assert!(ArrivalTrace::new(vec![-1.0]).is_err(), "negative");
+        assert!(ArrivalTrace::new(vec![f64::NAN]).is_err(), "NaN");
+        assert!(ArrivalTrace::new(vec![f64::INFINITY]).is_err(), "infinite");
     }
 
     #[test]

@@ -53,7 +53,9 @@ fn usage() -> ExitCode {
          models: vlocnet|casia|vfs|facebag|cnnlstm|mocap; bw: low-|low|mid-|mid|high\n\
          map/serve/sweep/inspect also take --topology <uniform|skewed[:f]|switched[:m]|star:host=G;links=...|switched:...;peers=i-j@G>\n\
          inspect/serve also take --faults <board:IDX@T[-T2];link:IDX/F@T[-T2];slow:IDX/F@T[-T2];host:F@T[-T2];host:down@T[-T2];...>\n\
-         serve also takes --repair-cost <secs-per-attempted-move> (repair wall time charged to the serving clock; default 0)"
+         serve also takes --repair-cost <secs-per-attempted-move> (repair wall time charged to the serving clock; default 0),\n\
+         \x20 --arrivals <fixed|poisson:SEED|trace:PATH> (open-loop arrival process; default fixed),\n\
+         \x20 --policy <knapsack|edf|wfair> (batch-forming policy; default knapsack), and --queue-cap <N> (bounded per-tenant queue, 0 = unbounded)"
     );
     ExitCode::from(2)
 }
@@ -203,6 +205,21 @@ fn take_repair_cost_flag(args: &mut Vec<String>) -> Result<Option<f64>, String> 
     Ok(Some(v))
 }
 
+/// Extracts a `--flag <value>` pair wherever it appears, returning the
+/// raw value; the caller parses it. `Err` when the flag is present but
+/// dangling.
+fn take_string_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let raw = args.remove(pos + 1);
+    args.remove(pos);
+    Ok(Some(raw))
+}
+
 fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Extract `--topology <spec>` wherever it appears; only the
@@ -227,6 +244,36 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
+            return Ok(usage());
+        }
+    };
+    // Serving knobs: arrival process, batch-forming policy and the
+    // bounded-queue depth; only `serve` reads them.
+    let arrivals = match take_string_flag(&mut args, "--arrivals")
+        .and_then(|v| v.map(|s| h2h::core::ArrivalProcess::parse(&s)).transpose())
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("--arrivals: {e}");
+            return Ok(usage());
+        }
+    };
+    let policy = match take_string_flag(&mut args, "--policy")
+        .and_then(|v| v.map(|s| h2h::core::RoundPolicy::parse(&s)).transpose())
+    {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("--policy: {e}");
+            return Ok(usage());
+        }
+    };
+    let queue_cap = match take_string_flag(&mut args, "--queue-cap").and_then(|v| {
+        v.map(|s| s.parse::<usize>().map_err(|_| format!("`{s}` is not a queue depth")))
+            .transpose()
+    }) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("--queue-cap: {e}");
             return Ok(usage());
         }
     };
@@ -321,6 +368,8 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let cfg = h2h::core::H2hConfig {
                 serve_verify: true,
                 repair_secs_per_move: repair_cost.unwrap_or(0.0),
+                serve_policy: policy.unwrap_or_default(),
+                serve_queue_cap: queue_cap.unwrap_or(0),
                 ..Default::default()
             };
             let mut reg = h2h::core::serve::TenantRegistry::new(&system, cfg);
@@ -328,7 +377,8 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 // Admit (one pipeline run), then scale the contract to
                 // the tenant's own pace: a backlog-forming arrival
                 // rate (4 requests per ideal latency) and a generous
-                // 16x SLO over 32 requests.
+                // 16x SLO over 32 requests. The arrival process
+                // re-materializes against the scaled contract.
                 let name = model.name().to_owned();
                 let id = reg.admit(h2h::core::serve::TenantSpec::new(
                     name,
@@ -344,6 +394,9 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                     h2h::model::units::Seconds::new(16.0 * ideal),
                     32,
                 )?;
+                if let Some(process) = &arrivals {
+                    reg.set_arrivals(id, process.clone())?;
+                }
             }
             if let Some(spec) = faults {
                 let plan = h2h::system::fault::FaultPlan::parse(spec, system.num_accs())
