@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rayon` crate (plus the slice of
+//! `crossbeam-deque` that rayon's scheduler is built on).
+//!
+//! Only the surface the H2H search core actually uses is provided:
+//!
+//! * [`scope`] / [`Scope`] — structured fork–join. Tasks here are OS
+//!   threads via `std::thread::scope` rather than pool workers; callers
+//!   spawn a bounded number of long-lived scoring lanes, so the
+//!   distinction does not matter for correctness or (at these lane
+//!   counts) throughput.
+//! * [`par_chunks_map`] — the `par_chunks().map().collect()` shape:
+//!   chunk an input slice, process chunks on scoped threads, return the
+//!   per-chunk results in input order regardless of completion order.
+//! * [`deque`] — a FIFO [`deque::Injector`] with the crossbeam-deque
+//!   `push`/`steal` API. The scoring pool distributes frontier batches
+//!   through it so lanes work-steal candidates instead of receiving a
+//!   fixed round-robin deal. Implemented as a mutex-guarded queue:
+//!   consumers steal coarse-grained jobs (one full candidate scoring
+//!   transaction each), so lock hold times are nanoseconds against
+//!   multi-microsecond jobs and contention is noise.
+//!
+//! If networked builds become available, swapping in the real crates is
+//! a manifest-only change: `Injector`/`Steal` match crossbeam-deque's
+//! API, and `scope`/`Scope::spawn` match rayon's shape except that
+//! spawn closures take no `&Scope` argument (none of our call sites
+//! nest spawns).
+
+use std::thread;
+
+pub mod deque {
+    //! Minimal crossbeam-deque stand-in: a shared FIFO injector queue.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt, matching crossbeam-deque's type
+    /// minus the `Retry` variant (a mutex-guarded queue never needs a
+    /// caller-side retry loop).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One job was removed from the queue.
+        Success(T),
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen job, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(job) => Some(job),
+                Steal::Empty => None,
+            }
+        }
+    }
+
+    /// A FIFO queue any thread can push to or steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Append a job to the back of the queue.
+        pub fn push(&self, job: T) {
+            self.queue.lock().expect("injector poisoned").push_back(job);
+        }
+
+        /// Remove the job at the front of the queue, if any.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(job) => Steal::Success(job),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector poisoned").len()
+        }
+    }
+}
+
+/// A fork–join scope; spawned tasks may borrow from the enclosing stack
+/// frame and are all joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task onto the scope. Unlike real rayon the closure takes
+    /// no `&Scope` argument; no call site in this workspace nests
+    /// spawns, and dropping the argument keeps the shim closure-compatible
+    /// with `std::thread::Scope::spawn`.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(f)
+    }
+}
+
+/// Create a fork–join scope: every task spawned on it is joined before
+/// this function returns, so tasks may borrow local state.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Process `items` in chunks of `chunk_len` on up to `threads` scoped
+/// worker threads, returning per-chunk results in input order. The
+/// chunk index queue is work-stolen, so uneven chunks balance across
+/// threads; output order is fixed by index, never by completion order.
+///
+/// With `threads <= 1`, an empty input, or a single chunk, everything
+/// runs on the calling thread.
+pub fn par_chunks_map<T, R, F>(items: &[T], chunk_len: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_len).collect();
+    if threads <= 1 || chunks.len() <= 1 {
+        return chunks.into_iter().map(f).collect();
+    }
+    let queue = deque::Injector::new();
+    for idx in 0..chunks.len() {
+        queue.push(idx);
+    }
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        chunks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    scope(|s| {
+        for _ in 0..threads.min(chunks.len()) {
+            s.spawn(|| {
+                while let deque::Steal::Success(idx) = queue.steal() {
+                    *slots[idx].lock().expect("result slot poisoned") = Some(f(chunks[idx]));
+                }
+            });
+        }
+    });
+    slots.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every chunk index was queued and stolen exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let q = deque::Injector::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.steal(), deque::Steal::Success(1));
+        assert_eq!(q.steal().success(), Some(2));
+        assert_eq!(q.steal(), deque::Steal::Success(3));
+        assert_eq!(q.steal(), deque::Steal::<i32>::Empty);
+    }
+
+    #[test]
+    fn scope_joins_borrowing_tasks() {
+        let data = [1u64, 2, 3, 4];
+        let mut totals = [0u64; 2];
+        scope(|s| {
+            let (lo, hi) = totals.split_at_mut(1);
+            s.spawn(|| lo[0] = data[..2].iter().sum());
+            s.spawn(|| hi[0] = data[2..].iter().sum());
+        });
+        assert_eq!(totals, [3, 7]);
+    }
+
+    #[test]
+    fn par_chunks_map_preserves_input_order() {
+        let items: Vec<u32> = (0..37).collect();
+        for threads in [0, 1, 2, 8] {
+            let sums = par_chunks_map(&items, 5, threads, |chunk| chunk.iter().sum::<u32>());
+            let expect: Vec<u32> = items.chunks(5).map(|c| c.iter().sum()).collect();
+            assert_eq!(sums, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_map_handles_empty_input() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_chunks_map(&none, 4, 8, |c| c.len()).is_empty());
+    }
+}

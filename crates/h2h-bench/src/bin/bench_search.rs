@@ -10,9 +10,17 @@
 //! cargo run --release -p h2h-bench --bin bench_search -- [out.json]
 //!     [--models VFS,MoCap] [--bandwidths Low-,Mid] [--threads 1,2,4,8]
 //!     [--strategy adaptive,replay,full-eval] [--reps 3]
-//!     [--min-large-speedup 1.1]
+//!     [--min-large-speedup 1.1] [--profile]
 //!     [--topology uniform,skewed,switched] [--min-topology-gain 1.1]
 //! ```
+//!
+//! `--profile` arms the engine's per-phase wall-clock timers
+//! (`H2hConfig::profile_phases`) and attaches a `profile` object to
+//! every delta row: seconds spent in candidate scoring vs deferred
+//! cost propagation vs risky-guard resolution vs commit, summed across
+//! scoring lanes (≈ CPU-seconds, not elapsed time). The run fails if
+//! any profiled row is malformed — a non-finite or negative bucket, or
+//! a row that attempted moves while reporting zero scoring time.
 //!
 //! `--topology` sweeps interconnect fabrics (specs as accepted by
 //! `h2h_system::topology::Topology::parse`). The `uniform` rows run
@@ -92,6 +100,65 @@ struct SearchRecord {
     topology_blind_latency_s: Option<f64>,
     topology_gain: Option<f64>,
     matches_reference: bool,
+    /// Per-phase wall-clock breakdown of the timed delta run
+    /// (`--profile` only; summed across scoring lanes).
+    profile: Option<ProfileRecord>,
+}
+
+/// Phase breakdown attached to a row under `--profile`.
+#[derive(Debug, Serialize)]
+struct ProfileRecord {
+    /// Candidate scoring (stage + rollback) outside the other buckets.
+    scoring_s: f64,
+    /// Deferred cost refresh + cone propagation.
+    propagate_s: f64,
+    /// Risky-guard resolution (dominance proofs, toggles, reverts).
+    guard_s: f64,
+    /// Committing accepted candidates.
+    commit_s: f64,
+    /// Sum of the buckets.
+    total_s: f64,
+}
+
+impl ProfileRecord {
+    fn from_phases(p: &h2h_core::PhaseProfile) -> ProfileRecord {
+        ProfileRecord {
+            scoring_s: p.scoring_s,
+            propagate_s: p.propagate_s,
+            guard_s: p.guard_s,
+            commit_s: p.commit_s,
+            total_s: p.total(),
+        }
+    }
+
+    /// A profiled row must be structurally sound: finite non-negative
+    /// buckets, a consistent total, and non-zero scoring time whenever
+    /// the row actually attempted moves.
+    fn malformed(&self, attempted_moves: usize) -> Option<String> {
+        let buckets = [
+            ("scoring_s", self.scoring_s),
+            ("propagate_s", self.propagate_s),
+            ("guard_s", self.guard_s),
+            ("commit_s", self.commit_s),
+            ("total_s", self.total_s),
+        ];
+        for (name, v) in buckets {
+            if !v.is_finite() || v < 0.0 {
+                return Some(format!("{name} = {v}"));
+            }
+        }
+        let sum = self.scoring_s + self.propagate_s + self.guard_s + self.commit_s;
+        if (self.total_s - sum).abs() > 1e-9 + sum.abs() * 1e-9 {
+            return Some(format!("total_s {} != bucket sum {sum}", self.total_s));
+        }
+        if attempted_moves > 0 && self.scoring_s <= 0.0 {
+            return Some(format!(
+                "scoring_s = {} with {attempted_moves} attempted moves",
+                self.scoring_s
+            ));
+        }
+        None
+    }
 }
 
 fn parse_list(arg: &str) -> Vec<String> {
@@ -109,6 +176,7 @@ fn main() {
     let mut min_large_speedup: Option<f64> = None;
     let mut topologies = vec!["uniform".to_owned(), "skewed".to_owned(), "switched".to_owned()];
     let mut min_topology_gain: Option<f64> = None;
+    let mut profile_phases = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +204,7 @@ fn main() {
                     .collect();
             }
             "--reps" => reps = value("--reps").parse().expect("--reps takes an integer"),
+            "--profile" => profile_phases = true,
             "--topology" => topologies = parse_list(&value("--topology")),
             "--min-topology-gain" => {
                 min_topology_gain = Some(
@@ -296,10 +365,26 @@ fn main() {
             for &strategy in &row_strategies {
                 for &threads in &threads_sweep {
                     let cfg =
-                        H2hConfig { strategy, score_threads: threads, ..base_cfg };
+                        H2hConfig { strategy, score_threads: threads, profile_phases, ..base_cfg };
                     let (delta_seconds, map_delta, delta) = time_best(&mut |m| {
                         data_locality_remapping(&ev, &cfg, &PinPreset::new(), m)
                     });
+                    // Phase breakdown of the last timed sample (the
+                    // sample whose outcome the row reports).
+                    let profile =
+                        profile_phases.then(|| ProfileRecord::from_phases(&delta.profile));
+                    let profile_err = profile
+                        .as_ref()
+                        .and_then(|p| p.malformed(delta.stats.attempted_moves));
+                    if let Some(err) = &profile_err {
+                        eprintln!(
+                            "FAIL: {} @ {} ({}, {} threads): malformed profile record: {err}",
+                            model.name(),
+                            bw.label(),
+                            strategy.label(),
+                            threads
+                        );
+                    }
                     let aware_latency = delta.schedule.makespan().as_f64();
                     let topology_gain =
                         blind_latency.map(|b| b / aware_latency.max(1e-15));
@@ -399,8 +484,9 @@ fn main() {
                         topology_blind_latency_s: blind_latency,
                         topology_gain,
                         matches_reference,
+                        profile,
                     });
-                    if !guards_ok || !speedup_ok {
+                    if !guards_ok || !speedup_ok || profile_err.is_some() {
                         gate_failures += 1;
                     }
                 }

@@ -44,7 +44,7 @@ pub fn activation_fusion_opt(
 /// it once and filters per candidate mapping;
 /// [`sorted_fusion_candidates`] filters it for one mapping. Both share
 /// this single definition of the order so they can never drift apart.
-pub fn sorted_fusable_edges(model: &h2h_model::ModelGraph) -> Vec<(LayerId, LayerId)> {
+pub fn sorted_fusable_edges(model: &h2h_model::ModelGraph) -> Vec<(LayerId, LayerId, Bytes)> {
     let mut edges: Vec<(Bytes, LayerId, LayerId)> = model
         .edges()
         .filter(|(from, _, _)| {
@@ -57,7 +57,10 @@ pub fn sorted_fusable_edges(model: &h2h_model::ModelGraph) -> Vec<(LayerId, Laye
             .then(a.1.index().cmp(&b.1.index()))
             .then(a.2.index().cmp(&b.2.index()))
     });
-    edges.into_iter().map(|(_, f, t)| (f, t)).collect()
+    // The byte volume rides along: capacity checks on the strip/replay
+    // hot path read it from the candidate instead of re-scanning the
+    // graph's edge storage per `try_fuse`.
+    edges.into_iter().map(|(b, f, t)| (f, t, b)).collect()
 }
 
 /// The colocated fusion candidates of `mapping`, in the canonical
@@ -65,10 +68,10 @@ pub fn sorted_fusable_edges(model: &h2h_model::ModelGraph) -> Vec<(LayerId, Laye
 pub fn sorted_fusion_candidates(
     ev: &Evaluator<'_>,
     mapping: &Mapping,
-) -> Vec<(LayerId, LayerId)> {
+) -> Vec<(LayerId, LayerId, Bytes)> {
     sorted_fusable_edges(ev.model())
         .into_iter()
-        .filter(|(from, to)| {
+        .filter(|(from, to, _)| {
             mapping.get(*from).is_some() && mapping.get(*from) == mapping.get(*to)
         })
         .collect()
@@ -106,8 +109,9 @@ pub trait FusionOracle {
         from: LayerId,
         to: LayerId,
         acc: h2h_system::system::AccId,
+        bytes: Bytes,
     ) -> Option<bool> {
-        let _ = (loc, from, to, acc);
+        let _ = (loc, from, to, acc, bytes);
         None
     }
 
@@ -149,29 +153,27 @@ pub fn fusion_pass(
     ev: &Evaluator<'_>,
     mapping: &Mapping,
     loc: &mut LocalityState,
-    candidates: &[(LayerId, LayerId)],
+    candidates: &[(LayerId, LayerId, Bytes)],
     oracle: &mut dyn FusionOracle,
 ) {
     let model = ev.model();
     let system = ev.system();
-    // One consumer buffer for the whole pass — the search core replays
-    // this loop per scored candidate, so a per-edge allocation would be
-    // tens of thousands per remap run.
-    let mut succs: Vec<LayerId> = Vec::new();
-    for &(from, to) in candidates {
+    for &(from, to, bytes) in candidates {
         let acc = mapping.acc_of(from);
         let local = |s: &LayerId, loc: &LocalityState| {
             loc.is_fused(from, *s) && mapping.get(*s) == Some(acc)
         };
-        // Producer-side cost analysis (see doc comment).
-        succs.clear();
-        succs.extend(model.successors(from));
+        // Producer-side cost analysis (see doc comment). The consumer
+        // list comes from the evaluator's flat CSR row — the search
+        // core replays this loop per scored candidate, and a petgraph
+        // successor walk per edge dominated the pass body.
+        let succs = ev.successors_flat(from);
         let already_pays_dram_write = succs.iter().any(|s| local(s, loc));
         let all_local_after = succs.iter().all(|s| *s == to || local(s, loc));
         let risky = !already_pays_dram_write && !all_local_after;
         if !risky {
             // Capacity-checked; refusal is fine (budget exhausted).
-            if loc.try_fuse(model, system, from, to, acc) {
+            if loc.try_fuse_bytes(system, from, to, acc, bytes) {
                 oracle.fused(loc, from, to);
             }
             continue;
@@ -180,11 +182,11 @@ pub fn fusion_pass(
         // accept/reject outcome from local quantities, the whole
         // toggle/measure/maybe-revert replay below is skipped (same
         // decision, by proof).
-        if oracle.resolve_guard(loc, from, to, acc).is_some() {
+        if oracle.resolve_guard(loc, from, to, acc, bytes).is_some() {
             continue;
         }
         let before = oracle.makespan(loc);
-        if loc.try_fuse(model, system, from, to, acc) {
+        if loc.try_fuse_bytes(system, from, to, acc, bytes) {
             oracle.guard_begin();
             oracle.toggled(loc, from, to);
             let after = oracle.makespan(loc);

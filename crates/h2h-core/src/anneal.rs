@@ -147,7 +147,7 @@ pub fn simulated_annealing(
             None,
         );
     } else {
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             let mut pool = ScoringPool::spawn(scope, &engine, &mapping, workers);
             anneal_walk(
                 anneal,

@@ -228,6 +228,22 @@ pub struct H2hConfig {
     /// overhead, never changes results — the equivalence tests set this
     /// to exercise the worker protocol on any machine).
     pub score_oversubscribe: bool,
+    /// Minimum flattened candidate count before the pooled remap loop
+    /// scores a *multi-layer* frontier window in one work-stolen batch
+    /// (see [`crate::parallel`]); below it, each layer's candidates are
+    /// batched separately (the PR 2 protocol). Decisions and stats are
+    /// bit-identical either way — the threshold only trades wasted
+    /// speculative scoring against fan-out latency, so small models and
+    /// low lane counts stay on the cheaper per-layer path. `0` forces
+    /// frontier windows everywhere; `usize::MAX` disables them.
+    pub frontier_min_candidates: usize,
+    /// Collect a per-phase wall-clock breakdown (candidate scoring vs
+    /// schedule propagation vs guard resolution vs commit) on the delta
+    /// engine ([`crate::delta::PhaseProfile`]). Off by default: the
+    /// timers sit on the scoring hot path, and the profile is
+    /// wall-clock — never part of [`crate::delta::SearchStats`] or any
+    /// equivalence contract. `bench_search --profile` turns it on.
+    pub profile_phases: bool,
     /// Largest number of queued requests one tenant may serve in a
     /// single slice of a multi-tenant serving round (see
     /// [`crate::serve`]). Weights are fetched once per slice
@@ -316,6 +332,8 @@ impl Default for H2hConfig {
             enable_guard_dominance: true,
             score_threads: 1,
             score_oversubscribe: false,
+            frontier_min_candidates: 16,
+            profile_phases: false,
             serve_max_batch: 8,
             serve_dram_budget_frac: 1.0,
             repair_eval_budget: 0,
@@ -355,6 +373,11 @@ mod tests {
             "the urgency knapsack is the bit-identity default"
         );
         assert_eq!(c.serve_queue_cap, 0, "unbounded queues are the default");
+        assert!(
+            c.frontier_min_candidates >= 1,
+            "frontier windows should not engage on single-candidate batches by default"
+        );
+        assert!(!c.profile_phases, "phase timers are a bench/CI knob");
     }
 
     #[test]

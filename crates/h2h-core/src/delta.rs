@@ -95,7 +95,7 @@ use serde::Serialize;
 
 use h2h_model::graph::LayerId;
 use h2h_model::layer::LayerOp;
-use h2h_model::units::Seconds;
+use h2h_model::units::{Bytes, Seconds};
 use h2h_system::incremental::IncrementalSchedule;
 use h2h_system::locality::LocalityState;
 use h2h_system::mapping::Mapping;
@@ -202,6 +202,56 @@ fn note_propagation(stats: &mut SearchStats, touched: usize) {
     stats.max_propagated = stats.max_propagated.max(touched);
 }
 
+/// Wall-clock breakdown of one engine's search time by phase, filled
+/// only when [`H2hConfig::profile_phases`] is on (`bench_search
+/// --profile`). Deliberately **not** part of [`SearchStats`]: the stat
+/// counters are asserted bitwise-equal across thread counts and
+/// strategies, while wall-clock numbers are machine- and run-specific.
+/// When candidates are scored on worker lanes the per-lane deltas are
+/// absorbed into the main engine's profile, so the totals approximate
+/// *CPU seconds across all lanes*, not elapsed wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct PhaseProfile {
+    /// Candidate scoring outside the other buckets: locality
+    /// strip/rebuild replay, fusion-pass bookkeeping, full-eval
+    /// fallbacks, staged-candidate rollback.
+    pub scoring_s: f64,
+    /// Deferred cost refresh + cone propagation rounds (the
+    /// [`DeltaOracle`] flush/toggle paths and the prefix-path flush).
+    pub propagate_s: f64,
+    /// Risky-guard resolution: dominance proofs, toggle savepoints and
+    /// `O(cone)` reverts.
+    pub guard_s: f64,
+    /// Committing accepted candidates into the engine state.
+    pub commit_s: f64,
+}
+
+impl PhaseProfile {
+    /// Sum of all buckets.
+    pub fn total(&self) -> f64 {
+        self.scoring_s + self.propagate_s + self.guard_s + self.commit_s
+    }
+
+    /// Accumulates another profile (e.g. a worker lane's delta).
+    pub fn absorb(&mut self, other: &PhaseProfile) {
+        self.scoring_s += other.scoring_s;
+        self.propagate_s += other.propagate_s;
+        self.guard_s += other.guard_s;
+        self.commit_s += other.commit_s;
+    }
+
+    /// Bucket-wise difference `self - before` (for snapshotting one
+    /// candidate's share out of a running accumulator).
+    pub fn delta_since(&self, before: &PhaseProfile) -> PhaseProfile {
+        PhaseProfile {
+            scoring_s: self.scoring_s - before.scoring_s,
+            propagate_s: self.propagate_s - before.propagate_s,
+            guard_s: self.guard_s - before.guard_s,
+            commit_s: self.commit_s - before.commit_s,
+        }
+    }
+}
+
 /// The [`FusionOracle`] that answers the shared fusion pass's makespan
 /// guards from the incremental schedule. Cost refreshes (the staged
 /// move itself, pin diffs, stripped and re-fused edge endpoints) batch
@@ -227,10 +277,13 @@ struct DeltaOracle<'x, 'e, 'm> {
     dominance: bool,
     /// Restore point of the risky-guard toggle currently in flight.
     savepoint: Option<h2h_system::incremental::Savepoint>,
+    /// Phase wall-clock accumulator, present iff profiling is on.
+    profile: Option<&'x mut PhaseProfile>,
 }
 
 impl DeltaOracle<'_, '_, '_> {
     fn flush(&mut self, loc: &LocalityState) {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
         if !self.pending.is_empty() {
             // Stripped-then-restored layers appear several times in the
             // batch; one refresh against the flush-time locality is the
@@ -249,12 +302,14 @@ impl DeltaOracle<'_, '_, '_> {
         // A batch whose refreshes all came back with identical durations
         // (and no structural seeds outstanding) moves nothing: skip the
         // zero-touch propagation round instead of counting it.
-        if self.pending_seeds.is_empty() {
-            return;
+        if !self.pending_seeds.is_empty() {
+            self.inc.propagate(&self.pending_seeds);
+            self.pending_seeds.clear();
+            note_propagation(self.stats, self.inc.touched());
         }
-        self.inc.propagate(&self.pending_seeds);
-        self.pending_seeds.clear();
-        note_propagation(self.stats, self.inc.touched());
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.propagate_s += t0.elapsed().as_secs_f64();
+        }
     }
 }
 
@@ -265,6 +320,7 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
     }
 
     fn toggled(&mut self, loc: &LocalityState, from: LayerId, to: LayerId) {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
         // Toggles always follow a makespan read, so the batches are
         // drained and `pending_seeds` is free to reuse as the seed
         // buffer.
@@ -279,6 +335,9 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
         self.inc.propagate(&self.pending_seeds);
         self.pending_seeds.clear();
         note_propagation(self.stats, self.inc.touched());
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.propagate_s += t0.elapsed().as_secs_f64();
+        }
     }
 
     fn makespan(&mut self, loc: &LocalityState) -> Seconds {
@@ -322,6 +381,7 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
         from: LayerId,
         to: LayerId,
         acc: AccId,
+        bytes: Bytes,
     ) -> Option<bool> {
         self.stats.guards_total += 1;
         if !self.dominance {
@@ -331,10 +391,58 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
         // batches must land first — the same flush the reference pays
         // at this guard's `before` makespan read. Must happen before
         // the tentative fuse: pending layers refresh against the
-        // pre-toggle locality.
+        // pre-toggle locality. (Charged to `propagate_s`, not
+        // `guard_s`: the reference pays the same flush.)
         self.flush(loc);
-        let model = self.ev.model();
-        if !loc.try_fuse(model, self.ev.system(), from, to, acc) {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
+        let out = self.resolve_guard_inner(loc, from, to, acc, bytes);
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.guard_s += t0.elapsed().as_secs_f64();
+        }
+        out
+    }
+
+    fn guard_begin(&mut self) {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
+        debug_assert!(self.savepoint.is_none(), "risky guards never nest");
+        self.savepoint = Some(self.inc.savepoint());
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.guard_s += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    fn guard_revert(&mut self, _loc: &LocalityState, _from: LayerId, _to: LayerId) {
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
+        // The savepoint journal recorded the toggle's touched set
+        // (costs, durations, start/finish times, aggregates); restoring
+        // it is O(touched), replacing the reference's second refresh +
+        // re-propagation — which would recompute exactly these values.
+        let sp = self.savepoint.take().expect("guard_begin marks the restore point");
+        self.inc.rollback_to(&sp);
+        self.stats.guard_reverts_fast += 1;
+        if let (Some(t0), Some(p)) = (t0, self.profile.as_deref_mut()) {
+            p.guard_s += t0.elapsed().as_secs_f64();
+        }
+    }
+
+    fn guard_commit(&mut self) {
+        self.savepoint = None;
+    }
+}
+
+impl DeltaOracle<'_, '_, '_> {
+    /// The dominance-proof body of [`FusionOracle::resolve_guard`],
+    /// factored out so the wrapper can charge it to
+    /// [`PhaseProfile::guard_s`] as one span.
+    fn resolve_guard_inner(
+        &mut self,
+        loc: &mut LocalityState,
+        from: LayerId,
+        to: LayerId,
+        acc: AccId,
+        bytes: Bytes,
+    ) -> Option<bool> {
+        if !loc.is_fused(from, to) && bytes > loc.dram_free(acc, self.ev.system()) {
             // Capacity-refused: the reference would measure `before`,
             // fail the same try_fuse and move on. No state changed;
             // only the makespan scan is saved. Not counted in
@@ -342,11 +450,41 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
             // proof fired, and this branch never ran it.
             return Some(false);
         }
-        let ndf = self.ev.layer_cost(self.mapping, loc, from).duration().as_f64();
-        let ndt = self.ev.layer_cost(self.mapping, loc, to).duration().as_f64();
+        // The toggle changes exactly one term on each endpoint: `from`
+        // gains a DRAM write (OFM), `to`'s download becomes a DRAM read
+        // (IFM). Everything else — weights, compute, the other
+        // endpoint's untouched transfer side — is read from the costs
+        // the pre-toggle flush just certified, so only the changed term
+        // reruns the kernel, with the toggle itself priced as an
+        // `extra_fused` overlay — no tentative fuse/unfuse churn on the
+        // sorted fused-edge vector. Bitwise equal to the full recompute
+        // (the specialized sums replay the same float ops in the same
+        // order over the same locality view), which the debug
+        // assertions below pin down against a real toggle.
+        let ndf = self
+            .ev
+            .duration_new_ofm(self.mapping, loc, from, self.inc.cost_of(from), Some(to))
+            .as_f64();
+        let ndt = self
+            .ev
+            .duration_new_ifm(self.mapping, loc, to, self.inc.cost_of(to), Some(from))
+            .as_f64();
+        #[cfg(debug_assertions)]
+        {
+            assert!(loc.try_fuse_bytes(self.ev.system(), from, to, acc, bytes));
+            assert_eq!(
+                ndf.to_bits(),
+                self.ev.layer_cost(self.mapping, loc, from).duration().as_f64().to_bits()
+            );
+            assert_eq!(
+                ndt.to_bits(),
+                self.ev.layer_cost(self.mapping, loc, to).duration().as_f64().to_bits()
+            );
+            assert!(loc.unfuse(self.ev.model(), from, to, acc));
+        }
         let nf = self.inc.start_of(from).as_f64() + ndf;
         let start_of = |l: LayerId| self.inc.start_of(l).as_f64();
-        let absorbed = model.successors(from).all(|s| s == to || nf <= start_of(s))
+        let absorbed = self.ev.successors_flat(from).iter().all(|&s| s == to || nf <= start_of(s))
             && self
                 .inc
                 .queue_successor(from)
@@ -356,39 +494,23 @@ impl FusionOracle for DeltaOracle<'_, '_, '_> {
             if new_finish_to_bound <= self.inc.finish_of(to).as_f64() {
                 let accept = nf <= self.inc.makespan().as_f64();
                 if accept {
+                    // The overlay becomes real only now — a proven
+                    // reject (and the unproven fall-through below)
+                    // leaves `loc` untouched, where the pre-overlay
+                    // proof paid a tentative fuse and its revert.
+                    let ok = loc.try_fuse_bytes(self.ev.system(), from, to, acc, bytes);
+                    debug_assert!(ok, "capacity was checked above");
                     // Exactly like a non-risky accept: the endpoints'
                     // refreshes defer to the next flush.
                     self.pending.push(from);
                     self.pending.push(to);
-                } else {
-                    loc.unfuse(model, from, to, acc);
                 }
                 self.stats.guards_skipped += 1;
                 return Some(accept);
             }
         }
         // Unproven: hand the untouched state back to the full guard.
-        loc.unfuse(model, from, to, acc);
         None
-    }
-
-    fn guard_begin(&mut self) {
-        debug_assert!(self.savepoint.is_none(), "risky guards never nest");
-        self.savepoint = Some(self.inc.savepoint());
-    }
-
-    fn guard_revert(&mut self, _loc: &LocalityState, _from: LayerId, _to: LayerId) {
-        // The savepoint journal recorded the toggle's touched set
-        // (costs, durations, start/finish times, aggregates); restoring
-        // it is O(touched), replacing the reference's second refresh +
-        // re-propagation — which would recompute exactly these values.
-        let sp = self.savepoint.take().expect("guard_begin marks the restore point");
-        self.inc.rollback_to(&sp);
-        self.stats.guard_reverts_fast += 1;
-    }
-
-    fn guard_commit(&mut self) {
-        self.savepoint = None;
     }
 }
 
@@ -399,7 +521,7 @@ struct EngineShared {
     /// All non-input-producer edges pre-sorted by the fusion pass's
     /// global order (bytes desc, then endpoint indices) — the
     /// mapping-independent part of the candidate list, computed once.
-    sorted_edges: Vec<(LayerId, LayerId)>,
+    sorted_edges: Vec<(LayerId, LayerId, Bytes)>,
     /// Non-input producers with ≥ 2 consumers (and those consumers):
     /// the only places a "risky" fusion candidate can arise. The
     /// prefix-exact fast path applies exactly when no such producer is
@@ -450,11 +572,17 @@ pub struct DeltaEngine<'e, 'm> {
     spare_locality: Option<LocalityState>,
     scratch_costs: Vec<LayerId>,
     scratch_seeds: Vec<LayerId>,
-    scratch_cands: Vec<(LayerId, LayerId)>,
+    scratch_cands: Vec<(LayerId, LayerId, Bytes)>,
     scratch_pins: Vec<(LayerId, AccId)>,
     scratch_fusions: Vec<(LayerId, LayerId, AccId)>,
     /// Evaluation counters for this run.
     pub stats: SearchStats,
+    /// Phase timers armed ([`H2hConfig::profile_phases`]).
+    profile_enabled: bool,
+    /// Wall-clock per-phase breakdown of this engine's work; stays
+    /// zeroed unless profiling is on. Unlike [`DeltaEngine::stats`]
+    /// this is never compared across runs.
+    pub profile: PhaseProfile,
 }
 
 impl<'e, 'm> DeltaEngine<'e, 'm> {
@@ -506,6 +634,8 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
             scratch_pins: Vec::new(),
             scratch_fusions: Vec::new(),
             stats,
+            profile_enabled: cfg.profile_phases,
+            profile: PhaseProfile::default(),
         }
     }
 
@@ -520,6 +650,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         assert!(self.staged.is_none(), "fork with a staged candidate");
         let mut fork = self.clone();
         fork.stats = SearchStats::default();
+        fork.profile = PhaseProfile::default();
         fork
     }
 
@@ -592,6 +723,20 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
     /// Panics if a candidate is already staged or `to` equals the
     /// layer's current accelerator.
     pub fn stage_move(&mut self, mapping: &mut Mapping, layer: LayerId, to: AccId) -> f64 {
+        if !self.profile_enabled {
+            return self.stage_move_inner(mapping, layer, to);
+        }
+        // The oracle charges its own propagate/guard spans while the
+        // stage runs; scoring gets the remainder of the elapsed time.
+        let inner_before = self.profile.propagate_s + self.profile.guard_s;
+        let t0 = std::time::Instant::now();
+        let score = self.stage_move_inner(mapping, layer, to);
+        let inner = (self.profile.propagate_s + self.profile.guard_s) - inner_before;
+        self.profile.scoring_s += (t0.elapsed().as_secs_f64() - inner).max(0.0);
+        score
+    }
+
+    fn stage_move_inner(&mut self, mapping: &mut Mapping, layer: LayerId, to: AccId) -> f64 {
         assert!(self.staged.is_none(), "candidate already staged");
         let from = mapping.acc_of(layer);
         assert_ne!(from, to, "staging a no-op move");
@@ -682,8 +827,8 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         // predecessors, so both sides join the deferred refresh. (On a
         // uniform fabric the refreshes come back with identical
         // durations and seed nothing.)
-        pending_costs.extend(model.predecessors(layer));
-        pending_costs.extend(model.successors(layer));
+        pending_costs.extend(self.ev.predecessors_flat(layer));
+        pending_costs.extend(self.ev.successors_flat(layer));
         self.scratch_pins.clear();
         self.scratch_pins.extend(
             loc.pinned_layers()
@@ -705,17 +850,29 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         // only the two touched accelerators' fusions (charge
         // attribution: the producer's pre-move accelerator, which
         // co-location guarantees equals the consumer's) can change.
-        self.scratch_fusions.clear();
-        self.scratch_fusions.extend(
-            loc.fused_edges()
-                .filter_map(|(f, t)| mapping.get(f).map(|a| (f, t, a)))
-                .filter(|(_, _, a)| !prefix || in_scope(*a)),
-        );
-        for k in 0..self.scratch_fusions.len() {
-            let (f, t, a) = self.scratch_fusions[k];
-            loc.unfuse(model, f, t, a);
-            pending_costs.push(f);
-            pending_costs.push(t);
+        if prefix {
+            self.scratch_fusions.clear();
+            self.scratch_fusions.extend(
+                loc.fused_edges()
+                    .filter_map(|(f, t)| mapping.get(f).map(|a| (f, t, a)))
+                    .filter(|(_, _, a)| in_scope(*a)),
+            );
+            for k in 0..self.scratch_fusions.len() {
+                let (f, t, a) = self.scratch_fusions[k];
+                loc.unfuse(model, f, t, a);
+                pending_costs.push(f);
+                pending_costs.push(t);
+            }
+        } else {
+            // The replay strips *every* fused edge; per-edge removal
+            // from the sorted vec would be quadratic, so the bulk strip
+            // refunds all recorded charges in one linear pass.
+            pending_costs.extend(
+                loc.fused_edges()
+                    .filter(|(f, _)| mapping.get(*f).is_some())
+                    .flat_map(|(f, t)| [f, t]),
+            );
+            loc.unfuse_all(mapping);
         }
 
         // Apply the move.
@@ -755,7 +912,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
             // no-risky-candidate precondition makes every candidate's
             // accept rule unconditional-if-it-fits.
             let system = self.ev.system();
-            for &(f, t) in &shared.sorted_edges {
+            for &(f, t, bytes) in &shared.sorted_edges {
                 let fa = mapping.get(f);
                 if fa.is_none() || fa != mapping.get(t) {
                     continue;
@@ -764,7 +921,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
                 if !in_scope(acc) {
                     continue;
                 }
-                if loc.try_fuse(model, system, f, t, acc) {
+                if loc.try_fuse_bytes(system, f, t, acc, bytes) {
                     pending_costs.push(f);
                     pending_costs.push(t);
                 }
@@ -778,7 +935,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
             // (bitwise-equal to the full evaluation it replaces).
             let mut candidates = std::mem::take(&mut self.scratch_cands);
             candidates.clear();
-            candidates.extend(shared.sorted_edges.iter().copied().filter(|(f, t)| {
+            candidates.extend(shared.sorted_edges.iter().copied().filter(|(f, t, _)| {
                 mapping.get(*f).is_some() && mapping.get(*f) == mapping.get(*t)
             }));
             let mut oracle = DeltaOracle {
@@ -790,6 +947,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
                 pending_seeds,
                 dominance: self.cfg.enable_guard_dominance,
                 savepoint: None,
+                profile: self.profile_enabled.then_some(&mut self.profile),
             };
             fusion_pass(self.ev, mapping, &mut loc, &candidates, &mut oracle);
             oracle.flush(&loc);
@@ -800,6 +958,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
             // Prefix path (or fusion disabled): one deferred flush (a
             // layer refreshed once with its final state is the same
             // snapshot its duplicates would telescope to).
+            let t0 = self.profile_enabled.then(std::time::Instant::now);
             pending_costs.sort_unstable();
             pending_costs.dedup();
             self.inc.refresh_costs_into(
@@ -813,6 +972,9 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
             note_propagation(&mut self.stats, self.inc.touched());
             self.scratch_costs = pending_costs;
             self.scratch_seeds = pending_seeds;
+            if let Some(t0) = t0 {
+                self.profile.propagate_s += t0.elapsed().as_secs_f64();
+            }
         }
 
         // A fresh in-order summation makes the proxy aggregates
@@ -836,6 +998,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
     ///
     /// Panics if no candidate is staged.
     pub fn reject_staged(&mut self, mapping: &mut Mapping) {
+        let t0 = self.profile_enabled.then(std::time::Instant::now);
         let staged = self.staged.take().expect("no staged candidate");
         // Recycle the staged locality's buffers for the next candidate.
         self.spare_locality = self.staged_locality.take();
@@ -843,6 +1006,10 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         mapping.set(staged.layer, staged.from);
         if staged.delta {
             self.inc.rollback();
+        }
+        if let Some(t0) = t0 {
+            // Rollback is part of the transactional scoring cost.
+            self.profile.scoring_s += t0.elapsed().as_secs_f64();
         }
     }
 
@@ -858,6 +1025,7 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
     ///
     /// Panics if no candidate is staged.
     pub fn accept_staged(&mut self, mapping: &Mapping) -> f64 {
+        let t0 = self.profile_enabled.then(std::time::Instant::now);
         let staged = self.staged.take().expect("no staged candidate");
         let accepted = self
             .staged_locality
@@ -876,6 +1044,9 @@ impl<'e, 'm> DeltaEngine<'e, 'm> {
         }
         self.score = self.cfg.objective.score_proxy(&self.inc.proxy());
         self.stats.accepted_moves += 1;
+        if let Some(t0) = t0 {
+            self.profile.commit_s += t0.elapsed().as_secs_f64();
+        }
         self.score
     }
 

@@ -71,18 +71,25 @@ pub fn solve_dp(items: &[Item], capacity: u64) -> Vec<usize> {
 /// while capacity lasts. Zero-weight items with positive value are
 /// always taken.
 pub fn solve_greedy(items: &[Item], capacity: u64) -> Vec<usize> {
-    let mut order: Vec<&Item> = items.iter().filter(|it| it.value > 0.0).collect();
+    // Densities are memoized once: the comparator runs `O(n log n)`
+    // times and the two float divides per call dominated the sort on
+    // the search core's per-candidate hot path. The memoized value is
+    // the exact same expression, so the order (and the selection) is
+    // unchanged bitwise.
+    let mut order: Vec<(f64, &Item)> = items
+        .iter()
+        .filter(|it| it.value > 0.0)
+        .map(|it| (it.value / it.weight.max(1) as f64, it))
+        .collect();
     order.sort_by(|a, b| {
-        let da = a.value / a.weight.max(1) as f64;
-        let db = b.value / b.weight.max(1) as f64;
-        db.partial_cmp(&da)
+        b.0.partial_cmp(&a.0)
             .unwrap()
-            .then(b.value.partial_cmp(&a.value).unwrap())
-            .then(a.id.cmp(&b.id))
+            .then(b.1.value.partial_cmp(&a.1.value).unwrap())
+            .then(a.1.id.cmp(&b.1.id))
     });
     let mut left = capacity;
     let mut chosen = Vec::new();
-    for it in order {
+    for (_, it) in order {
         if it.weight <= left {
             left -= it.weight;
             chosen.push(it.id);

@@ -53,7 +53,7 @@ pub mod weight_locality;
 
 pub use arrivals::{ArrivalProcess, ArrivalSchedule, Arrivals};
 pub use config::{H2hConfig, KnapsackKind, MapObjective, RoundPolicy, ScoreStrategy};
-pub use delta::{DeltaEngine, SearchStats};
+pub use delta::{DeltaEngine, PhaseProfile, SearchStats};
 pub use parallel::ScoringPool;
 pub use dynamic::{DynamicOutcome, DynamicSession};
 pub use pipeline::{H2hError, H2hMapper, H2hOutcome, Step, StepSnapshot};

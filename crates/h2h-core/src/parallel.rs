@@ -1,25 +1,38 @@
-//! Parallel candidate scoring (ROADMAP: "Parallel candidate scoring").
+//! Parallel candidate scoring (ROADMAP: "Parallel candidate scoring" /
+//! "Data-oriented evaluator hot path + whole-search parallelism").
 //!
 //! The search loops spend nearly all of their time scoring candidate
-//! moves for one layer at a time, and every candidate of a batch is
-//! scored against the *same* current state — embarrassingly parallel
-//! once each evaluator owns its own scratch. [`ScoringPool`] fans a
-//! candidate batch out across `std::thread::scope` workers, each
-//! owning a [`DeltaEngine::fork`] (shared read-only model/system data
-//! behind `Arc`s, private mutable scratch) plus its own `Mapping` copy.
+//! moves, and every candidate of a batch is scored against the *same*
+//! current state — embarrassingly parallel once each evaluator owns its
+//! own scratch. [`ScoringPool`] spawns scoped workers (via the offline
+//! `rayon` shim's [`rayon::scope`]), each owning a
+//! [`DeltaEngine::fork`] (shared read-only model/system data behind
+//! `Arc`s, private mutable scratch) plus its own `Mapping` copy.
+//!
+//! # Work-stealing batches
+//!
+//! A batch is published as one shared [`rayon::deque::Injector`] of
+//! `(candidate index, layer, destination)` jobs. Every lane — the
+//! workers *and* the main engine — steals jobs until the queue is
+//! empty, so an expensive candidate (a risky global replay) on one lane
+//! never strands cheap candidates behind it the way a fixed round-robin
+//! deal did. This matters for the **frontier batches** built by the
+//! remap loop (see [`crate::remap`]): one batch spans the candidate
+//! groups of many upcoming layers, with per-layer group sizes of 1–3,
+//! so static dealing would leave most lanes idle.
 //!
 //! # Determinism (the commit protocol)
 //!
 //! Results are **bit-identical to the serial loop for every thread
-//! count**, including the search statistics:
+//! count and any steal interleaving**, including the search statistics:
 //!
-//! 1. Candidates are indexed in their serial visit order and dealt
-//!    round-robin to the lanes (workers + the main engine, which
-//!    scores its own share instead of idling).
+//! 1. Candidates are indexed in their serial visit order; jobs carry
+//!    their index, and results are keyed by it — never by thread
+//!    completion order or steal order.
 //! 2. Each lane scores transactionally — stage, record `(score,
 //!    makespan, stat delta)`, reject — so a lane's engine always holds
-//!    the current state. Results are keyed by candidate index, never
-//!    by thread completion order.
+//!    the current state, and a candidate's outcome does not depend on
+//!    which lane scored it.
 //! 3. The caller applies the serial decision rule over the indexed
 //!    results (first improving candidate for the greedy remap loop;
 //!    in-order Metropolis acceptance for the annealer) and absorbs the
@@ -33,17 +46,27 @@
 //!
 //! Channels are per-worker request queues plus one shared result
 //! channel; requests are FIFO per worker, so a broadcast commit is
-//! always applied before the next scoring batch without extra
-//! synchronization.
+//! always applied before any job of the next batch's injector is
+//! stolen by that worker — no extra synchronization.
+//!
+//! # Phase profiling
+//!
+//! When [`crate::H2hConfig::profile_phases`] is on, each scored
+//! candidate ships its [`PhaseProfile`] delta back with its outcome and
+//! [`ScoringPool::score_batch`] absorbs **every** outcome's delta into
+//! the main engine's profile (worker forks die with the scope, so their
+//! accumulators would otherwise be lost). The profile therefore
+//! approximates CPU-seconds summed across lanes — it is never part of
+//! [`SearchStats`] and never compared across runs.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::thread::Scope;
+use std::sync::Arc;
 
 use h2h_model::graph::LayerId;
 use h2h_system::mapping::Mapping;
 use h2h_system::system::AccId;
 
-use crate::delta::{DeltaEngine, SearchStats};
+use crate::delta::{DeltaEngine, PhaseProfile, SearchStats};
 
 /// One scored candidate: its objective score, exact makespan, and the
 /// search-stat delta its scoring produced (with `attempted_moves = 1`),
@@ -62,11 +85,16 @@ pub struct CandidateOutcome {
     pub makespan: f64,
     /// Stat delta of scoring this one candidate.
     pub stats: SearchStats,
+    /// Phase wall-clock delta of scoring this one candidate (all
+    /// zeroes unless profiling is on). Unlike `stats` this is absorbed
+    /// for *every* scored candidate, speculative or not — it measures
+    /// work done, not work the serial loop would have done.
+    pub profile: PhaseProfile,
 }
 
 /// Scores one candidate transactionally on `engine`, leaving the
-/// engine's state and stats untouched and returning the outcome with a
-/// per-candidate stat delta.
+/// engine's state, stats and profile untouched and returning the
+/// outcome with per-candidate stat/profile deltas.
 pub(crate) fn score_candidate(
     engine: &mut DeltaEngine<'_, '_>,
     mapping: &mut Mapping,
@@ -74,6 +102,7 @@ pub(crate) fn score_candidate(
     to: AccId,
 ) -> CandidateOutcome {
     let saved = engine.stats;
+    let saved_profile = engine.profile;
     engine.stats = SearchStats::default();
     let score = engine.stage_move(mapping, layer, to);
     let makespan = engine.staged_makespan();
@@ -81,7 +110,9 @@ pub(crate) fn score_candidate(
     stats.attempted_moves = 1;
     engine.reject_staged(mapping);
     engine.stats = saved;
-    CandidateOutcome { score, makespan, stats }
+    let profile = engine.profile.delta_since(&saved_profile);
+    engine.profile = saved_profile;
+    CandidateOutcome { score, makespan, stats, profile }
 }
 
 /// Applies an accepted move to `engine` (stage + accept) without
@@ -119,9 +150,13 @@ pub(crate) fn effective_workers(cfg: &crate::H2hConfig) -> usize {
     capped - 1
 }
 
+/// One work-stealing batch: indexed scoring jobs any lane may claim.
+type JobQueue = rayon::deque::Injector<(usize, LayerId, AccId)>;
+
 enum Request {
-    /// Score the given `(candidate index, layer, destination)` jobs.
-    Score(Vec<(usize, LayerId, AccId)>),
+    /// Steal `(candidate index, layer, destination)` jobs from the
+    /// shared queue until it drains.
+    Score(Arc<JobQueue>),
     /// The main engine accepted this move: replay it.
     Commit(LayerId, AccId),
 }
@@ -133,10 +168,8 @@ enum Request {
 pub struct ScoringPool {
     txs: Vec<Sender<Request>>,
     results: Receiver<(usize, CandidateOutcome)>,
-    // Reusable batch scratch (one batch per layer visit — the hot loop
-    // should not allocate; only the per-worker job lists must, since
-    // they are moved across the channel).
-    main_jobs: Vec<(usize, LayerId, AccId)>,
+    // Reusable result scratch (the hot loop should not allocate; only
+    // the per-batch injector must, since it is shared across threads).
     slots: Vec<Option<CandidateOutcome>>,
 }
 
@@ -145,7 +178,7 @@ impl ScoringPool {
     /// fork of `engine` and a copy of `mapping` (both must be the
     /// current, unstaged search state).
     pub fn spawn<'scope, 'env, 'e: 'env, 'm: 'env>(
-        scope: &'scope Scope<'scope, 'env>,
+        scope: &rayon::Scope<'scope, 'env>,
         engine: &DeltaEngine<'e, 'm>,
         mapping: &Mapping,
         workers: usize,
@@ -161,7 +194,9 @@ impl ScoringPool {
                 while let Ok(req) = rx.recv() {
                     match req {
                         Request::Score(jobs) => {
-                            for (idx, layer, to) in jobs {
+                            while let rayon::deque::Steal::Success((idx, layer, to)) =
+                                jobs.steal()
+                            {
                                 let out = score_candidate(
                                     &mut worker_engine,
                                     &mut worker_mapping,
@@ -181,7 +216,7 @@ impl ScoringPool {
             });
             txs.push(tx);
         }
-        ScoringPool { txs, results, main_jobs: Vec::new(), slots: Vec::new() }
+        ScoringPool { txs, results, slots: Vec::new() }
     }
 
     /// Number of scoring lanes (workers + the main engine).
@@ -189,10 +224,12 @@ impl ScoringPool {
         self.txs.len() + 1
     }
 
-    /// Scores `cands` against the current state, fanning them
-    /// round-robin across the workers while the main engine scores its
-    /// own share. Fills `out` with one outcome per candidate, in
-    /// candidate order.
+    /// Scores `cands` against the current state: the batch goes into a
+    /// shared work-stealing queue and every lane — workers and the main
+    /// engine alike — steals jobs until it drains. Fills `out` with one
+    /// outcome per candidate, in candidate order (steal order never
+    /// shows: results are keyed by candidate index). Worker profile
+    /// deltas are absorbed into `engine.profile` here.
     pub fn score_batch(
         &mut self,
         engine: &mut DeltaEngine<'_, '_>,
@@ -201,40 +238,34 @@ impl ScoringPool {
         out: &mut Vec<CandidateOutcome>,
     ) {
         out.clear();
-        let lanes = self.lanes();
-        let mut expected = 0;
-        for (lane, tx) in self.txs.iter().enumerate() {
-            let jobs: Vec<(usize, LayerId, AccId)> = cands
-                .iter()
-                .enumerate()
-                .filter(|(idx, _)| idx % lanes == lane)
-                .map(|(idx, (layer, to))| (idx, *layer, *to))
-                .collect();
-            if jobs.is_empty() {
-                continue;
-            }
-            expected += jobs.len();
-            tx.send(Request::Score(jobs)).expect("scoring worker alive");
-        }
-        self.main_jobs.clear();
-        self.main_jobs.extend(
-            cands
-                .iter()
-                .enumerate()
-                .filter(|(idx, _)| idx % lanes == lanes - 1)
-                .map(|(idx, (layer, to))| (idx, *layer, *to)),
-        );
         self.slots.clear();
         self.slots.resize(cands.len(), None);
-        for k in 0..self.main_jobs.len() {
-            let (idx, layer, to) = self.main_jobs[k];
-            self.slots[idx] = Some(score_candidate(engine, mapping, layer, to));
+        let jobs: Arc<JobQueue> = Arc::new(rayon::deque::Injector::new());
+        for (idx, &(layer, to)) in cands.iter().enumerate() {
+            jobs.push((idx, layer, to));
         }
-        for _ in 0..expected {
+        // Publish the queue only after it is fully loaded: a worker
+        // that drains it early would go idle for the rest of the batch,
+        // costing wall-clock (never correctness).
+        for tx in &self.txs {
+            tx.send(Request::Score(Arc::clone(&jobs))).expect("scoring worker alive");
+        }
+        let mut scored_here = 0;
+        while let rayon::deque::Steal::Success((idx, layer, to)) = jobs.steal() {
+            self.slots[idx] = Some(score_candidate(engine, mapping, layer, to));
+            scored_here += 1;
+        }
+        // Every job is stolen by exactly one lane, so the workers owe
+        // precisely the complement of what the main lane scored.
+        for _ in 0..cands.len() - scored_here {
             let (idx, outcome) = self.results.recv().expect("scoring worker alive");
             self.slots[idx] = Some(outcome);
         }
-        out.extend(self.slots.drain(..).map(|r| r.expect("every candidate scored")));
+        for slot in self.slots.drain(..) {
+            let outcome = slot.expect("every candidate scored");
+            engine.profile.absorb(&outcome.profile);
+            out.push(outcome);
+        }
     }
 
     /// Broadcasts an accepted move to every worker (the caller commits

@@ -70,39 +70,64 @@ pub fn weight_locality_pass(
         }
     }
 
+    let mut ids = Vec::new();
+    let mut items: Vec<Item> = Vec::new();
     for &acc in accs {
         let dram = system.acc(acc).dram_bandwidth().as_f64();
         // Weights stream from the host, so the saved time is priced at
         // this board's host-route bandwidth — boards behind slow links
         // value their pins proportionally higher.
         let eth = topo.path_bw(Endpoint::Host, Endpoint::Acc(acc)).as_f64();
-        let mut ids = Vec::new();
-        let items: Vec<Item> = model
-            .layers()
-            .filter(|(id, layer)| {
-                mapping.get(*id) == Some(acc) && layer.has_weights() && !loc.is_pinned(*id)
-            })
-            .map(|(id, layer)| {
-                let bytes = layer.weight_bytes(DataType::F32).as_u64();
-                ids.push(id);
-                Item {
-                    id: ids.len() - 1,
-                    weight: bytes,
-                    value: bytes as f64 * (1.0 / eth - 1.0 / dram),
-                }
-            })
-            .collect();
+        let saved_per_byte = 1.0 / eth - 1.0 / dram;
+        if saved_per_byte <= 0.0 {
+            // Every item would be priced at zero-or-negative value, and
+            // all three solvers ignore those: nothing to pin.
+            continue;
+        }
+        ids.clear();
+        items.clear();
+        let mut total: u64 = 0;
+        // `weighted_layers` is the precomputed has-weights subset in
+        // graph iteration order — the same items, in the same order,
+        // the historical `model.layers()` filter produced.
+        for &(id, bytes) in ev.weighted_layers() {
+            if mapping.get(id) != Some(acc) || loc.is_pinned(id) {
+                continue;
+            }
+            let bytes = bytes.as_u64();
+            total += bytes;
+            ids.push(id);
+            items.push(Item {
+                id: ids.len() - 1,
+                weight: bytes,
+                value: bytes as f64 * saved_per_byte,
+            });
+        }
         if items.is_empty() {
             continue;
         }
         let capacity = loc.dram_free(acc, system).as_u64();
+        if total <= capacity && !matches!(kind, KnapsackKind::Dp) {
+            // Everything fits: the greedy solver (which Auto picks here —
+            // all items share the same exact density) selects every item
+            // and returns the ids in input order, so pin directly and
+            // skip the density sort. DP is excluded: its grid rounds
+            // weights up, so "fits raw" does not imply "fits scaled".
+            for idx in 0..ids.len() {
+                let ok = loc.try_pin_bytes(system, ids[idx], acc, Bytes::new(items[idx].weight));
+                debug_assert!(ok, "all-fit fast path: every pin fits by construction");
+            }
+            continue;
+        }
         let chosen = match kind {
             KnapsackKind::Dp => solve_dp(&items, capacity),
             KnapsackKind::Greedy => solve_greedy(&items, capacity),
             KnapsackKind::Auto => solve_auto(&items, capacity),
         };
         for idx in chosen {
-            let ok = loc.try_pin(model, system, ids[idx], acc);
+            // The item's knapsack weight *is* the layer's F32 weight
+            // bytes, so the pin skips the model lookup.
+            let ok = loc.try_pin_bytes(system, ids[idx], acc, Bytes::new(items[idx].weight));
             debug_assert!(ok, "knapsack selections must fit the DRAM budget");
         }
     }

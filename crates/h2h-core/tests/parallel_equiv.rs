@@ -67,6 +67,78 @@ fn remap_is_thread_count_invariant_and_matches_the_reference() {
 }
 
 #[test]
+fn frontier_windows_change_no_search_decision() {
+    // The frontier-wide work-stealing walk speculatively scores
+    // candidates for layers whose turn has not come yet; window size
+    // and the wide-vs-fallback gate may only affect wall-clock, never
+    // decisions. `frontier_min_candidates: 0` forces every pooled
+    // window down the wide path, `usize::MAX` forces the classic
+    // per-group fallback; both must reproduce the serial walk's
+    // mapping, latency *and stats* bit-exactly at every thread count,
+    // and match the full-re-evaluation reference.
+    let system = SystemSpec::standard(BandwidthClass::LowMinus);
+    for model in [
+        h2h_model::zoo::mocap(),
+        h2h_model::zoo::cnn_lstm(),
+        h2h_model::zoo::casia_surf(),
+        h2h_model::zoo::facebag(),
+    ] {
+        let ev = Evaluator::new(&model, &system);
+        let cfg0 = H2hConfig::default();
+        let (seed, _) = computation_prioritized(&ev, &cfg0, &PinPreset::new()).unwrap();
+        let mut map_ref = seed.clone();
+        let reference =
+            data_locality_remapping_reference(&ev, &cfg0, &PinPreset::new(), &mut map_ref);
+
+        let serial = {
+            let cfg = H2hConfig { score_threads: 1, ..H2hConfig::default() };
+            let mut mapping = seed.clone();
+            let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+            (mapping, out)
+        };
+        assert_eq!(serial.0, map_ref, "{}: serial walk vs reference", model.name());
+        let mk_ref = reference.schedule.makespan().as_f64();
+        let mk_serial = serial.1.schedule.makespan().as_f64();
+        assert!(
+            (mk_serial - mk_ref).abs() <= mk_ref * 1e-12,
+            "{}: serial latency {mk_serial} vs reference {mk_ref}",
+            model.name()
+        );
+
+        for frontier_min in [0usize, usize::MAX] {
+            for threads in [2usize, 4, 8] {
+                let cfg = H2hConfig {
+                    score_threads: threads,
+                    score_oversubscribe: true,
+                    frontier_min_candidates: frontier_min,
+                    ..H2hConfig::default()
+                };
+                let mut mapping = seed.clone();
+                let out = data_locality_remapping(&ev, &cfg, &PinPreset::new(), &mut mapping);
+                let tag = format!(
+                    "{} x{threads} frontier_min={frontier_min}",
+                    model.name()
+                );
+                assert_eq!(mapping, serial.0, "{tag}: mapping diverged from serial");
+                assert_eq!(
+                    out.schedule.makespan(),
+                    serial.1.schedule.makespan(),
+                    "{tag}: makespan must be bitwise equal to serial"
+                );
+                assert_eq!(out.stats, serial.1.stats, "{tag}: stats diverged from serial");
+                assert!(
+                    out.stats.guards_skipped <= out.stats.guards_total
+                        && out.stats.guard_reverts_fast
+                            <= out.stats.guards_total - out.stats.guards_skipped,
+                    "{tag}: guard counters incoherent ({:?})",
+                    out.stats
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn every_scoring_strategy_makes_identical_search_decisions() {
     // Zoo-wide sweep guard: every zoo model × every (strategy × thread
     // count) combination must reproduce the per-candidate

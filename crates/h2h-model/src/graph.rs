@@ -29,6 +29,14 @@ impl LayerId {
     pub fn index(self) -> usize {
         self.0.index()
     }
+
+    /// Rebuilds the handle from [`LayerId::index`] — the inverse
+    /// round-trip, for data-oriented code that stores layers as raw
+    /// indices in flat arrays. The index must have come from a layer of
+    /// the same graph; this is not checked.
+    pub fn from_index(index: usize) -> Self {
+        LayerId(NodeIndex::new(index))
+    }
 }
 
 impl fmt::Display for LayerId {

@@ -146,7 +146,11 @@ struct IncShared {
     pred_off: Vec<u32>,
     preds: Vec<u32>,
     succ_off: Vec<u32>,
-    succs: Vec<u32>,
+    /// Successors stored as topological *ranks* (CSR payload for
+    /// `succ_off`): the propagate wavefront stamps pending layers by
+    /// rank, and storing the ranks pre-translated saves a `topo_pos`
+    /// gather per edge in the hottest loop of the search core.
+    succ_ranks: Vec<u32>,
     // Energy-model constants captured at seed time.
     eth_power_w: f64,
     dram_pj_per_byte: f64,
@@ -166,6 +170,13 @@ pub struct IncrementalSchedule {
     acc_queue: Vec<Vec<LayerId>>,
     /// Position of each layer in its accelerator queue.
     queue_pos: Vec<usize>,
+    /// Flat queue links: raw index of the layer scheduled immediately
+    /// before/after each layer on its accelerator (`u32::MAX` at the
+    /// ends). Derived state, kept in sync by `requeue`; the propagate
+    /// wavefront reads these instead of chasing `acc_queue[a][pos]`
+    /// through two bounds-checked indirections per visit.
+    queue_prev: Vec<u32>,
+    queue_next: Vec<u32>,
     /// Accelerator index per layer (`usize::MAX` for sparse slots).
     acc_of: Vec<usize>,
     /// Shared read-only topology/energy data (see [`IncShared`]).
@@ -240,6 +251,8 @@ impl IncrementalSchedule {
                 succs[succ_off[i] as usize + k] = s.index() as u32;
             }
         }
+        let succ_ranks: Vec<u32> =
+            succs.into_iter().map(|s| topo_pos[s as usize] as u32).collect();
         let mut inc = IncrementalSchedule {
             dur: vec![0.0; bound],
             costs: vec![LayerCost::default(); bound],
@@ -247,6 +260,8 @@ impl IncrementalSchedule {
             finish: vec![0.0; bound],
             acc_queue: vec![Vec::new(); n_accs],
             queue_pos: vec![0usize; bound],
+            queue_prev: vec![u32::MAX; bound],
+            queue_next: vec![u32::MAX; bound],
             acc_of: vec![usize::MAX; bound],
             shared: Arc::new(IncShared {
                 topo_pos,
@@ -254,7 +269,7 @@ impl IncrementalSchedule {
                 pred_off,
                 preds,
                 succ_off,
-                succs,
+                succ_ranks,
                 eth_power_w: emodel.eth_link_power_w,
                 dram_pj_per_byte: emodel.dram_pj_per_byte,
             }),
@@ -283,6 +298,10 @@ impl IncrementalSchedule {
             let a = mapping.acc_of(id).index();
             inc.acc_of[i] = a;
             inc.queue_pos[i] = inc.acc_queue[a].len();
+            if let Some(prev) = inc.acc_queue[a].last() {
+                inc.queue_prev[i] = prev.index() as u32;
+                inc.queue_next[prev.index()] = i as u32;
+            }
             inc.acc_queue[a].push(id);
             inc.costs[i] = cost;
             inc.dur[i] = dur;
@@ -305,8 +324,24 @@ impl IncrementalSchedule {
     }
 
     /// Current makespan (max finish over all layers).
+    ///
+    /// Computed as the max over each accelerator's *last-queued* layer:
+    /// along one queue, `start >= avail = previous finish` and
+    /// durations are non-negative, so finish times are non-decreasing
+    /// and the queue tail dominates. Every layer sits in exactly one
+    /// queue, so this is the same max — the same IEEE value the
+    /// all-layers fold produces (`f64::max` is order-insensitive on the
+    /// non-negative, NaN-free finish times) — read in `O(accelerators)`
+    /// instead of `O(layers)`. The fusion pass reads the makespan at
+    /// every guard, so on large models this scan was itself a hot path.
     pub fn makespan(&self) -> Seconds {
-        Seconds::new(self.finish.iter().cloned().fold(0.0, f64::max))
+        let mut max = 0.0f64;
+        for queue in &self.acc_queue {
+            if let Some(last) = queue.last() {
+                max = max.max(self.finish[last.index()]);
+            }
+        }
+        Seconds::new(max)
     }
 
     /// Finish time of one layer.
@@ -325,13 +360,22 @@ impl IncrementalSchedule {
     /// read `layer`'s finish — the guard-dominance check of the fusion
     /// pass walks it to prove a duration change is absorbed locally.
     pub fn queue_successor(&self, layer: LayerId) -> Option<LayerId> {
-        let i = layer.index();
-        self.acc_queue[self.acc_of[i]].get(self.queue_pos[i] + 1).copied()
+        let next = self.queue_next[layer.index()];
+        (next != u32::MAX).then(|| LayerId::from_index(next as usize))
     }
 
     /// Duration currently assumed for one layer.
     pub fn duration_of(&self, layer: LayerId) -> Seconds {
         Seconds::new(self.dur[layer.index()])
+    }
+
+    /// The full cost decomposition currently assumed for one layer —
+    /// after a flush of deferred refreshes, bitwise what
+    /// [`Evaluator::layer_cost`] returns for the current `(mapping,
+    /// locality)` state. The fusion-guard dominance proof reads the
+    /// unchanged terms from here instead of recomputing them.
+    pub fn cost_of(&self, layer: LayerId) -> &LayerCost {
+        &self.costs[layer.index()]
     }
 
     /// The accelerator queue (global topological priority order).
@@ -543,15 +587,6 @@ impl IncrementalSchedule {
         self.epoch += 1;
     }
 
-    fn journal_time(&mut self, i: usize) {
-        if let Some(j) = self.journal.as_mut() {
-            if self.time_stamp[i] != self.epoch {
-                self.time_stamp[i] = self.epoch;
-                j.times.push((i, self.start[i], self.finish[i]));
-            }
-        }
-    }
-
     fn journal_cost(&mut self, i: usize) {
         if let Some(j) = self.journal.as_mut() {
             if self.cost_stamp[i] != self.epoch {
@@ -568,6 +603,16 @@ impl IncrementalSchedule {
         let i = layer.index();
         let from_acc = self.acc_of[i];
         let pos = self.queue_pos[i];
+        // Unlink from the old queue (the flat links are derived state;
+        // every queue mutation funnels through here, so updating them
+        // in place keeps them exact across rollback replays too).
+        let (prev, next) = (self.queue_prev[i], self.queue_next[i]);
+        if prev != u32::MAX {
+            self.queue_next[prev as usize] = next;
+        }
+        if next != u32::MAX {
+            self.queue_prev[next as usize] = prev;
+        }
         self.acc_queue[from_acc].remove(pos);
         for k in pos..self.acc_queue[from_acc].len() {
             self.queue_pos[self.acc_queue[from_acc][k].index()] = k;
@@ -575,6 +620,19 @@ impl IncrementalSchedule {
         let rank = self.shared.topo_pos[i];
         let queue = &self.acc_queue[to_acc];
         let insert_at = queue.partition_point(|l| self.shared.topo_pos[l.index()] < rank);
+        // Link into the new queue at the insertion point.
+        let new_prev = insert_at
+            .checked_sub(1)
+            .map_or(u32::MAX, |k| queue[k].index() as u32);
+        let new_next = queue.get(insert_at).map_or(u32::MAX, |l| l.index() as u32);
+        self.queue_prev[i] = new_prev;
+        self.queue_next[i] = new_next;
+        if new_prev != u32::MAX {
+            self.queue_next[new_prev as usize] = i as u32;
+        }
+        if new_next != u32::MAX {
+            self.queue_prev[new_next as usize] = i as u32;
+        }
         self.acc_queue[to_acc].insert(insert_at, layer);
         for k in insert_at..self.acc_queue[to_acc].len() {
             self.queue_pos[self.acc_queue[to_acc][k].index()] = k;
@@ -732,62 +790,85 @@ impl IncrementalSchedule {
     /// is needed (most propagations — deferred-batch flushes — never
     /// look at it).
     pub fn propagate(&mut self, seeds: &[LayerId]) {
-        let shared = self.shared.clone();
         self.prop_epoch += 1;
-        let epoch = self.prop_epoch;
+        // Destructure into disjoint field borrows once: the loop below
+        // then runs on locals — no per-iteration `Arc` deref, no method
+        // calls, and the journal option is resolved outside the loop's
+        // dependent-load chain.
+        let IncrementalSchedule {
+            ref shared,
+            ref dur,
+            ref mut start,
+            ref mut finish,
+            ref queue_prev,
+            ref queue_next,
+            ref mut queued_stamp,
+            ref mut time_stamp,
+            ref mut journal,
+            epoch: journal_epoch,
+            prop_epoch: epoch,
+            ..
+        } = *self;
+        let shared: &IncShared = shared;
+        let mut journal = journal.as_mut();
         let n = shared.order.len();
         let mut lo = n;
         let mut hi = 0usize;
         for s in seeds {
             let r = shared.topo_pos[s.index()];
-            self.queued_stamp[r] = epoch;
+            queued_stamp[r] = epoch;
             lo = lo.min(r);
             hi = hi.max(r);
         }
-        self.touched = 0;
+        let mut touched = 0usize;
         let mut r = lo;
         while r <= hi {
-            if self.queued_stamp[r] != epoch {
+            if queued_stamp[r] != epoch {
                 r += 1;
                 continue;
             }
             let i = shared.order[r].index();
-            self.touched += 1;
+            touched += 1;
             let mut deps = 0.0f64;
             for p in &shared.preds[shared.pred_off[i] as usize..shared.pred_off[i + 1] as usize]
             {
-                deps = deps.max(self.finish[*p as usize]);
+                deps = deps.max(finish[*p as usize]);
             }
-            let a = self.acc_of[i];
-            let qp = self.queue_pos[i];
-            let avail = if qp == 0 {
-                0.0
-            } else {
-                self.finish[self.acc_queue[a][qp - 1].index()]
-            };
+            // One flat load replaces the `acc_queue[a][pos - 1]`
+            // double indirection of the queue-predecessor read.
+            let qp = queue_prev[i];
+            let avail = if qp == u32::MAX { 0.0 } else { finish[qp as usize] };
             let new_start = deps.max(avail);
-            let new_finish = new_start + self.dur[i];
-            if new_finish != self.finish[i] || new_start != self.start[i] {
-                self.journal_time(i);
-                self.start[i] = new_start;
-                self.finish[i] = new_finish;
-                // Direct graph successors…
-                for s in &shared.succs
+            let new_finish = new_start + dur[i];
+            if new_finish != finish[i] || new_start != start[i] {
+                if let Some(j) = journal.as_mut() {
+                    if time_stamp[i] != journal_epoch {
+                        time_stamp[i] = journal_epoch;
+                        j.times.push((i, start[i], finish[i]));
+                    }
+                }
+                start[i] = new_start;
+                finish[i] = new_finish;
+                // Direct graph successors (ranks pre-translated in the
+                // CSR, so stamping is load → store)…
+                for sr in &shared.succ_ranks
                     [shared.succ_off[i] as usize..shared.succ_off[i + 1] as usize]
                 {
-                    let sr = shared.topo_pos[*s as usize];
-                    self.queued_stamp[sr] = epoch;
+                    let sr = *sr as usize;
+                    queued_stamp[sr] = epoch;
                     hi = hi.max(sr);
                 }
                 // …and the next layer in this accelerator's queue.
-                if let Some(next) = self.acc_queue[a].get(qp + 1) {
-                    let nr = shared.topo_pos[next.index()];
-                    self.queued_stamp[nr] = epoch;
+                let next = queue_next[i];
+                if next != u32::MAX {
+                    let nr = shared.topo_pos[next as usize];
+                    queued_stamp[nr] = epoch;
                     hi = hi.max(nr);
                 }
             }
             r += 1;
         }
+        self.touched = touched;
     }
 
     /// Convenience: seed, apply a batch of duration changes, propagate.

@@ -30,13 +30,29 @@ const UNPINNED: usize = usize::MAX;
 pub struct LocalityState {
     /// Pinned layers, unordered (swap-removed on unpin).
     pinned: Vec<LayerId>,
+    /// Byte volume charged per pin, parallel to `pinned`: unpin refunds
+    /// from here instead of re-deriving the layer's weight bytes from
+    /// the model (the search core strips and replays the touched
+    /// accelerators' pins once per scored candidate).
+    pinned_bytes: Vec<u64>,
     /// `pinned_pos[layer.index()]` = position in `pinned`, or
     /// [`UNPINNED`] (grown on demand; layer id bounds are not known at
     /// construction, only the system is).
     pinned_pos: Vec<usize>,
-    /// Fused edges, sorted ascending — binary-searched on the
-    /// scheduler's hot path, `memcpy`-cloned by the search core.
-    fused: Vec<(LayerId, LayerId)>,
+    /// Fused edges with their charged byte volume, sorted ascending by
+    /// endpoints — binary-searched on the scheduler's hot path,
+    /// `memcpy`-cloned by the search core. The bytes ride in the same
+    /// entry (instead of a parallel vector) so the fusion pass's
+    /// strip/replay churn pays one shift per insert/remove, not two;
+    /// unfuse refunds from the record instead of re-walking the model
+    /// graph's edge storage.
+    fused: Vec<(LayerId, LayerId, u64)>,
+    /// Number of fused outgoing edges per producer layer index (grown
+    /// on demand like `pinned_pos`). [`LocalityState::is_fused`] is
+    /// called per edge on the cost kernel's hot path and almost always
+    /// answers `false`; a zero count proves that with one load instead
+    /// of a binary search.
+    fused_out: Vec<u32>,
     used: Vec<u64>,
     /// Per-accelerator DRAM capacities captured from the system at
     /// construction: read-only, shared by every clone.
@@ -47,8 +63,10 @@ impl Clone for LocalityState {
     fn clone(&self) -> Self {
         LocalityState {
             pinned: self.pinned.clone(),
+            pinned_bytes: self.pinned_bytes.clone(),
             pinned_pos: self.pinned_pos.clone(),
             fused: self.fused.clone(),
+            fused_out: self.fused_out.clone(),
             used: self.used.clone(),
             caps: Arc::clone(&self.caps),
         }
@@ -59,8 +77,10 @@ impl Clone for LocalityState {
     /// allocation-free.
     fn clone_from(&mut self, source: &Self) {
         self.pinned.clone_from(&source.pinned);
+        self.pinned_bytes.clone_from(&source.pinned_bytes);
         self.pinned_pos.clone_from(&source.pinned_pos);
         self.fused.clone_from(&source.fused);
+        self.fused_out.clone_from(&source.fused_out);
         self.used.clone_from(&source.used);
         self.caps = Arc::clone(&source.caps);
     }
@@ -84,8 +104,10 @@ impl LocalityState {
     pub fn new(system: &SystemSpec) -> Self {
         LocalityState {
             pinned: Vec::new(),
+            pinned_bytes: Vec::new(),
             pinned_pos: Vec::new(),
             fused: Vec::new(),
+            fused_out: Vec::new(),
             used: vec![0; system.num_accs()],
             caps: system
                 .acc_ids()
@@ -121,10 +143,25 @@ impl LocalityState {
         layer: LayerId,
         acc: AccId,
     ) -> bool {
+        let bytes = model.layer(layer).weight_bytes(DataType::F32);
+        self.try_pin_bytes(system, layer, acc, bytes)
+    }
+
+    /// [`LocalityState::try_pin`] with the layer's weight bytes supplied
+    /// by the caller — the weight-locality pass already holds them (its
+    /// knapsack items are priced in bytes), so the hot path skips the
+    /// model lookup. `bytes` must be the layer's F32 weight volume;
+    /// `try_pin` delegates here, so the two can never drift.
+    pub fn try_pin_bytes(
+        &mut self,
+        system: &SystemSpec,
+        layer: LayerId,
+        acc: AccId,
+        bytes: Bytes,
+    ) -> bool {
         if self.is_pinned(layer) {
             return true;
         }
-        let bytes = model.layer(layer).weight_bytes(DataType::F32);
         if bytes > self.dram_free(acc, system) {
             return false;
         }
@@ -135,6 +172,7 @@ impl LocalityState {
         }
         self.pinned_pos[i] = self.pinned.len();
         self.pinned.push(layer);
+        self.pinned_bytes.push(bytes.as_u64());
         true
     }
 
@@ -143,17 +181,21 @@ impl LocalityState {
     /// [`LocalityState::try_pin`] charged it). Returns `false` if the
     /// layer was not pinned.
     pub fn unpin(&mut self, model: &ModelGraph, layer: LayerId, acc: AccId) -> bool {
+        // `model` stays in the signature for parity with `try_pin`, but
+        // the refund comes from the recorded charge — no model lookup
+        // on the strip/replay hot path.
+        let _ = model;
         if !self.is_pinned(layer) {
             return false;
         }
         let pos = self.pinned_pos[layer.index()];
         self.pinned.swap_remove(pos);
+        let bytes = self.pinned_bytes.swap_remove(pos);
         if let Some(moved) = self.pinned.get(pos) {
             self.pinned_pos[moved.index()] = pos;
         }
         self.pinned_pos[layer.index()] = UNPINNED;
-        let bytes = model.layer(layer).weight_bytes(DataType::F32);
-        self.used[acc.index()] -= bytes.as_u64();
+        self.used[acc.index()] -= bytes;
         true
     }
 
@@ -181,18 +223,67 @@ impl LocalityState {
         to: LayerId,
         acc: AccId,
     ) -> bool {
-        let Err(slot) = self.fused.binary_search(&(from, to)) else {
-            return true;
-        };
         let Some(bytes) = model.edge_bytes(from, to) else {
             return false;
+        };
+        self.try_fuse_bytes(system, from, to, acc, bytes)
+    }
+
+    /// [`LocalityState::try_fuse`] with the edge's byte volume supplied
+    /// by the caller — the fusion pass's candidate list already carries
+    /// it (candidates are ordered by byte volume), so the hot path
+    /// skips the graph's per-edge linear scan. `bytes` must be the
+    /// `from → to` edge's volume; `try_fuse` delegates here, so the two
+    /// can never drift.
+    pub fn try_fuse_bytes(
+        &mut self,
+        system: &SystemSpec,
+        from: LayerId,
+        to: LayerId,
+        acc: AccId,
+        bytes: Bytes,
+    ) -> bool {
+        let Err(slot) = self.fused.binary_search_by_key(&(from, to), |e| (e.0, e.1)) else {
+            return true;
         };
         if bytes > self.dram_free(acc, system) {
             return false;
         }
         self.used[acc.index()] += bytes.as_u64();
-        self.fused.insert(slot, (from, to));
+        self.fused.insert(slot, (from, to, bytes.as_u64()));
+        let i = from.index();
+        if self.fused_out.len() <= i {
+            self.fused_out.resize(i + 1, 0);
+        }
+        self.fused_out[i] += 1;
         true
+    }
+
+    /// Strips every fused edge whose producer is mapped, refunding each
+    /// recorded charge to the producer's accelerator — the bulk form of
+    /// [`LocalityState::unfuse`] used by the search core's global
+    /// fusion-pass replay, which strips the whole fused set once per
+    /// scored candidate (per-edge removal from the sorted vec would be
+    /// quadratic). The refunds are exact integer subtraction, so the
+    /// final state is identical to unfusing edge by edge. Edges with an
+    /// unmapped producer (never the case mid-search) are retained, as
+    /// the per-edge strip attributed by `mapping` would skip them.
+    pub fn unfuse_all(&mut self, mapping: &crate::mapping::Mapping) {
+        let mut w = 0;
+        for r in 0..self.fused.len() {
+            let (f, _, b) = self.fused[r];
+            match mapping.get(f) {
+                Some(a) => {
+                    self.used[a.index()] -= b;
+                    self.fused_out[f.index()] -= 1;
+                }
+                None => {
+                    self.fused[w] = self.fused[r];
+                    w += 1;
+                }
+            }
+        }
+        self.fused.truncate(w);
     }
 
     /// Reverts a fusion, refunding the edge's bytes to `acc`'s budget
@@ -205,18 +296,28 @@ impl LocalityState {
         to: LayerId,
         acc: AccId,
     ) -> bool {
-        let Ok(slot) = self.fused.binary_search(&(from, to)) else {
+        // `model` stays in the signature for parity with `try_fuse`,
+        // but the refund comes from the recorded charge — no graph
+        // walk on the strip/replay hot path.
+        let _ = model;
+        let Ok(slot) = self.fused.binary_search_by_key(&(from, to), |e| (e.0, e.1)) else {
             return false;
         };
-        self.fused.remove(slot);
-        let bytes = model.edge_bytes(from, to).expect("fused edges exist");
-        self.used[acc.index()] -= bytes.as_u64();
+        let bytes = self.fused.remove(slot).2;
+        self.fused_out[from.index()] -= 1;
+        self.used[acc.index()] -= bytes;
         true
     }
 
     /// True if the `from → to` edge is activation-fused.
     pub fn is_fused(&self, from: LayerId, to: LayerId) -> bool {
-        self.fused.binary_search(&(from, to)).is_ok()
+        // Most queries come from the cost kernel probing edges that are
+        // not fused; a zero outgoing-fusion count on the producer
+        // settles those with one load.
+        match self.fused_out.get(from.index()) {
+            Some(0) | None => false,
+            Some(_) => self.fused.binary_search_by_key(&(from, to), |e| (e.0, e.1)).is_ok(),
+        }
     }
 
     /// True when the `from → to` edge actually short-circuits through
@@ -233,10 +334,30 @@ impl LocalityState {
         from: LayerId,
         to: LayerId,
     ) -> bool {
-        self.is_fused(from, to)
+        self.edge_is_local_flat(
+            mapping,
+            from,
+            to,
+            matches!(model.layer(from).op(), h2h_model::layer::LayerOp::Input { .. }),
+        )
+    }
+
+    /// [`LocalityState::edge_is_local`] with the producer's Input-ness
+    /// supplied by the caller: the data-oriented evaluator keeps that
+    /// bit in a precomputed per-layer array, saving the `model.layer`
+    /// lookup on the scoring hot path. This variant owns the predicate;
+    /// `edge_is_local` delegates here, so the two can never drift.
+    pub fn edge_is_local_flat(
+        &self,
+        mapping: &crate::mapping::Mapping,
+        from: LayerId,
+        to: LayerId,
+        from_is_input: bool,
+    ) -> bool {
+        !from_is_input
+            && self.is_fused(from, to)
             && mapping.get(from) == mapping.get(to)
             && mapping.get(from).is_some()
-            && !matches!(model.layer(from).op(), h2h_model::layer::LayerOp::Input { .. })
     }
 
     /// Number of fused edges.
@@ -251,7 +372,7 @@ impl LocalityState {
 
     /// Iterate over fused `(from, to)` edges (sorted by endpoint ids).
     pub fn fused_edges(&self) -> impl Iterator<Item = (LayerId, LayerId)> + '_ {
-        self.fused.iter().copied()
+        self.fused.iter().map(|e| (e.0, e.1))
     }
 
     /// Total pinned-weight bytes across the system.

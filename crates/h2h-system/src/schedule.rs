@@ -22,13 +22,37 @@
 //!   is a model output, at the slowest route among the remote
 //!   consumers (host for outputs); one local-DRAM write if any
 //!   outgoing edge is fused.
+//!
+//! # Data-oriented hot path
+//!
+//! [`Evaluator::layer_cost`] is the unit cost of the entire search
+//! stack — the delta engine scores millions of candidates through it —
+//! so the evaluator flattens everything the kernel reads into
+//! structure-of-arrays form at construction ([`FlatCost`]): per-layer
+//! weight/OFM byte volumes and Input bits, CSR predecessor/successor
+//! adjacency with per-edge byte volumes, dense per-(layer, accelerator)
+//! compute tables, per-accelerator DRAM rates and compute-slowdown
+//! factors, and a dense `(src, dst)` route-rate matrix copied from the
+//! [`crate::topology::Topology`]. The hot kernel is straight-line
+//! arithmetic over indexed arrays — no `model.layer`, `edge_bytes`
+//! (a per-edge linear scan in the graph backend) or `path_bw` calls.
+//!
+//! Bit-identity is preserved by construction, not by accident: the flat
+//! tables store the *same* unit-typed values (`Bytes`, `BytesPerSec`,
+//! `Seconds`) the pointer-chasing path reads, the CSR rows are built by
+//! iterating `predecessors`/`successors` in graph order (float
+//! accumulation order is unchanged), and every arithmetic expression is
+//! the same sequence of IEEE operations. The original implementation is
+//! retained as [`Evaluator::layer_cost_reference`] — the executable
+//! spec — and a property test asserts bitwise equality across the model
+//! zoo, fabrics and random mapping/locality states.
 
 use serde::{Deserialize, Serialize};
 
 use h2h_model::graph::{LayerId, ModelGraph};
 use h2h_model::layer::LayerOp;
 use h2h_model::tensor::DataType;
-use h2h_model::units::{Bytes, Joules, Seconds};
+use h2h_model::units::{Bytes, BytesPerSec, Joules, Seconds};
 
 use crate::locality::LocalityState;
 use crate::mapping::Mapping;
@@ -69,6 +93,138 @@ impl CostCache {
     /// Cached compute energy of `layer` on `acc`.
     pub fn energy(&self, layer: LayerId, acc: AccId) -> Option<Joules> {
         self.energy[layer.index()][acc.index()]
+    }
+}
+
+/// Structure-of-arrays snapshot of everything the cost kernel reads,
+/// built once per evaluator (see the module docs). Indices follow the
+/// repo-wide conventions: layers by `LayerId::index()` up to
+/// `ModelGraph::id_bound()` (holes hold zeros/empty rows), accelerators
+/// by `AccId::index()`, route nodes by the [`Endpoint`] numbering
+/// (host 0, accelerator `i` at `i + 1`).
+#[derive(Debug)]
+struct FlatCost {
+    /// Route-matrix side length (`n_accs + 1`).
+    nodes: usize,
+    n_accs: usize,
+    /// Effective `src → dst` rate at `src * nodes + dst`.
+    route: Vec<BytesPerSec>,
+    /// Local DRAM rate per accelerator.
+    dram_bw: Vec<BytesPerSec>,
+    /// Compute-slowdown factor per accelerator (1.0 when healthy).
+    compute_factor: Vec<f64>,
+    /// Compute time at `layer * n_accs + acc` (`None` if unsupported).
+    ctime: Vec<Option<Seconds>>,
+    /// Compute energy, same indexing.
+    cenergy: Vec<Option<Joules>>,
+    /// Weight bytes per layer (F32).
+    wbytes: Vec<Bytes>,
+    /// OFM bytes per layer (F32).
+    obytes: Vec<Bytes>,
+    /// Whether the layer is a model input.
+    is_input: Vec<bool>,
+    /// Layers with weights paired with their F32 weight bytes, in graph
+    /// iteration order (the step-2 knapsack's item order, part of the
+    /// bit-identity contract: knapsack ties break by this order).
+    weighted: Vec<(LayerId, Bytes)>,
+    /// CSR offsets into `pred_src`/`pred_bytes`, one row per layer
+    /// index, in graph iteration order (IFM float-sum order).
+    pred_off: Vec<u32>,
+    pred_src: Vec<LayerId>,
+    pred_bytes: Vec<Bytes>,
+    /// CSR offsets into `succ_dst`.
+    succ_off: Vec<u32>,
+    succ_dst: Vec<LayerId>,
+}
+
+impl FlatCost {
+    fn build(model: &ModelGraph, system: &SystemSpec, cache: &CostCache) -> Self {
+        let bound = model.id_bound();
+        let n_accs = system.num_accs();
+        let nodes = n_accs + 1;
+        let route = system.topology().route_rate_matrix();
+        debug_assert_eq!(route.len(), nodes * nodes);
+
+        let mut dram_bw = Vec::with_capacity(n_accs);
+        let mut compute_factor = Vec::with_capacity(n_accs);
+        for acc in system.acc_ids() {
+            dram_bw.push(system.acc(acc).dram_bandwidth());
+            compute_factor.push(system.compute_factor(acc));
+        }
+
+        let mut ctime = vec![None; bound * n_accs];
+        let mut cenergy = vec![None; bound * n_accs];
+        for li in 0..bound {
+            for ai in 0..n_accs {
+                ctime[li * n_accs + ai] = cache.time[li][ai];
+                cenergy[li * n_accs + ai] = cache.energy[li][ai];
+            }
+        }
+
+        let mut wbytes = vec![Bytes::ZERO; bound];
+        let mut obytes = vec![Bytes::ZERO; bound];
+        let mut is_input = vec![false; bound];
+        let mut weighted = Vec::new();
+        for (id, layer) in model.layers() {
+            let wb = layer.weight_bytes(DataType::F32);
+            wbytes[id.index()] = wb;
+            if wb > Bytes::ZERO {
+                weighted.push((id, wb));
+            }
+            obytes[id.index()] = layer.ofm_bytes(DataType::F32);
+            is_input[id.index()] = matches!(layer.op(), LayerOp::Input { .. });
+        }
+
+        // CSR rows are filled in ascending layer-index order so the
+        // offset table and the flat arrays stay in lockstep; within a
+        // row, edges keep the graph's `predecessors`/`successors`
+        // iteration order (the IFM term is a float sum, so its order is
+        // part of the bit-identity contract).
+        let mut ids: Vec<LayerId> = model.layer_ids().collect();
+        ids.sort_unstable_by_key(|id| id.index());
+        let mut pred_off = vec![0u32; bound + 1];
+        let mut succ_off = vec![0u32; bound + 1];
+        for &id in &ids {
+            pred_off[id.index() + 1] = model.predecessors(id).count() as u32;
+            succ_off[id.index() + 1] = model.successors(id).count() as u32;
+        }
+        for i in 0..bound {
+            pred_off[i + 1] += pred_off[i];
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut pred_src = Vec::with_capacity(pred_off[bound] as usize);
+        let mut pred_bytes = Vec::with_capacity(pred_off[bound] as usize);
+        let mut succ_dst = Vec::with_capacity(succ_off[bound] as usize);
+        for &id in &ids {
+            debug_assert_eq!(pred_src.len(), pred_off[id.index()] as usize);
+            for p in model.predecessors(id) {
+                pred_src.push(p);
+                pred_bytes.push(model.edge_bytes(p, id).expect("predecessor edge exists"));
+            }
+            debug_assert_eq!(succ_dst.len(), succ_off[id.index()] as usize);
+            for s in model.successors(id) {
+                succ_dst.push(s);
+            }
+        }
+
+        FlatCost {
+            nodes,
+            n_accs,
+            route,
+            dram_bw,
+            compute_factor,
+            ctime,
+            cenergy,
+            wbytes,
+            obytes,
+            is_input,
+            weighted,
+            pred_off,
+            pred_src,
+            pred_bytes,
+            succ_off,
+            succ_dst,
+        }
     }
 }
 
@@ -241,6 +397,7 @@ pub struct Evaluator<'a> {
     model: &'a ModelGraph,
     system: &'a SystemSpec,
     cache: CostCache,
+    flat: FlatCost,
     order: Vec<LayerId>,
     batch: u32,
     evals: std::sync::atomic::AtomicUsize,
@@ -250,10 +407,13 @@ impl<'a> Evaluator<'a> {
     /// Builds the evaluator (validates nothing: the model must already
     /// be [`ModelGraph::validate`]d).
     pub fn new(model: &'a ModelGraph, system: &'a SystemSpec) -> Self {
+        let cache = CostCache::new(model, system);
+        let flat = FlatCost::build(model, system, &cache);
         Evaluator {
             model,
             system,
-            cache: CostCache::new(model, system),
+            cache,
+            flat,
             order: model.topo_order(),
             batch: 1,
             evals: std::sync::atomic::AtomicUsize::new(0),
@@ -270,10 +430,12 @@ impl<'a> Evaluator<'a> {
     /// from it. `cache` must come from this exact (model, system) pair;
     /// a mismatched cache produces wrong (or panicking) schedules.
     pub fn from_cache(model: &'a ModelGraph, system: &'a SystemSpec, cache: CostCache) -> Self {
+        let flat = FlatCost::build(model, system, &cache);
         Evaluator {
             model,
             system,
             cache,
+            flat,
             order: model.topo_order(),
             batch: 1,
             evals: std::sync::atomic::AtomicUsize::new(0),
@@ -310,6 +472,31 @@ impl<'a> Evaluator<'a> {
     /// The system being scheduled onto.
     pub fn system(&self) -> &'a SystemSpec {
         self.system
+    }
+
+    /// Layers with weights, paired with their F32 weight bytes, in
+    /// graph iteration order. This is the exact candidate-item order
+    /// the step-2 weight-locality knapsack sees, so consumers that
+    /// filter it by mapping reproduce the pass's decisions bitwise.
+    pub fn weighted_layers(&self) -> &[(LayerId, Bytes)] {
+        &self.flat.weighted
+    }
+
+    /// `id`'s graph successors from the flat CSR row — the same
+    /// elements, in the same order, as `ModelGraph::successors`, without
+    /// the graph walk. For search-core hot paths.
+    pub fn successors_flat(&self, id: LayerId) -> &[LayerId] {
+        let f = &self.flat;
+        let li = id.index();
+        &f.succ_dst[f.succ_off[li] as usize..f.succ_off[li + 1] as usize]
+    }
+
+    /// `id`'s graph predecessors from the flat CSR row (see
+    /// [`Evaluator::successors_flat`]).
+    pub fn predecessors_flat(&self, id: LayerId) -> &[LayerId] {
+        let f = &self.flat;
+        let li = id.index();
+        &f.pred_src[f.pred_off[li] as usize..f.pred_off[li + 1] as usize]
     }
 
     /// Evaluates a complete mapping.
@@ -363,20 +550,278 @@ impl<'a> Evaluator<'a> {
     /// delta engine; term order matches the historical evaluator so
     /// schedules agree bitwise.
     ///
+    /// This is the data-oriented kernel: straight-line arithmetic over
+    /// the [`FlatCost`] arrays (see the module docs). It is asserted
+    /// bitwise-equal to [`Evaluator::layer_cost_reference`], the
+    /// retained pointer-chasing implementation that serves as the
+    /// executable spec of the cost semantics.
+    ///
     /// Transfer rates come from the system's
-    /// [`crate::topology::Topology`], queried per `(src placement, dst
-    /// placement)` pair: weights stream host→accelerator, each IFM edge
-    /// is charged at the producer→consumer route's effective bandwidth
-    /// (host→consumer for model inputs), and the single OFM upload runs
-    /// at the slowest route among its remote consumers (host for model
-    /// outputs). On a uniform star every route resolves to the same
-    /// rate bitwise, reproducing the paper's scalar model exactly.
+    /// [`crate::topology::Topology`] route matrix, indexed per `(src
+    /// placement, dst placement)` pair: weights stream
+    /// host→accelerator, each IFM edge is charged at the
+    /// producer→consumer route's effective bandwidth (host→consumer for
+    /// model inputs), and the single OFM upload runs at the slowest
+    /// route among its remote consumers (host for model outputs). On a
+    /// uniform star every route resolves to the same rate bitwise,
+    /// reproducing the paper's scalar model exactly.
     ///
     /// # Panics
     ///
     /// Panics if the layer is unmapped or mapped to an accelerator that
     /// cannot execute it.
     pub fn layer_cost(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        id: LayerId,
+    ) -> LayerCost {
+        let f = &self.flat;
+        let li = id.index();
+        let b = self.batch as f64;
+        let acc = mapping.acc_of(id);
+        let ai = acc.index();
+        // Route-matrix node of the owning accelerator (host is node 0).
+        let here = ai + 1;
+        let dram_bw = f.dram_bw[ai];
+        let mut cost = LayerCost::default();
+
+        // Weight transfer (once per batch), streamed from the host.
+        let wbytes = f.wbytes[li];
+        if wbytes > Bytes::ZERO {
+            if locality.is_pinned(id) {
+                cost.weight_xfer = dram_bw.transfer_time(wbytes);
+                cost.dram_time += cost.weight_xfer;
+                cost.dram_bytes += wbytes;
+            } else {
+                // route[host * nodes + here] with host = 0.
+                cost.weight_xfer = f.route[here].transfer_time(wbytes);
+                cost.eth_time += cost.weight_xfer;
+            }
+        }
+
+        self.accum_ifm(mapping, locality, id, here, dram_bw, None, &mut cost);
+
+        // Compute, per batch item. The table stores healthy-speed
+        // times; a compute-throttled board on a degraded system view
+        // stretches them at read time. The branch (rather than an
+        // unconditional `* 1.0`) keeps the healthy path
+        // bitwise-identical to the historical arithmetic.
+        cost.compute = f.ctime[li * f.n_accs + ai]
+            .expect("mapping validated: accelerator supports layer")
+            * b;
+        let slow = f.compute_factor[ai];
+        if slow != 1.0 {
+            cost.compute = cost.compute * slow;
+        }
+        cost.compute_energy = f.cenergy[li * f.n_accs + ai]
+            .expect("mapping validated: accelerator supports layer")
+            * b;
+
+        self.accum_ofm(mapping, locality, id, here, dram_bw, None, &mut cost);
+
+        cost
+    }
+
+    /// The IFM section of [`Evaluator::layer_cost`]: one transfer per
+    /// incoming edge (CSR row, graph order — this is a float sum, so
+    /// order is part of the contract), repeated per batch item, each at
+    /// its route's effective bandwidth. An unmapped producer (partial
+    /// evaluation of a frontier prefix) charges the host route — data
+    /// not yet placed lives at the host. Factored out so
+    /// [`Evaluator::duration_new_ifm`] reruns the exact arithmetic.
+    ///
+    /// `extra_fused` prices one hypothetical fusion on top of
+    /// `locality`: the `extra_fused → id` edge is treated as fused (with
+    /// the same colocation/non-input conditions the real predicate
+    /// applies), exactly as if `locality` contained it. `layer_cost`
+    /// passes `None`, which folds away under `inline(always)` — the
+    /// production kernel is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn accum_ifm(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        id: LayerId,
+        here: usize,
+        dram_bw: BytesPerSec,
+        extra_fused: Option<LayerId>,
+        cost: &mut LayerCost,
+    ) {
+        let f = &self.flat;
+        let li = id.index();
+        let b = self.batch as f64;
+        let (ps, pe) = (f.pred_off[li] as usize, f.pred_off[li + 1] as usize);
+        for k in ps..pe {
+            let pred = f.pred_src[k];
+            let bytes = f.pred_bytes[k];
+            let pred_is_input = f.is_input[pred.index()];
+            if locality.edge_is_local_flat(mapping, pred, id, pred_is_input)
+                || (extra_fused == Some(pred)
+                    && !pred_is_input
+                    && mapping.get(pred) == mapping.get(id)
+                    && mapping.get(pred).is_some())
+            {
+                let t = dram_bw.transfer_time(bytes) * b;
+                cost.ifm_xfer += t;
+                cost.dram_time += t;
+                cost.dram_bytes += bytes * self.batch as u64;
+            } else {
+                // `edge_src` flattened: inputs and unmapped producers
+                // send from the host (node 0).
+                let src = if pred_is_input {
+                    0
+                } else {
+                    match mapping.get(pred) {
+                        Some(pa) => pa.index() + 1,
+                        None => 0,
+                    }
+                };
+                let t = f.route[src * f.nodes + here].transfer_time(bytes) * b;
+                cost.ifm_xfer += t;
+                cost.eth_time += t;
+            }
+        }
+    }
+
+    /// The OFM section of [`Evaluator::layer_cost`]: model inputs emit
+    /// nothing (data already at host); otherwise one interconnect
+    /// upload serves all unfused consumers (and the final output) at
+    /// the slowest route among them, one DRAM write serves all fused
+    /// consumers. A single pass over the successor CSR row replays
+    /// `Topology::ofm_route` (min-rate fold, host fallback for model
+    /// outputs, `None` when every consumer is fused) and the any-local
+    /// scan together. Factored out so
+    /// [`Evaluator::duration_new_ofm`] reruns the exact arithmetic.
+    ///
+    /// `extra_fused` prices one hypothetical fusion on top of
+    /// `locality`: the `id → extra_fused` edge is treated as fused, with
+    /// the same caveats as on [`Evaluator::accum_ifm`].
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn accum_ofm(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        id: LayerId,
+        here: usize,
+        dram_bw: BytesPerSec,
+        extra_fused: Option<LayerId>,
+        cost: &mut LayerCost,
+    ) {
+        let f = &self.flat;
+        let li = id.index();
+        let b = self.batch as f64;
+        if !f.is_input[li] {
+            let obytes = f.obytes[li];
+            let (ss, se) = (f.succ_off[li] as usize, f.succ_off[li + 1] as usize);
+            let mut upload: Option<BytesPerSec> = None;
+            let mut any_local = false;
+            if ss == se {
+                // Model output: the result always lands at the host.
+                upload = Some(f.route[here * f.nodes]);
+            } else {
+                for k in ss..se {
+                    let succ = f.succ_dst[k];
+                    if locality.edge_is_local_flat(mapping, id, succ, false)
+                        || (extra_fused == Some(succ)
+                            && !f.is_input[li]
+                            && mapping.get(id) == mapping.get(succ)
+                            && mapping.get(id).is_some())
+                    {
+                        any_local = true;
+                        continue;
+                    }
+                    let dst = match mapping.get(succ) {
+                        Some(sa) => sa.index() + 1,
+                        None => 0,
+                    };
+                    let r = f.route[here * f.nodes + dst];
+                    upload = Some(match upload {
+                        Some(cur) => {
+                            if cur < r {
+                                cur
+                            } else {
+                                r
+                            }
+                        }
+                        None => r,
+                    });
+                }
+            }
+            if let Some(bw) = upload {
+                let t = bw.transfer_time(obytes) * b;
+                cost.ofm_xfer += t;
+                cost.eth_time += t;
+            }
+            if any_local {
+                let t = dram_bw.transfer_time(obytes) * b;
+                cost.ofm_xfer += t;
+                cost.dram_time += t;
+                cost.dram_bytes += obytes * self.batch as u64;
+            }
+        }
+    }
+
+    /// `LayerCost::duration()` of `id` with a freshly computed IFM term
+    /// and every other term taken from `stored`, a cost for `id` that
+    /// is current except (at most) its IFM term. Bitwise equal to
+    /// `self.layer_cost(mapping, locality, id).duration()` because the
+    /// IFM sum reruns [`Evaluator::accum_ifm`] verbatim (same values,
+    /// same float-op order) and `duration()`'s left-to-right sum is
+    /// reproduced term for term. The fusion-guard dominance proof uses
+    /// this to price a fuse toggle's consumer — whose weight, compute
+    /// and OFM terms the toggle provably cannot change — without paying
+    /// the full kernel. `extra_fused` prices the toggle itself: the
+    /// hypothetical `extra_fused → id` fusion is layered over
+    /// `locality`, so the proof never has to mutate (and restore) the
+    /// shared locality state.
+    pub fn duration_new_ifm(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        id: LayerId,
+        stored: &LayerCost,
+        extra_fused: Option<LayerId>,
+    ) -> Seconds {
+        let acc = mapping.acc_of(id);
+        let ai = acc.index();
+        let mut cost = LayerCost::default();
+        self.accum_ifm(mapping, locality, id, ai + 1, self.flat.dram_bw[ai], extra_fused, &mut cost);
+        stored.weight_xfer + cost.ifm_xfer + stored.compute + stored.ofm_xfer
+    }
+
+    /// `LayerCost::duration()` of `id` with a freshly computed OFM term
+    /// and every other term taken from `stored` — the producer-side
+    /// twin of [`Evaluator::duration_new_ifm`], with the same bitwise
+    /// argument (the OFM fold reruns [`Evaluator::accum_ofm`]
+    /// verbatim) and the same `extra_fused` overlay (here the
+    /// hypothetical `id → extra_fused` fusion).
+    pub fn duration_new_ofm(
+        &self,
+        mapping: &Mapping,
+        locality: &LocalityState,
+        id: LayerId,
+        stored: &LayerCost,
+        extra_fused: Option<LayerId>,
+    ) -> Seconds {
+        let acc = mapping.acc_of(id);
+        let ai = acc.index();
+        let mut cost = LayerCost::default();
+        self.accum_ofm(mapping, locality, id, ai + 1, self.flat.dram_bw[ai], extra_fused, &mut cost);
+        stored.weight_xfer + stored.ifm_xfer + stored.compute + cost.ofm_xfer
+    }
+
+    /// The original pointer-chasing implementation of
+    /// [`Evaluator::layer_cost`], retained verbatim as the executable
+    /// spec: it walks the graph (`model.layer`, `edge_bytes`,
+    /// `predecessors`/`successors`) and queries the topology
+    /// (`path_bw`, `ofm_route`) per edge. The `prop_schedule` suite
+    /// asserts the flat kernel reproduces it bitwise across the zoo,
+    /// fabrics and random mapping/locality states; production code
+    /// should call `layer_cost`.
+    pub fn layer_cost_reference(
         &self,
         mapping: &Mapping,
         locality: &LocalityState,
@@ -508,10 +953,16 @@ impl<'a> Evaluator<'a> {
             dram_bytes += cost.dram_bytes;
             energy.compute += cost.compute_energy;
 
-            // Dependencies + accelerator availability.
-            let ready = self
-                .model
-                .predecessors(id)
+            // Dependencies + accelerator availability. The max fold is
+            // order-insensitive (non-negative finish times, no NaN), so
+            // reading the CSR row instead of the graph iterator cannot
+            // change the result bitwise.
+            let (ps, pe) = (
+                self.flat.pred_off[id.index()] as usize,
+                self.flat.pred_off[id.index() + 1] as usize,
+            );
+            let ready = self.flat.pred_src[ps..pe]
+                .iter()
                 .map(|p| finish[p.index()])
                 .fold(Seconds::ZERO, Seconds::max);
             let start = ready.max(acc_ready[acc.index()]);

@@ -194,6 +194,17 @@ impl Topology {
         self.route[src.node() * nodes + dst.node()]
     }
 
+    /// Dense row-major copy of the precomputed route table: entry
+    /// `src * (num_accs + 1) + dst` is the effective `src → dst` rate,
+    /// with node 0 the host and node `i + 1` accelerator `i` (the
+    /// [`Endpoint`] numbering). Data-oriented consumers (the SoA
+    /// evaluator kernel) index this directly instead of calling
+    /// [`Topology::path_bw`] per edge; the values are the same
+    /// `BytesPerSec` objects bitwise, so the two paths cannot diverge.
+    pub fn route_rate_matrix(&self) -> Vec<BytesPerSec> {
+        self.route.clone()
+    }
+
     /// Whether the `src → dst` route is relayed through the host NIC
     /// (and therefore contends for it).
     pub fn crosses_host(&self, src: Endpoint, dst: Endpoint) -> bool {

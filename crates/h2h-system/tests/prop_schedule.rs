@@ -192,6 +192,80 @@ proptest! {
     }
 
     #[test]
+    fn flat_layer_cost_is_bitwise_equal_to_pointer_chasing_reference(
+        model_sel in 0usize..8,
+        fabric_sel in 0usize..3,
+        batch_sel in 0usize..3,
+        picks in proptest::collection::vec(0usize..64, 160),
+        pin_mask in proptest::collection::vec(any::<bool>(), 160),
+        fuse_mask in proptest::collection::vec(any::<bool>(), 320),
+        keep_mask in proptest::collection::vec(any::<bool>(), 160),
+    ) {
+        // The SoA kernel (`layer_cost`) must reproduce the retained
+        // pointer-chasing implementation (`layer_cost_reference`)
+        // *bitwise* — every `LayerCost` field, not just the makespan —
+        // across the zoo, the three bench fabrics, random valid
+        // mappings, random pin/fuse states and serving batch sizes.
+        use h2h_system::system::{BandwidthClass, SystemSpec};
+
+        let models = h2h_model::zoo::all_models();
+        let model = &models[model_sel % models.len()];
+        let fabric = ["uniform", "skewed", "switched"][fabric_sel];
+        let sys = SystemSpec::standard_with_topology(
+            BandwidthClass::LowMinus,
+            Some(fabric),
+        ).unwrap();
+        let batch = [1u32, 4, 16][batch_sel];
+
+        let order = model.topo_order();
+        let mut map = Mapping::new(model);
+        for (i, id) in order.iter().copied().enumerate() {
+            let supp: Vec<AccId> = sys
+                .acc_ids()
+                .filter(|a| sys.acc(*a).supports(model.layer(id)))
+                .collect();
+            prop_assert!(!supp.is_empty());
+            map.set(id, supp[picks.get(i).copied().unwrap_or(0) % supp.len()]);
+        }
+        let mut loc = LocalityState::new(&sys);
+        for (i, id) in order.iter().copied().enumerate() {
+            if pin_mask.get(i).copied().unwrap_or(false) && model.layer(id).has_weights() {
+                let _ = loc.try_pin(model, &sys, id, map.acc_of(id));
+            }
+        }
+        for (i, (from, to, _)) in model.edges().enumerate() {
+            if fuse_mask.get(i).copied().unwrap_or(false) && map.acc_of(from) == map.acc_of(to) {
+                let _ = loc.try_fuse(model, &sys, from, to, map.acc_of(from));
+            }
+        }
+
+        let ev = Evaluator::new(model, &sys).with_batch(batch);
+        for id in order.iter().copied() {
+            let flat = ev.layer_cost(&map, &loc, id);
+            let reference = ev.layer_cost_reference(&map, &loc, id);
+            prop_assert_eq!(flat, reference, "layer {:?} on {}/{}", id, model.name(), fabric);
+        }
+
+        // Partially mapped states (the frontier search of step 1):
+        // unmapped producers and consumers route through the host in
+        // both implementations.
+        let mut partial = Mapping::new(model);
+        for (i, id) in order.iter().copied().enumerate() {
+            if keep_mask.get(i).copied().unwrap_or(true) {
+                partial.set(id, map.acc_of(id));
+            }
+        }
+        let empty = LocalityState::new(&sys);
+        for (i, id) in order.iter().copied().enumerate() {
+            if keep_mask.get(i).copied().unwrap_or(true) {
+                let flat = ev.layer_cost(&partial, &empty, id);
+                let reference = ev.layer_cost_reference(&partial, &empty, id);
+                prop_assert_eq!(flat, reference, "partial layer {:?} on {}", id, model.name());
+            }
+        }
+    }
+
+    #[test]
     fn sim_matches_analytic_with_random_locality(
         (model, picks, speeds) in strategy(),
         pin_mask in proptest::collection::vec(any::<bool>(), 40),
